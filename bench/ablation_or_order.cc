@@ -1,0 +1,57 @@
+// Ablation (Section 4.1.3): the OR score truncates the inclusion-exclusion
+// expansion at the first-order term (Eq. 12). How much quality does keeping
+// higher-order terms buy? Under the independence assumption the full
+// expansion telescopes to 1 - prod(1 - P(qi|p)), so all three variants are
+// computable from the same lists.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace phrasemine;
+using namespace phrasemine::bench;
+
+namespace {
+
+const char* OrderName(OrExpansionOrder order) {
+  switch (order) {
+    case OrExpansionOrder::kFirstOrder:
+      return "first-order (Eq.12)";
+    case OrExpansionOrder::kSecondOrder:
+      return "second-order";
+    case OrExpansionOrder::kFull:
+      return "full expansion";
+  }
+  return "?";
+}
+
+void RunDataset(BenchContext& ctx) {
+  std::printf("\n--- %s (OR queries, full lists) ---\n", ctx.name.c_str());
+  std::printf("%-22s %8s %8s %12s %10s\n", "expansion", "NDCG", "MAP",
+              "|est-true|", "avg ms");
+  ctx.engine.SetSmjFraction(1.0);
+  for (OrExpansionOrder order :
+       {OrExpansionOrder::kFirstOrder, OrExpansionOrder::kSecondOrder,
+        OrExpansionOrder::kFull}) {
+    AggregateRun run = RunExperiment(
+        ctx.engine, ctx.queries, QueryOperator::kOr, Algorithm::kSmj,
+        MineOptions{.k = 5, .or_order = order}, /*evaluate_quality=*/true);
+    std::printf("%-22s %8.3f %8.3f %12.4f %10.4f\n", OrderName(order),
+                run.quality.ndcg, run.quality.map,
+                run.mean_interestingness_diff, run.avg_total_ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Ablation: OR-score inclusion-exclusion cutoff (Section 4.1.3)",
+      "first-order already accurate for ranking (justifying Eq. 12); higher "
+      "orders mainly tighten the absolute interestingness estimate");
+  BenchContext reuters = BuildReuters();
+  RunDataset(reuters);
+  BenchContext pubmed = BuildPubmed();
+  RunDataset(pubmed);
+  return 0;
+}

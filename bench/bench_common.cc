@@ -1,0 +1,69 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+#include "text/synthetic.h"
+
+namespace phrasemine::bench {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+namespace {
+
+BenchContext Build(const std::string& name, SyntheticCorpusOptions corpus_options,
+                   QueryGenOptions query_options) {
+  StopWatch watch;
+  SyntheticCorpusGenerator generator(corpus_options);
+  BenchContext ctx{name, MiningEngine::Build(generator.Generate()), {}};
+  QuerySetGenerator qgen(query_options);
+  ctx.queries = qgen.Generate(ctx.engine.dict(), ctx.engine.inverted(), ctx.engine.corpus().size());
+  // Word-list construction is preprocessing (Section 4.2), not query time:
+  // do it here so per-query measurements are clean.
+  ctx.engine.EnsureWordListsFor(ctx.queries);
+  std::fprintf(stderr,
+               "[setup] %s: %zu docs, %zu phrases, %zu queries (%.1fs)\n",
+               name.c_str(), ctx.engine.corpus().size(),
+               ctx.engine.dict().size(), ctx.queries.size(),
+               watch.ElapsedMillis() / 1000.0);
+  return ctx;
+}
+
+}  // namespace
+
+BenchContext BuildReuters() {
+  SyntheticCorpusOptions corpus = SyntheticCorpusGenerator::ReutersLike();
+  corpus.num_docs = EnvSize("PM_REUTERS_DOCS", corpus.num_docs);
+  QueryGenOptions queries;
+  queries.seed = 100;
+  queries.num_queries = EnvSize("PM_REUTERS_QUERIES", 100);
+  queries.num_six_word = 2;
+  queries.num_five_word = 2;
+  return Build("reuters-like", corpus, queries);
+}
+
+BenchContext BuildPubmed() {
+  SyntheticCorpusOptions corpus =
+      SyntheticCorpusGenerator::PubmedLike(EnvSize("PM_PUBMED_DOCS", 20000));
+  QueryGenOptions queries;
+  queries.seed = 52;
+  queries.num_queries = EnvSize("PM_PUBMED_QUERIES", 52);
+  queries.num_six_word = 2;
+  queries.num_five_word = 2;
+  return Build("pubmed-like", corpus, queries);
+}
+
+void PrintHeader(const std::string& title, const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper shape: %s\n", expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace phrasemine::bench

@@ -1,0 +1,42 @@
+#ifndef PHRASEMINE_BENCH_BENCH_COMMON_H_
+#define PHRASEMINE_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "eval/experiment.h"
+#include "eval/query_gen.h"
+
+namespace phrasemine::bench {
+
+/// One benchmark dataset: an engine over a synthetic corpus plus the
+/// harvested query workload (term sets; the operator is chosen per
+/// experiment, as in the paper).
+struct BenchContext {
+  std::string name;
+  MiningEngine engine;
+  std::vector<Query> queries;
+};
+
+/// Reuters-21578-shaped dataset with the paper's 100-query workload
+/// (two 6-word, two 5-word, rest 2-4 words). Document count can be scaled
+/// with the PM_REUTERS_DOCS environment variable (default 21578).
+BenchContext BuildReuters();
+
+/// Pubmed-shaped dataset with the paper's 52-query workload. The paper used
+/// 655k abstracts; the default here is 20000 so the whole bench suite runs
+/// in minutes -- scale up with PM_PUBMED_DOCS for closer absolute numbers
+/// (relative shapes are stable across scales).
+BenchContext BuildPubmed();
+
+/// Prints the experiment banner: which paper table/figure this regenerates
+/// and what shape the paper reports.
+void PrintHeader(const std::string& title, const std::string& expectation);
+
+/// Reads a positive integer environment variable with a default.
+std::size_t EnvSize(const char* name, std::size_t fallback);
+
+}  // namespace phrasemine::bench
+
+#endif  // PHRASEMINE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,44 @@
+// Reproduces Figures 5 & 6: result quality (Precision, MRR, MAP, NDCG) of
+// the list-based approximation (SMJ and NRA give identical result sets)
+// against the exact top-k, at 20% and 50% partial lists, for AND and OR
+// queries, on both datasets.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace phrasemine;
+using namespace phrasemine::bench;
+
+namespace {
+
+void RunDataset(BenchContext& ctx) {
+  std::printf("\n--- %s ---\n", ctx.name.c_str());
+  std::printf("%-10s %10s %8s %8s %8s %8s\n", "config", "", "Prec", "MRR",
+              "MAP", "NDCG");
+  for (double fraction : {0.2, 0.5}) {
+    ctx.engine.SetSmjFraction(fraction);
+    for (QueryOperator op : {QueryOperator::kAnd, QueryOperator::kOr}) {
+      AggregateRun run =
+          RunExperiment(ctx.engine, ctx.queries, op, Algorithm::kSmj,
+                        MineOptions{.k = 5}, /*evaluate_quality=*/true);
+      std::printf("%3.0f-%-6s %10s %8.3f %8.3f %8.3f %8.3f\n", fraction * 100,
+                  QueryOperatorName(op), "", run.quality.precision,
+                  run.quality.mrr, run.quality.map, run.quality.ndcg);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figures 5 & 6: result quality vs exact top-5 (k=5)",
+      "all measures >= ~0.9 even at 20% lists; OR >= AND; larger corpus "
+      "(pubmed) more accurate than the smaller one (reuters)");
+  BenchContext reuters = BuildReuters();
+  RunDataset(reuters);
+  BenchContext pubmed = BuildPubmed();
+  RunDataset(pubmed);
+  return 0;
+}

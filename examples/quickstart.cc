@@ -1,0 +1,65 @@
+// Quickstart: build a MiningEngine over a handful of documents and mine the
+// top interesting phrases for a keyword query with each algorithm.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "text/corpus.h"
+
+using phrasemine::Algorithm;
+using phrasemine::Corpus;
+using phrasemine::MineOptions;
+using phrasemine::MineResult;
+using phrasemine::MiningEngine;
+using phrasemine::Query;
+using phrasemine::QueryOperator;
+
+int main() {
+  // 1. Assemble a corpus. In a real application these would be your
+  //    documents; AddText tokenizes for you.
+  Corpus corpus;
+  corpus.AddText("query optimization uses cost models for join order search");
+  corpus.AddText("the optimizer applies query optimization to pick join order");
+  corpus.AddText("join order enumeration is the heart of query optimization");
+  corpus.AddText("cost models guide query optimization in modern databases");
+  corpus.AddText("operating systems schedule threads on many cores");
+  corpus.AddText("the kernel of operating systems manages page tables");
+  corpus.AddText("threads and locks are core to operating systems design");
+  corpus.AddText("virtual memory and page tables in operating systems");
+
+  // 2. Build the engine: extracts the phrase dictionary (n-grams up to 6
+  //    words above a document-frequency floor) and all indexes.
+  MiningEngine::Options options;
+  options.extractor.min_df = 2;  // Tiny corpus: accept phrases in >= 2 docs.
+  MiningEngine engine = MiningEngine::Build(std::move(corpus), options);
+  std::printf("corpus: %zu docs, %zu phrases in dictionary\n\n",
+              engine.corpus().size(), engine.dict().size());
+
+  // 3. Parse a query. The sub-collection D' is every document containing
+  //    both words (AND) or either word (OR).
+  auto query = engine.ParseQuery("query optimization", QueryOperator::kAnd);
+  if (!query.ok()) {
+    std::printf("query failed: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Mine with each algorithm and compare.
+  MineOptions mine_options;
+  mine_options.k = 5;
+  for (Algorithm algorithm :
+       {Algorithm::kExact, Algorithm::kGm, Algorithm::kNra, Algorithm::kSmj}) {
+    MineResult result = engine.Mine(query.value(), algorithm, mine_options);
+    std::printf("top-%zu by %s (%.3f ms):\n", mine_options.k,
+                phrasemine::AlgorithmName(algorithm), result.TotalMs());
+    for (const auto& p : result.phrases) {
+      std::printf("  %-28s interestingness=%.3f\n",
+                  engine.PhraseText(p.phrase).c_str(), p.interestingness);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

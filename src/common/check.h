@@ -1,0 +1,30 @@
+#ifndef PHRASEMINE_COMMON_CHECK_H_
+#define PHRASEMINE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// PM_CHECK(cond): aborts with a diagnostic when an internal invariant is
+/// violated. Active in all build types -- invariant violations in an index
+/// structure are never recoverable, so we prefer a loud crash over silently
+/// corrupt query results.
+#define PM_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PM_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// PM_CHECK_MSG(cond, msg): like PM_CHECK with an extra explanatory string.
+#define PM_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PM_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // PHRASEMINE_COMMON_CHECK_H_

@@ -1,0 +1,84 @@
+#include "common/io_util.h"
+
+#include <cstdio>
+
+namespace phrasemine {
+
+Status BinaryWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  std::size_t written = 0;
+  if (!buffer_.empty()) {
+    written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  }
+  std::fclose(f);
+  if (written != buffer_.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat: " + path);
+  }
+  std::vector<uint8_t> data(static_cast<std::size_t>(size));
+  std::size_t got = 0;
+  if (size > 0) {
+    got = std::fread(data.data(), 1, data.size(), f);
+  }
+  std::fclose(f);
+  if (got != data.size()) {
+    return Status::IOError("short read from " + path);
+  }
+  return BinaryReader(std::move(data));
+}
+
+Status BinaryReader::GetString(std::string* out) {
+  uint32_t len = 0;
+  Status s = GetU32(&len);
+  if (!s.ok()) return s;
+  if (len > Remaining()) {
+    return Status::Corruption("string length exceeds remaining bytes");
+  }
+  out->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status BinaryReader::GetU32Vector(std::vector<uint32_t>* out) {
+  uint32_t len = 0;
+  Status s = GetU32(&len);
+  if (!s.ok()) return s;
+  const std::size_t bytes = static_cast<std::size_t>(len) * sizeof(uint32_t);
+  if (bytes > Remaining()) {
+    return Status::Corruption("vector length exceeds remaining bytes");
+  }
+  out->resize(len);
+  if (len > 0) {
+    std::memcpy(out->data(), data_.data() + pos_, bytes);
+  }
+  pos_ += bytes;
+  return Status::OK();
+}
+
+Status BinaryReader::GetRaw(void* out, std::size_t n) {
+  if (n > Remaining()) {
+    return Status::Corruption("read past end of buffer");
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace phrasemine

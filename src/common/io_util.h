@@ -1,0 +1,87 @@
+#ifndef PHRASEMINE_COMMON_IO_UTIL_H_
+#define PHRASEMINE_COMMON_IO_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phrasemine {
+
+/// Append-only little-endian binary encoder used by all index serializers.
+/// The encoding is fixed-width (no varints) for simplicity and O(1) seeks.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(uint8_t v) { buffer_.push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// Writes a length-prefixed string (u32 length + bytes).
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  /// Writes a length-prefixed vector of u32.
+  void PutU32Vector(const std::vector<uint32_t>& v) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    PutRaw(v.data(), v.size() * sizeof(uint32_t));
+  }
+
+  /// Writes raw bytes without a length prefix.
+  void PutRaw(const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + n);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+  /// Flushes the accumulated bytes to a file.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Sequential little-endian decoder over an in-memory byte buffer. All Get*
+/// methods return Status so truncated or corrupt files surface as errors
+/// rather than undefined behaviour.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> data) : data_(std::move(data)) {}
+
+  /// Loads the whole file into memory and wraps it in a reader.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Status GetU8(uint8_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetU32(uint32_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetU64(uint64_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetDouble(double* out) { return GetRaw(out, sizeof(*out)); }
+
+  /// Reads a length-prefixed string.
+  Status GetString(std::string* out);
+
+  /// Reads a length-prefixed vector of u32.
+  Status GetU32Vector(std::vector<uint32_t>* out);
+
+  /// Reads n raw bytes into out.
+  Status GetRaw(void* out, std::size_t n);
+
+  /// Bytes remaining after the read cursor.
+  std::size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::vector<uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_COMMON_IO_UTIL_H_

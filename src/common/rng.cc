@@ -1,0 +1,36 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  PM_CHECK(n >= 1);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    cdf_[i] /= total;
+  }
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(std::size_t rank) const {
+  PM_CHECK(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace phrasemine

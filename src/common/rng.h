@@ -1,0 +1,63 @@
+#ifndef PHRASEMINE_COMMON_RNG_H_
+#define PHRASEMINE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace phrasemine {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Used by the synthetic corpus
+/// generators so that every experiment is exactly reproducible from a seed;
+/// we deliberately avoid std::mt19937 whose stream differs across standard
+/// library implementations.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed always yields the same stream.
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound) { return NextU64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Samples from a Zipf distribution over {0, 1, ..., n-1} with exponent s,
+/// using an inverse-CDF table. Word frequencies in natural language corpora
+/// are Zipfian, so the synthetic generator draws vocabulary terms from this.
+class ZipfSampler {
+ public:
+  /// Builds the cumulative table. n must be >= 1; s is typically ~1.0.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one rank; rank 0 is the most probable outcome.
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  double Probability(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_COMMON_RNG_H_

@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace phrasemine {
+
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void ResultValueOnErrorAbort(const Status& status) {
+  std::fprintf(stderr, "Result::value() called on error result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace phrasemine

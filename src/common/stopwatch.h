@@ -1,0 +1,38 @@
+#ifndef PHRASEMINE_COMMON_STOPWATCH_H_
+#define PHRASEMINE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace phrasemine {
+
+/// Monotonic wall-clock stopwatch used to time query execution. All mining
+/// algorithms report elapsed microseconds through this type so benchmark
+/// harnesses have a single clock source.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch at the current instant.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds as a double (fractional part preserved).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_COMMON_STOPWATCH_H_

@@ -1,0 +1,61 @@
+#include "core/delta_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "index/forward_index.h"
+
+namespace phrasemine {
+
+void DeltaIndex::AddDocument(std::span<const TermId> tokens,
+                             std::span<const TermId> facets) {
+  Apply(tokens, facets, +1);
+}
+
+void DeltaIndex::RemoveDocument(std::span<const TermId> tokens,
+                                std::span<const TermId> facets) {
+  Apply(tokens, facets, -1);
+}
+
+void DeltaIndex::Apply(std::span<const TermId> tokens,
+                       std::span<const TermId> facets, int64_t sign) {
+  const std::vector<PhraseId> phrases = CollectDocPhrases(tokens, dict_);
+  std::unordered_set<TermId> terms(tokens.begin(), tokens.end());
+  terms.insert(facets.begin(), facets.end());
+
+  for (PhraseId p : phrases) {
+    df_delta_[p] += sign;
+    for (TermId w : terms) {
+      co_delta_[CoKey(w, p)] += sign;
+    }
+  }
+  ++pending_updates_;
+}
+
+int64_t DeltaIndex::DfDelta(PhraseId p) const {
+  auto it = df_delta_.find(p);
+  return it == df_delta_.end() ? 0 : it->second;
+}
+
+int64_t DeltaIndex::CoDelta(TermId w, PhraseId p) const {
+  auto it = co_delta_.find(CoKey(w, p));
+  return it == co_delta_.end() ? 0 : it->second;
+}
+
+double DeltaIndex::AdjustedProb(TermId w, PhraseId p,
+                                double base_prob) const {
+  const int64_t base_df = dict_.df(p);
+  const int64_t base_count =
+      std::llround(base_prob * static_cast<double>(base_df));
+  const int64_t df = base_df + DfDelta(p);
+  if (df <= 0) return 0.0;
+  const int64_t count = base_count + CoDelta(w, p);
+  const double prob =
+      static_cast<double>(std::max<int64_t>(count, 0)) /
+      static_cast<double>(df);
+  return std::clamp(prob, 0.0, 1.0);
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,69 @@
+#ifndef PHRASEMINE_CORE_DELTA_INDEX_H_
+#define PHRASEMINE_CORE_DELTA_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "phrase/phrase_dictionary.h"
+#include "text/types.h"
+
+namespace phrasemine {
+
+/// Incremental-update overlay of Section 4.5.1. The word-specific lists
+/// hold pre-computed conditional probabilities, which are expensive to keep
+/// current under document churn; instead, inserted and deleted documents
+/// are accumulated here, and when SMJ or NRA takes a phrase into its
+/// candidate set it queries this index for the delta of the (word, phrase)
+/// co-occurrence count and of the phrase's document frequency, from which
+/// the corrected conditional probability follows. The paper notes -- and
+/// our tests confirm -- that this keeps SMJ exact w.r.t. the updated
+/// corpus, while NRA's pruning bounds become approximate (adjusted scores
+/// need not respect the stored list order). Phrases that only become
+/// frequent through updates are deliberately out of scope: they enter P at
+/// the next periodic offline rebuild.
+class DeltaIndex {
+ public:
+  explicit DeltaIndex(const PhraseDictionary& dict) : dict_(dict) {}
+
+  /// Registers an inserted document given its token and facet term ids.
+  void AddDocument(std::span<const TermId> tokens,
+                   std::span<const TermId> facets = {});
+
+  /// Registers a deletion of a document with this content.
+  void RemoveDocument(std::span<const TermId> tokens,
+                      std::span<const TermId> facets = {});
+
+  /// Net change of |docs(p)| from the accumulated updates.
+  int64_t DfDelta(PhraseId p) const;
+
+  /// Net change of |docs(w) ∩ docs(p)|.
+  int64_t CoDelta(TermId w, PhraseId p) const;
+
+  /// Corrects a stored P(w|p) for the accumulated updates. `base_prob` is
+  /// the pre-computed list value; the base co-occurrence count is recovered
+  /// from it via the dictionary's base df. Returns a probability clamped to
+  /// [0, 1]; a phrase whose adjusted df reaches zero yields 0.
+  double AdjustedProb(TermId w, PhraseId p, double base_prob) const;
+
+  /// Number of Add/Remove calls absorbed since construction; drives the
+  /// "flush and rebuild offline" policy.
+  std::size_t pending_updates() const { return pending_updates_; }
+
+ private:
+  static uint64_t CoKey(TermId w, PhraseId p) {
+    return (static_cast<uint64_t>(w) << 32) | p;
+  }
+
+  void Apply(std::span<const TermId> tokens, std::span<const TermId> facets,
+             int64_t sign);
+
+  const PhraseDictionary& dict_;
+  std::unordered_map<PhraseId, int64_t> df_delta_;
+  std::unordered_map<uint64_t, int64_t> co_delta_;
+  std::size_t pending_updates_ = 0;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_CORE_DELTA_INDEX_H_

@@ -1,0 +1,32 @@
+#include "core/disk_lists.h"
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+DiskResidentLists::DiskResidentLists(const WordScoreLists& lists,
+                                     const PhraseListFile& phrase_file,
+                                     DiskOptions options)
+    : lists_(lists), phrase_file_(phrase_file), disk_(options) {
+  for (TermId t : lists_.Terms()) {
+    const uint64_t bytes =
+        static_cast<uint64_t>(lists_.list(t).size()) * kListEntryBytes;
+    if (bytes == 0) continue;
+    list_files_.emplace(t, disk_.RegisterFile(bytes));
+  }
+  phrase_file_id_ = disk_.RegisterFile(
+      std::max<uint64_t>(phrase_file_.SizeBytes(), 1));
+}
+
+void DiskResidentLists::ChargeListRead(TermId term, uint64_t pos) {
+  auto it = list_files_.find(term);
+  PM_CHECK_MSG(it != list_files_.end(), "no disk file for term list");
+  disk_.Read(it->second, pos * kListEntryBytes, kListEntryBytes);
+}
+
+void DiskResidentLists::ChargePhraseLookup(PhraseId id) {
+  disk_.Read(phrase_file_id_, phrase_file_.SlotOffset(id),
+             phrase_file_.slot_size());
+}
+
+}  // namespace phrasemine

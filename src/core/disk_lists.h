@@ -1,0 +1,48 @@
+#ifndef PHRASEMINE_CORE_DISK_LISTS_H_
+#define PHRASEMINE_CORE_DISK_LISTS_H_
+
+#include <unordered_map>
+
+#include "index/phrase_list_file.h"
+#include "index/word_lists.h"
+#include "storage/simulated_disk.h"
+#include "text/types.h"
+
+namespace phrasemine {
+
+/// Disk residency wrapper for the NRA inputs: lays every word-specific
+/// score-ordered list out as its own simulated file (12-byte entries,
+/// Section 4.2.2) and the phrase list as one more file of fixed 50-byte
+/// slots (Section 4.2.1). The actual list *contents* stay in memory -- per
+/// the paper's simulation protocol only the I/O cost is modeled, and it is
+/// charged through the owned SimulatedDisk as the algorithm touches bytes.
+class DiskResidentLists {
+ public:
+  DiskResidentLists(const WordScoreLists& lists,
+                    const PhraseListFile& phrase_file,
+                    DiskOptions options = {});
+
+  DiskResidentLists(const DiskResidentLists&) = delete;
+  DiskResidentLists& operator=(const DiskResidentLists&) = delete;
+
+  /// Charges the I/O for reading entry `pos` of a term's list.
+  void ChargeListRead(TermId term, uint64_t pos);
+
+  /// Charges the I/O for the final phrase-text lookup of a result id
+  /// (a random access into the phrase list file).
+  void ChargePhraseLookup(PhraseId id);
+
+  SimulatedDisk& disk() { return disk_; }
+  const WordScoreLists& lists() const { return lists_; }
+
+ private:
+  const WordScoreLists& lists_;
+  const PhraseListFile& phrase_file_;
+  SimulatedDisk disk_;
+  std::unordered_map<TermId, uint32_t> list_files_;
+  uint32_t phrase_file_id_ = 0;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_CORE_DISK_LISTS_H_

@@ -1,0 +1,221 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+namespace {
+
+/// Snapshot format version; bump on any layout change.
+constexpr uint32_t kSnapshotMagic = 0x504D534E;  // "PMSN"
+constexpr uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kExact:
+      return "Exact";
+    case Algorithm::kGm:
+      return "GM";
+    case Algorithm::kSimitsis:
+      return "Simitsis";
+    case Algorithm::kNra:
+      return "NRA";
+    case Algorithm::kNraDisk:
+      return "NRA-disk";
+    case Algorithm::kSmj:
+      return "SMJ";
+  }
+  return "?";
+}
+
+MiningEngine MiningEngine::Build(Corpus corpus, Options options) {
+  MiningEngine engine;
+  engine.options_ = options;
+  engine.corpus_ = std::move(corpus);
+  PhraseExtractor extractor(options.extractor);
+  engine.dict_ = extractor.Extract(engine.corpus_);
+  engine.inverted_ = InvertedIndex::Build(engine.corpus_);
+  engine.forward_full_ =
+      ForwardIndex::Build(engine.corpus_, engine.dict_, ForwardStorage::kFull);
+  engine.forward_compressed_ = ForwardIndex::Build(
+      engine.corpus_, engine.dict_, ForwardStorage::kPrefixCompressed);
+  engine.phrase_file_ =
+      PhraseListFile::Build(engine.dict_, engine.corpus_.vocab());
+  engine.word_lists_ = std::make_unique<WordScoreLists>();
+  engine.smj_fraction_ = options.default_smj_fraction;
+  return engine;
+}
+
+Status MiningEngine::SaveToDirectory(const std::string& dir) const {
+  BinaryWriter writer;
+  writer.PutU32(kSnapshotMagic);
+  writer.PutU32(kSnapshotVersion);
+  corpus_.Serialize(&writer);
+  dict_.Serialize(&writer);
+  inverted_.Serialize(&writer);
+  forward_full_.Serialize(&writer);
+  forward_compressed_.Serialize(&writer);
+  phrase_file_.Serialize(&writer);
+  word_lists_->Serialize(&writer);
+  return writer.WriteToFile(dir + "/engine.pmsnap");
+}
+
+Result<MiningEngine> MiningEngine::LoadFromDirectory(const std::string& dir,
+                                                     Options options) {
+  Result<BinaryReader> reader_or =
+      BinaryReader::FromFile(dir + "/engine.pmsnap");
+  if (!reader_or.ok()) return reader_or.status();
+  BinaryReader& reader = reader_or.value();
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  Status s = reader.GetU32(&magic);
+  if (!s.ok()) return s;
+  s = reader.GetU32(&version);
+  if (!s.ok()) return s;
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("not a phrasemine snapshot");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::Corruption("unsupported snapshot version");
+  }
+
+  MiningEngine engine;
+  engine.options_ = options;
+  {
+    Result<Corpus> part = Corpus::Deserialize(&reader);
+    if (!part.ok()) return part.status();
+    engine.corpus_ = std::move(part.value());
+  }
+  {
+    Result<PhraseDictionary> part = PhraseDictionary::Deserialize(&reader);
+    if (!part.ok()) return part.status();
+    engine.dict_ = std::move(part.value());
+  }
+  {
+    Result<InvertedIndex> part = InvertedIndex::Deserialize(&reader);
+    if (!part.ok()) return part.status();
+    engine.inverted_ = std::move(part.value());
+  }
+  {
+    Result<ForwardIndex> part = ForwardIndex::Deserialize(&reader);
+    if (!part.ok()) return part.status();
+    engine.forward_full_ = std::move(part.value());
+  }
+  {
+    Result<ForwardIndex> part = ForwardIndex::Deserialize(&reader);
+    if (!part.ok()) return part.status();
+    engine.forward_compressed_ = std::move(part.value());
+  }
+  {
+    Result<PhraseListFile> part = PhraseListFile::Deserialize(&reader);
+    if (!part.ok()) return part.status();
+    engine.phrase_file_ = std::move(part.value());
+  }
+  {
+    Result<WordScoreLists> part = WordScoreLists::Deserialize(&reader);
+    if (!part.ok()) return part.status();
+    engine.word_lists_ =
+        std::make_unique<WordScoreLists>(std::move(part.value()));
+  }
+  engine.smj_fraction_ = options.default_smj_fraction;
+  return engine;
+}
+
+Result<Query> MiningEngine::ParseQuery(std::string_view text,
+                                       QueryOperator op) const {
+  return Query::Parse(text, op, corpus_.vocab());
+}
+
+const PhrasePostingIndex& MiningEngine::postings() {
+  if (postings_ == nullptr) {
+    postings_ = std::make_unique<PhrasePostingIndex>(
+        PhrasePostingIndex::Build(forward_full_, dict_));
+  }
+  return *postings_;
+}
+
+void MiningEngine::EnsureWordLists(std::span<const TermId> terms) {
+  std::vector<TermId> missing;
+  for (TermId t : terms) {
+    if (!word_lists_->Has(t)) missing.push_back(t);
+  }
+  if (missing.empty()) return;
+  word_lists_->Merge(
+      WordScoreLists::Build(inverted_, forward_full_, dict_, missing));
+  InvalidateDerivedLists();
+}
+
+void MiningEngine::EnsureWordListsFor(std::span<const Query> queries) {
+  std::vector<TermId> terms;
+  for (const Query& q : queries) {
+    terms.insert(terms.end(), q.terms.begin(), q.terms.end());
+  }
+  EnsureWordLists(terms);
+}
+
+void MiningEngine::InvalidateDerivedLists() {
+  id_lists_.reset();
+  disk_lists_.reset();
+}
+
+void MiningEngine::SetSmjFraction(double fraction) {
+  smj_fraction_ = fraction;
+  id_lists_.reset();
+}
+
+MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
+                              const MineOptions& options) {
+  switch (algorithm) {
+    case Algorithm::kExact: {
+      if (exact_ == nullptr) {
+        exact_ = std::make_unique<ExactMiner>(inverted_, forward_full_, dict_);
+      }
+      return exact_->Mine(query, options);
+    }
+    case Algorithm::kGm: {
+      if (gm_ == nullptr) {
+        gm_ = std::make_unique<GmMiner>(inverted_, forward_compressed_, dict_);
+      }
+      return gm_->Mine(query, options);
+    }
+    case Algorithm::kSimitsis: {
+      if (simitsis_ == nullptr) {
+        simitsis_ = std::make_unique<SimitsisMiner>(inverted_, postings(),
+                                                    dict_, corpus_.size());
+      }
+      return simitsis_->Mine(query, options);
+    }
+    case Algorithm::kNra: {
+      EnsureWordLists(query.terms);
+      NraMiner miner(*word_lists_, dict_);
+      return miner.Mine(query, options);
+    }
+    case Algorithm::kNraDisk: {
+      EnsureWordLists(query.terms);
+      if (disk_lists_ == nullptr) {
+        disk_lists_ = std::make_unique<DiskResidentLists>(
+            *word_lists_, phrase_file_, options_.disk);
+      }
+      NraMiner miner(disk_lists_.get(), dict_);
+      return miner.Mine(query, options);
+    }
+    case Algorithm::kSmj: {
+      EnsureWordLists(query.terms);
+      if (id_lists_ == nullptr) {
+        id_lists_ = std::make_unique<WordIdOrderedLists>(
+            WordIdOrderedLists::Build(*word_lists_, smj_fraction_));
+      }
+      SmjMiner miner(*id_lists_, dict_);
+      return miner.Mine(query, options);
+    }
+  }
+  PM_CHECK_MSG(false, "unknown algorithm");
+  return MineResult{};
+}
+
+}  // namespace phrasemine

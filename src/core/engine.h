@@ -1,0 +1,159 @@
+#ifndef PHRASEMINE_CORE_ENGINE_H_
+#define PHRASEMINE_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/disk_lists.h"
+#include "core/exact_miner.h"
+#include "core/gm_miner.h"
+#include "core/miner.h"
+#include "core/nra_miner.h"
+#include "core/query.h"
+#include "core/simitsis_miner.h"
+#include "core/smj_miner.h"
+#include "index/forward_index.h"
+#include "index/inverted_index.h"
+#include "index/phrase_list_file.h"
+#include "index/phrase_posting_index.h"
+#include "index/word_lists.h"
+#include "phrase/phrase_dictionary.h"
+#include "phrase/phrase_extractor.h"
+#include "storage/simulated_disk.h"
+#include "text/corpus.h"
+
+namespace phrasemine {
+
+/// Algorithm selector for MiningEngine::Mine.
+enum class Algorithm {
+  kExact,     ///< Ground-truth Eq. 1 scoring over full forward lists.
+  kGm,        ///< Exact forward-index baseline (Gao & Michel style).
+  kSimitsis,  ///< Two-phase phrase-dictionary baseline (approximate).
+  kNra,       ///< Paper's NRA over score-ordered word lists (approximate).
+  kNraDisk,   ///< NRA with simulated disk-resident lists (Section 5.5).
+  kSmj,       ///< Paper's SMJ over id-ordered word lists (approximate).
+};
+
+/// Renders "Exact"/"GM"/... for reports.
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Build-time knobs for MiningEngine.
+struct MiningEngineOptions {
+  /// Phrase-extraction knobs (n-gram cap and min document frequency).
+  PhraseExtractorOptions extractor;
+  /// Disk-simulation parameters used by Algorithm::kNraDisk.
+  DiskOptions disk;
+  /// Construction fraction used when an SMJ mine is issued before
+  /// SetSmjFraction was called.
+  double default_smj_fraction = 1.0;
+};
+
+/// One-stop facade over the whole library: owns the corpus, builds the
+/// phrase dictionary and every index, and routes Mine() calls to the five
+/// algorithms. Word-specific lists are built lazily per query term (they
+/// are the only index whose full materialization is quadratic-ish; see
+/// WordScoreLists::Build), and id-ordered SMJ lists are cached per
+/// construction fraction.
+///
+/// Typical use:
+///   MiningEngine engine = MiningEngine::Build(std::move(corpus));
+///   Query q = engine.ParseQuery("trade reserves", QueryOperator::kOr).value();
+///   MineResult top = engine.Mine(q, Algorithm::kSmj, {.k = 5});
+///   for (const MinedPhrase& p : top.phrases)
+///     std::cout << engine.PhraseText(p.phrase) << "\n";
+///
+/// Not thread-safe.
+class MiningEngine {
+ public:
+  using Options = MiningEngineOptions;
+
+  /// Builds all eagerly-needed structures: dictionary, inverted index,
+  /// full + prefix-compressed forward indexes, phrase list file.
+  static MiningEngine Build(Corpus corpus, Options options = {});
+
+  /// Persists the engine (corpus, dictionary, every index and the word
+  /// lists built so far) into a directory so later sessions can skip the
+  /// extraction/indexing cost. The directory must already exist.
+  Status SaveToDirectory(const std::string& dir) const;
+
+  /// Restores an engine persisted by SaveToDirectory. The snapshot format
+  /// is versioned; loading a snapshot from an incompatible version fails
+  /// with Corruption.
+  static Result<MiningEngine> LoadFromDirectory(const std::string& dir,
+                                                Options options = {});
+
+  MiningEngine(MiningEngine&&) = default;
+  MiningEngine& operator=(MiningEngine&&) = default;
+
+  // --- Querying -------------------------------------------------------------
+
+  /// Parses a whitespace-separated query against the corpus vocabulary.
+  Result<Query> ParseQuery(std::string_view text, QueryOperator op) const;
+
+  /// Runs one of the algorithms. For kNra/kNraDisk/kSmj, the word lists of
+  /// the query terms are built on first use (that cost is preprocessing,
+  /// not query time, and is excluded from MineResult timings).
+  MineResult Mine(const Query& query, Algorithm algorithm,
+                  const MineOptions& options = {});
+
+  /// Lexical form of a phrase, served from the fixed-slot phrase list file.
+  std::string PhraseText(PhraseId id) const { return phrase_file_.Text(id); }
+
+  // --- Preprocessing control --------------------------------------------------
+
+  /// Ensures word-specific score lists exist for these terms.
+  void EnsureWordLists(std::span<const TermId> terms);
+
+  /// Ensures lists exist for every term of every query (harness helper).
+  void EnsureWordListsFor(std::span<const Query> queries);
+
+  /// Rebuilds the SMJ id-ordered lists at this construction fraction
+  /// (Section 4.4.1: a construction-time decision).
+  void SetSmjFraction(double fraction);
+  double smj_fraction() const { return smj_fraction_; }
+
+  // --- Component access (benchmarks, tests) ----------------------------------
+
+  const Corpus& corpus() const { return corpus_; }
+  const PhraseDictionary& dict() const { return dict_; }
+  const InvertedIndex& inverted() const { return inverted_; }
+  const ForwardIndex& forward() const { return forward_full_; }
+  const ForwardIndex& forward_compressed() const { return forward_compressed_; }
+  const PhraseListFile& phrase_file() const { return phrase_file_; }
+  const WordScoreLists& word_lists() const { return *word_lists_; }
+
+  /// Phrase posting index, built lazily (only the Simitsis baseline uses it).
+  const PhrasePostingIndex& postings();
+
+ private:
+  MiningEngine() = default;
+
+  /// Invalidates structures derived from word_lists_ after it changes.
+  void InvalidateDerivedLists();
+
+  Options options_;
+  Corpus corpus_;
+  PhraseDictionary dict_;
+  InvertedIndex inverted_;
+  ForwardIndex forward_full_;
+  ForwardIndex forward_compressed_;
+  PhraseListFile phrase_file_;
+
+  std::unique_ptr<PhrasePostingIndex> postings_;  // lazy
+  std::unique_ptr<WordScoreLists> word_lists_;
+  double smj_fraction_ = 1.0;
+  std::unique_ptr<WordIdOrderedLists> id_lists_;      // at smj_fraction_
+  std::unique_ptr<DiskResidentLists> disk_lists_;     // lazy, tracks word_lists_
+
+  // Persistent miners so their scratch arrays are reused across queries.
+  std::unique_ptr<ExactMiner> exact_;
+  std::unique_ptr<GmMiner> gm_;
+  std::unique_ptr<SimitsisMiner> simitsis_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_CORE_ENGINE_H_

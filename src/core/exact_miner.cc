@@ -1,0 +1,90 @@
+#include "core/exact_miner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace phrasemine {
+
+namespace {
+
+/// Min-heap ordering: the *worst* candidate sits at the front. A candidate
+/// is worse when its score is lower, or on equal scores when its id is
+/// larger (so ranking prefers smaller ids, matching the word-list
+/// tie-break of Section 4.2.2).
+bool HeapWorse(const MinedPhrase& a, const MinedPhrase& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.phrase < b.phrase;
+}
+
+}  // namespace
+
+void TopKCollector::Offer(PhraseId phrase, double score,
+                          double interestingness) {
+  if (k_ == 0) return;
+  MinedPhrase candidate{phrase, score, interestingness};
+  if (heap_.size() < k_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), HeapWorse);
+    return;
+  }
+  const MinedPhrase& worst = heap_.front();
+  const bool better = candidate.score > worst.score ||
+                      (candidate.score == worst.score &&
+                       candidate.phrase < worst.phrase);
+  if (better) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapWorse);
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end(), HeapWorse);
+  }
+}
+
+std::vector<MinedPhrase> TopKCollector::Take() {
+  std::sort(heap_.begin(), heap_.end(),
+            [](const MinedPhrase& a, const MinedPhrase& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.phrase < b.phrase;
+            });
+  return std::move(heap_);
+}
+
+ExactMiner::ExactMiner(const InvertedIndex& inverted,
+                       const ForwardIndex& forward,
+                       const PhraseDictionary& dict)
+    : inverted_(inverted), forward_(forward), dict_(dict) {
+  counts_.assign(dict_.size(), 0);
+}
+
+MineResult ExactMiner::Mine(const Query& query, const MineOptions& options) {
+  StopWatch watch;
+  MineResult result;
+
+  const std::vector<DocId> subset = EvalSubCollection(query, inverted_);
+  result.subcollection_size = subset.size();
+
+  touched_.clear();
+  for (DocId d : subset) {
+    for (PhraseId p : forward_.Phrases(d, dict_)) {
+      if (counts_[p] == 0) touched_.push_back(p);
+      ++counts_[p];
+      ++result.entries_read;
+    }
+  }
+
+  TopKCollector collector(options.k);
+  for (PhraseId p : touched_) {
+    const uint32_t df = dict_.df(p);
+    PM_CHECK(df > 0);
+    const double score =
+        EvaluateInterestingness(options.measure, counts_[p], df,
+                                subset.size(), forward_.num_docs());
+    collector.Offer(p, score, score);
+    counts_[p] = 0;  // Reset scratch for the next query.
+  }
+  result.phrases = collector.Take();
+  result.compute_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace phrasemine

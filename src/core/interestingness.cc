@@ -1,0 +1,28 @@
+#include "core/interestingness.h"
+
+#include <cmath>
+
+namespace phrasemine {
+
+double EvaluateInterestingness(InterestingnessMeasure measure,
+                               uint32_t freq_in_subset,
+                               uint32_t freq_in_corpus,
+                               std::size_t subset_size,
+                               std::size_t corpus_size) {
+  if (freq_in_subset == 0 || freq_in_corpus == 0 || subset_size == 0 ||
+      corpus_size == 0) {
+    return 0.0;
+  }
+  const double in_subset = static_cast<double>(freq_in_subset);
+  const double in_corpus = static_cast<double>(freq_in_corpus);
+  switch (measure) {
+    case InterestingnessMeasure::kNormalizedFrequency:
+      return in_subset / in_corpus;
+    case InterestingnessMeasure::kPmi:
+      return std::log((in_subset * static_cast<double>(corpus_size)) /
+                      (in_corpus * static_cast<double>(subset_size)));
+  }
+  return 0.0;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,38 @@
+#ifndef PHRASEMINE_CORE_INTERESTINGNESS_H_
+#define PHRASEMINE_CORE_INTERESTINGNESS_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace phrasemine {
+
+/// Alternative interestingness formulations. The paper's evaluation uses
+/// the normalized-frequency measure of Eq. 1 throughout; pointwise mutual
+/// information is the alternative it cites ([19], Yang et al.), and the
+/// conclusions pose extending the framework to other formulations as future
+/// work. The exact miner supports both so that the measures can be
+/// compared; the list-based approximations are derived from Eq. 1 and keep
+/// using it.
+enum class InterestingnessMeasure {
+  /// I(p, D') = freq(p, D') / freq(p, D)          (Eq. 1)
+  kNormalizedFrequency,
+  /// PMI(p, D') = log [ P(p, D') / (P(p) P(D')) ]
+  ///            = log [ (freq(p,D') * N) / (freq(p,D) * |D'|) ]
+  /// where N = |D|. Like Eq. 1 it rewards concentration of p inside D',
+  /// but it additionally discounts large sub-collections.
+  kPmi,
+};
+
+/// Evaluates the chosen measure from raw counts. `freq_in_subset` is
+/// freq(p, D'), `freq_in_corpus` is freq(p, D), `subset_size` is |D'| and
+/// `corpus_size` is |D|. Returns 0 for degenerate inputs (empty subset or
+/// unseen phrase).
+double EvaluateInterestingness(InterestingnessMeasure measure,
+                               uint32_t freq_in_subset,
+                               uint32_t freq_in_corpus,
+                               std::size_t subset_size,
+                               std::size_t corpus_size);
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_CORE_INTERESTINGNESS_H_

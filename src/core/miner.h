@@ -1,0 +1,92 @@
+#ifndef PHRASEMINE_CORE_MINER_H_
+#define PHRASEMINE_CORE_MINER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/interestingness.h"
+#include "core/query.h"
+#include "core/scoring.h"
+#include "text/types.h"
+
+namespace phrasemine {
+
+class DeltaIndex;  // core/delta_index.h
+
+/// One ranked result phrase.
+struct MinedPhrase {
+  PhraseId phrase = kInvalidPhraseId;
+  /// The algorithm's internal aggregate score (sum of logs for AND, sum of
+  /// probabilities for OR, raw interestingness for the exact methods).
+  double score = 0.0;
+  /// The algorithm's interestingness estimate in [0, 1]-ish range; for the
+  /// exact methods this equals Eq. 1 exactly.
+  double interestingness = 0.0;
+};
+
+/// Result of one Mine() call: the ranked top-k plus per-run accounting used
+/// by the benchmark harnesses.
+struct MineResult {
+  std::vector<MinedPhrase> phrases;
+
+  /// Measured in-memory computation time.
+  double compute_ms = 0.0;
+  /// Charged simulated disk time (0 for purely in-memory runs).
+  double disk_ms = 0.0;
+  /// Total response time under the paper's simulation protocol.
+  double TotalMs() const { return compute_ms + disk_ms; }
+
+  /// List entries consumed (NRA/SMJ) or forward-list entries touched (GM).
+  uint64_t entries_read = 0;
+  /// Average fraction of the query's lists traversed before stopping
+  /// (Figure 11 metric); 1.0 when the algorithm always reads whole inputs.
+  double lists_traversed_fraction = 1.0;
+  /// Peak candidate-set size |C| (NRA/SMJ bookkeeping).
+  std::size_t peak_candidates = 0;
+  /// Number of documents in the materialized sub-collection, when the
+  /// algorithm materializes one (exact/GM/Simitsis); 0 otherwise.
+  std::size_t subcollection_size = 0;
+};
+
+/// Per-query knobs shared by all algorithms.
+struct MineOptions {
+  /// Result count k; the paper fixes k = 5 in the evaluation.
+  std::size_t k = 5;
+  /// Fraction of each word list to traverse (NRA run-time partial lists).
+  /// SMJ ignores this: its fraction is fixed when its id-ordered lists are
+  /// built (Section 4.4.1).
+  double list_fraction = 1.0;
+  /// NRA pruning batch size b (Section 4.5): bounds maintenance and pruning
+  /// run once every `nra_batch_size` entry reads.
+  std::size_t nra_batch_size = 256;
+  /// OR-score expansion order (Section 4.1.3 ablation).
+  OrExpansionOrder or_order = OrExpansionOrder::kFirstOrder;
+  /// Optional incremental-update overlay (Section 4.5.1). When set, NRA and
+  /// SMJ adjust each list entry's conditional probability with the delta
+  /// before aggregation.
+  const DeltaIndex* delta = nullptr;
+  /// Interestingness formulation for the count-based miners (Exact, GM,
+  /// Simitsis). The list-based methods (NRA/SMJ) are derived from the
+  /// normalized-frequency measure and ignore this; extending the
+  /// independence machinery to other measures is the paper's stated future
+  /// work.
+  InterestingnessMeasure measure =
+      InterestingnessMeasure::kNormalizedFrequency;
+};
+
+/// Common interface of all five mining algorithms.
+class Miner {
+ public:
+  virtual ~Miner() = default;
+
+  /// Mines the top-k interesting phrases for the query.
+  virtual MineResult Mine(const Query& query, const MineOptions& options) = 0;
+
+  /// Short algorithm name for reports ("Exact", "GM", "NRA", ...).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_CORE_MINER_H_

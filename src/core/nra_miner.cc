@@ -1,0 +1,249 @@
+#include "core/nra_miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/delta_index.h"
+#include "core/exact_miner.h"
+
+namespace phrasemine {
+
+namespace {
+
+constexpr double kPlusInfinity = std::numeric_limits<double>::infinity();
+
+/// Per-list traversal state.
+struct ListState {
+  std::span<const ListEntry> entries;
+  TermId term = kInvalidTermId;
+  std::size_t pos = 0;        // next entry to read
+  std::size_t limit = 0;      // traversal cap (partial lists)
+  std::size_t full_len = 0;   // untruncated length
+  // Score of the last entry read; +inf until the first read so that bounds
+  // stay trivially safe before every list has been touched.
+  double last_score = kPlusInfinity;
+};
+
+/// Candidate bookkeeping: sum of seen scores plus a seen-list bitmask.
+struct Candidate {
+  uint32_t mask = 0;
+  double sum = 0.0;
+};
+
+}  // namespace
+
+NraMiner::NraMiner(const WordScoreLists& lists, const PhraseDictionary& dict)
+    : lists_(lists), dict_(dict) {}
+
+NraMiner::NraMiner(DiskResidentLists* disk_lists, const PhraseDictionary& dict)
+    : lists_(disk_lists->lists()), dict_(dict), disk_lists_(disk_lists) {}
+
+MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
+  PM_CHECK_MSG(query.terms.size() <= 32, "NRA supports up to 32 query terms");
+  MineResult result;
+  if (disk_lists_ != nullptr) {
+    disk_lists_->disk().Reset();  // Cold cache per query.
+  }
+  StopWatch watch;
+
+  const QueryOperator op = query.op;
+  // Score assigned to a phrase proven absent from a (fully read) list:
+  // P(q|p) = 0 contributes 0 to an OR sum and log(0) = -inf to an AND sum.
+  const double absent_score =
+      op == QueryOperator::kOr ? 0.0 : kMinusInfinity;
+  const double fraction = std::clamp(options.list_fraction, 0.0, 1.0);
+
+  // --- List setup -----------------------------------------------------------
+  const std::size_t r = query.terms.size();
+  std::vector<ListState> lists(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    lists[i].term = query.terms[i];
+    lists[i].entries = lists_.list(query.terms[i]);
+    lists[i].full_len = lists[i].entries.size();
+    lists[i].limit = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(lists[i].full_len)));
+  }
+
+  // Bound on scores not yet seen from list i: while entries remain, the
+  // last read score bounds them from above; at exhaustion, absence is
+  // proven. A partial list is the whole index from the algorithm's point of
+  // view (Section 4.3), so a truncated list that ran out behaves exactly
+  // like a fully-read one -- this is also what keeps NRA and SMJ
+  // result-equivalent at equal fractions, as the paper observes.
+  auto list_bound = [&](const ListState& l) {
+    return l.pos < l.limit ? l.last_score : absent_score;
+  };
+
+  std::unordered_map<PhraseId, Candidate> cands;
+  bool checknew = true;
+  bool done = false;
+  std::size_t reads_since_maintenance = 0;
+  const std::size_t batch = std::max<std::size_t>(options.nra_batch_size, 1);
+
+  auto candidate_lower = [&](const Candidate& c) {
+    if (op == QueryOperator::kOr) return c.sum;
+    // AND: unseen lists can contribute arbitrarily small log factors, so
+    // only fully-seen candidates have a finite lower bound.
+    return c.mask == (r >= 32 ? ~0u : ((1u << r) - 1)) ? c.sum
+                                                       : kMinusInfinity;
+  };
+  auto candidate_upper = [&](const Candidate& c) {
+    double upper = c.sum;
+    for (std::size_t i = 0; i < r; ++i) {
+      if ((c.mask & (1u << i)) == 0) upper += list_bound(lists[i]);
+    }
+    return upper;
+  };
+
+  // Lines 10-13 of Algorithm 1, run once per batch of b reads.
+  struct BoundedCandidate {
+    double lower;
+    double upper;
+    PhraseId phrase;
+  };
+  std::vector<BoundedCandidate> scratch;
+  auto maintenance = [&]() {
+    if (options.k == 0) {
+      done = true;
+      return;
+    }
+    double unseen_bound = 0.0;
+    for (const ListState& l : lists) unseen_bound += list_bound(l);
+
+    scratch.clear();
+    scratch.reserve(cands.size());
+    for (const auto& [phrase, cand] : cands) {
+      scratch.push_back(BoundedCandidate{candidate_lower(cand),
+                                         candidate_upper(cand), phrase});
+    }
+    if (scratch.size() < options.k) return;
+
+    // Identify the current top-k by lower bound (ties by id, matching the
+    // result tie-break).
+    auto better = [](const BoundedCandidate& a, const BoundedCandidate& b) {
+      if (a.lower != b.lower) return a.lower > b.lower;
+      return a.phrase < b.phrase;
+    };
+    std::nth_element(scratch.begin(), scratch.begin() + (options.k - 1),
+                     scratch.end(), better);
+    const double kth_lower = scratch[options.k - 1].lower;
+    if (kth_lower == kMinusInfinity) return;
+
+    // Line 11: stop admitting unseen candidates once they cannot win.
+    if (kth_lower >= unseen_bound) checknew = false;
+
+    // Line 12: drop candidates whose ceiling is below the k-th floor.
+    std::erase_if(cands, [&](const auto& kv) {
+      return candidate_upper(kv.second) < kth_lower;
+    });
+
+    // Line 13: the current top-k is final once no unseen phrase can beat
+    // the k-th floor and no candidate outside the top-k can either.
+    if (kth_lower >= unseen_bound) {
+      double max_outside_upper = kMinusInfinity;
+      for (std::size_t i = options.k; i < scratch.size(); ++i) {
+        max_outside_upper = std::max(max_outside_upper, scratch[i].upper);
+      }
+      if (max_outside_upper <= kth_lower) done = true;
+    }
+  };
+
+  // --- Round-robin consumption (lines 4-13) ---------------------------------
+  while (!done) {
+    bool read_any = false;
+    for (std::size_t i = 0; i < r && !done; ++i) {
+      ListState& l = lists[i];
+      if (l.pos >= l.limit) continue;
+      read_any = true;
+      const ListEntry& entry = l.entries[l.pos];
+      if (disk_lists_ != nullptr) {
+        disk_lists_->ChargeListRead(l.term, l.pos);
+      }
+      ++l.pos;
+      ++result.entries_read;
+
+      double prob = entry.prob;
+      if (options.delta != nullptr) {
+        prob = options.delta->AdjustedProb(l.term, entry.phrase, prob);
+      }
+      const double score = EntryScore(prob, op);
+      l.last_score = score;
+
+      auto it = cands.find(entry.phrase);
+      if (it == cands.end()) {
+        if (!checknew) continue;
+        it = cands.emplace(entry.phrase, Candidate{}).first;
+      }
+      Candidate& cand = it->second;
+      const uint32_t bit = 1u << i;
+      if ((cand.mask & bit) == 0) {
+        cand.mask |= bit;
+        cand.sum += score;
+      }
+      result.peak_candidates = std::max(result.peak_candidates, cands.size());
+
+      if (++reads_since_maintenance >= batch) {
+        reads_since_maintenance = 0;
+        maintenance();
+      }
+    }
+    if (!read_any) break;
+  }
+
+  // --- Result extraction (line 14) -------------------------------------------
+  // Rank by upper bound as the paper prescribes, breaking upper-bound ties
+  // by lower bound (confirmed scores ahead of same-ceiling unconfirmed
+  // ones), then by id. After a full traversal lower == upper for every
+  // surviving candidate, so this is simply rank-by-score.
+  std::vector<std::pair<const PhraseId, Candidate>*> ranked;
+  ranked.reserve(cands.size());
+  for (auto& kv : cands) {
+    if (candidate_upper(kv.second) == kMinusInfinity) continue;  // score 0
+    ranked.push_back(&kv);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](const auto* a, const auto* b) {
+    const double ua = candidate_upper(a->second);
+    const double ub = candidate_upper(b->second);
+    if (ua != ub) return ua > ub;
+    const double la = candidate_lower(a->second);
+    const double lb = candidate_lower(b->second);
+    if (la != lb) return la > lb;
+    return a->first < b->first;
+  });
+  if (ranked.size() > options.k) ranked.resize(options.k);
+  for (const auto* kv : ranked) {
+    const double upper = candidate_upper(kv->second);
+    result.phrases.push_back(MinedPhrase{
+        kv->first, upper, ScoreToInterestingness(upper, op)});
+  }
+
+  if (disk_lists_ != nullptr) {
+    for (const MinedPhrase& p : result.phrases) {
+      disk_lists_->ChargePhraseLookup(p.phrase);
+    }
+  }
+
+  // Traversal-depth statistic (Figure 11): fraction of the *full* lists read.
+  double traversed = 0.0;
+  std::size_t measured = 0;
+  for (const ListState& l : lists) {
+    if (l.full_len == 0) continue;
+    traversed += static_cast<double>(l.pos) / static_cast<double>(l.full_len);
+    ++measured;
+  }
+  result.lists_traversed_fraction =
+      measured == 0 ? 1.0 : traversed / static_cast<double>(measured);
+
+  result.compute_ms = watch.ElapsedMillis();
+  if (disk_lists_ != nullptr) {
+    result.disk_ms = disk_lists_->disk().stats().cost_ms;
+  }
+  return result;
+}
+
+}  // namespace phrasemine

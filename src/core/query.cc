@@ -1,0 +1,52 @@
+#include "core/query.h"
+
+#include <sstream>
+
+namespace phrasemine {
+
+const char* QueryOperatorName(QueryOperator op) {
+  return op == QueryOperator::kAnd ? "AND" : "OR";
+}
+
+Result<Query> Query::Parse(std::string_view text, QueryOperator op,
+                           const Vocabulary& vocab) {
+  Query query;
+  query.op = op;
+  std::istringstream stream{std::string(text)};
+  std::string word;
+  while (stream >> word) {
+    const TermId id = vocab.Lookup(word);
+    if (id == kInvalidTermId) {
+      return Status::NotFound("unknown query term: " + word);
+    }
+    query.terms.push_back(id);
+  }
+  if (query.terms.empty()) {
+    return Status::InvalidArgument("query has no terms");
+  }
+  return query;
+}
+
+std::string Query::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += (op == QueryOperator::kAnd) ? " AND " : " OR ";
+    out += vocab.TermText(terms[i]);
+  }
+  return out;
+}
+
+std::vector<DocId> EvalSubCollection(const Query& query,
+                                     const InvertedIndex& inverted) {
+  std::vector<const std::vector<DocId>*> lists;
+  lists.reserve(query.terms.size());
+  for (TermId t : query.terms) {
+    lists.push_back(&inverted.docs(t));
+  }
+  if (query.op == QueryOperator::kAnd) {
+    return InvertedIndex::Intersect(lists);
+  }
+  return InvertedIndex::Union(lists);
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,44 @@
+#ifndef PHRASEMINE_CORE_QUERY_H_
+#define PHRASEMINE_CORE_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "index/inverted_index.h"
+#include "text/types.h"
+#include "text/vocabulary.h"
+
+namespace phrasemine {
+
+/// Aggregation operator of Eq. 2: D' is the intersection (AND) or the union
+/// (OR) of the per-feature document sets.
+enum class QueryOperator { kAnd, kOr };
+
+/// Renders "AND"/"OR" for reports.
+const char* QueryOperatorName(QueryOperator op);
+
+/// A query Q = [{q1..qr}, O] (Section 3). Terms may be word ids or facet
+/// ids -- both are interned in the same Vocabulary.
+struct Query {
+  std::vector<TermId> terms;
+  QueryOperator op = QueryOperator::kAnd;
+
+  /// Parses a whitespace-separated term string against a vocabulary.
+  /// Fails if any term is unknown (an unknown term selects no documents,
+  /// which the caller should handle explicitly rather than silently).
+  static Result<Query> Parse(std::string_view text, QueryOperator op,
+                             const Vocabulary& vocab);
+
+  /// Renders the query terms for reports.
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// Materializes the sub-collection D' for [D, Q] per Eq. 2.
+std::vector<DocId> EvalSubCollection(const Query& query,
+                                     const InvertedIndex& inverted);
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_CORE_QUERY_H_

@@ -1,0 +1,33 @@
+#include "core/result_filter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace phrasemine {
+
+double QueryOverlapFraction(const Query& query, PhraseId phrase,
+                            const PhraseDictionary& dict) {
+  const std::vector<TermId>& tokens = dict.info(phrase).tokens;
+  if (tokens.empty()) return 0.0;
+  const std::unordered_set<TermId> query_terms(query.terms.begin(),
+                                               query.terms.end());
+  std::size_t overlap = 0;
+  for (TermId t : tokens) {
+    if (query_terms.contains(t)) ++overlap;
+  }
+  return static_cast<double>(overlap) / static_cast<double>(tokens.size());
+}
+
+std::size_t FilterQueryOverlap(const Query& query,
+                               const PhraseDictionary& dict,
+                               const OverlapFilterOptions& options,
+                               MineResult* result) {
+  const std::size_t before = result->phrases.size();
+  std::erase_if(result->phrases, [&](const MinedPhrase& p) {
+    return QueryOverlapFraction(query, p.phrase, dict) >
+           options.max_overlap_fraction;
+  });
+  return before - result->phrases.size();
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,36 @@
+#ifndef PHRASEMINE_CORE_RESULT_FILTER_H_
+#define PHRASEMINE_CORE_RESULT_FILTER_H_
+
+#include "core/miner.h"
+#include "core/query.h"
+#include "phrase/phrase_dictionary.h"
+
+namespace phrasemine {
+
+/// Post-retrieval redundancy filter (Section 5.6): phrases composed largely
+/// of the query's own words carry little new information, so applications
+/// that want purely "discovered" phrases drop results whose lexical overlap
+/// with the query exceeds a threshold.
+struct OverlapFilterOptions {
+  /// Maximum tolerated fraction of a phrase's words that appear in the
+  /// query. 0.0 keeps only phrases fully disjoint from the query; 1.0
+  /// disables the filter. The paper suggests suppressing "results with
+  /// high overlap", so the default rejects phrases that are mostly query
+  /// words.
+  double max_overlap_fraction = 0.5;
+};
+
+/// Fraction of `phrase`'s words that are query terms, in [0, 1].
+double QueryOverlapFraction(const Query& query, PhraseId phrase,
+                            const PhraseDictionary& dict);
+
+/// Removes high-overlap phrases from a mined result in place, preserving
+/// rank order. Returns the number of removed results. Callers wanting a
+/// full top-k after filtering should mine with a larger k and truncate.
+std::size_t FilterQueryOverlap(const Query& query, const PhraseDictionary& dict,
+                               const OverlapFilterOptions& options,
+                               MineResult* result);
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_CORE_RESULT_FILTER_H_

@@ -1,0 +1,48 @@
+#include "core/scoring.h"
+
+namespace phrasemine {
+
+double AndScore(std::span<const double> probs) {
+  double total = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0) return kMinusInfinity;
+    total += std::log(p);
+  }
+  return total;
+}
+
+double OrScore(std::span<const double> probs, OrExpansionOrder order) {
+  switch (order) {
+    case OrExpansionOrder::kFirstOrder: {
+      double total = 0.0;
+      for (double p : probs) total += p;
+      return total;
+    }
+    case OrExpansionOrder::kSecondOrder: {
+      double sum = 0.0;
+      double pair_sum = 0.0;
+      for (std::size_t i = 0; i < probs.size(); ++i) {
+        sum += probs[i];
+        for (std::size_t j = i + 1; j < probs.size(); ++j) {
+          pair_sum += probs[i] * probs[j];
+        }
+      }
+      return sum - pair_sum;
+    }
+    case OrExpansionOrder::kFull: {
+      double none = 1.0;
+      for (double p : probs) none *= (1.0 - p);
+      return 1.0 - none;
+    }
+  }
+  return 0.0;
+}
+
+double ScoreToInterestingness(double score, QueryOperator op) {
+  if (op == QueryOperator::kAnd) {
+    return score == kMinusInfinity ? 0.0 : std::exp(score);
+  }
+  return score < 1.0 ? score : 1.0;
+}
+
+}  // namespace phrasemine

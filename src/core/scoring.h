@@ -1,0 +1,54 @@
+#ifndef PHRASEMINE_CORE_SCORING_H_
+#define PHRASEMINE_CORE_SCORING_H_
+
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "core/query.h"
+
+namespace phrasemine {
+
+/// How many terms of the inclusion-exclusion expansion (Eq. 10/11) the OR
+/// score keeps. The paper's method uses kFirstOrder (Eq. 12); the higher
+/// orders are provided for the ablation study of Section 4.1.3.
+enum class OrExpansionOrder {
+  /// S = sum_i P(qi|p)  -- the paper's formulation (Eq. 12).
+  kFirstOrder,
+  /// S = sum_i P(qi|p) - sum_{i<j} P(qi|p) P(qj|p).
+  kSecondOrder,
+  /// All orders; under independence this telescopes to 1 - prod_i(1-P(qi|p)).
+  kFull,
+};
+
+/// Sentinel for "phrase cannot qualify" (AND query with a zero factor).
+inline constexpr double kMinusInfinity = -std::numeric_limits<double>::infinity();
+
+/// Per-entry score contribution (Algorithm 1 line 7): the raw probability
+/// for OR queries, its natural log for AND queries (Eq. 8). log(0) is mapped
+/// to -infinity, consistent with P(AND|p)=0 when any factor vanishes.
+inline double EntryScore(double prob, QueryOperator op) {
+  if (op == QueryOperator::kOr) return prob;
+  return prob > 0.0 ? std::log(prob) : kMinusInfinity;
+}
+
+/// Combines per-term conditional probabilities into the AND score of Eq. 8.
+double AndScore(std::span<const double> probs);
+
+/// Combines per-term conditional probabilities into the OR score at the
+/// requested expansion order (Eqs. 10-12 under the independence assumption).
+double OrScore(std::span<const double> probs, OrExpansionOrder order);
+
+/// Converts an aggregate score back to an interestingness estimate:
+/// exp(score) for AND (the product of factors), the score itself for OR.
+/// The OR estimate approximates the probability P(∪ q_i | p), so the
+/// first-order sum (which can overshoot when several factors are large) is
+/// clamped to 1.0 -- the attainable maximum of Eq. 1. Ranking is unaffected
+/// (the miners order by the raw aggregate score); only the reported
+/// estimate, compared against the true interestingness in the Table 6
+/// experiment, is clamped.
+double ScoreToInterestingness(double score, QueryOperator op);
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_CORE_SCORING_H_

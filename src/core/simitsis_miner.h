@@ -1,0 +1,39 @@
+#ifndef PHRASEMINE_CORE_SIMITSIS_MINER_H_
+#define PHRASEMINE_CORE_SIMITSIS_MINER_H_
+
+#include "core/miner.h"
+#include "index/inverted_index.h"
+#include "index/phrase_posting_index.h"
+#include "phrase/phrase_dictionary.h"
+
+namespace phrasemine {
+
+/// The two-phase phrase-dictionary baseline of Simitsis et al. [15]
+/// (Section 2, Table 3 row 1). Phase 1 scans phrase posting lists in
+/// decreasing cardinality order, computing |docs(p) ∩ D'| for each, and
+/// stops once remaining lists are shorter than the k-th best intersection
+/// cardinality seen so far (shorter lists cannot beat it on raw frequency).
+/// Phase 2 rescores the retained candidates with the normalized
+/// interestingness of Eq. 1. Because phase 1 filters on raw frequency while
+/// phase 2 ranks by the normalized score, the result is approximate -- the
+/// "disconnect" the paper describes.
+class SimitsisMiner : public Miner {
+ public:
+  /// `num_docs` is |D|, needed by measures that discount by corpus size.
+  SimitsisMiner(const InvertedIndex& inverted,
+                const PhrasePostingIndex& postings,
+                const PhraseDictionary& dict, std::size_t num_docs);
+
+  MineResult Mine(const Query& query, const MineOptions& options) override;
+  std::string_view name() const override { return "Simitsis"; }
+
+ private:
+  const InvertedIndex& inverted_;
+  const PhrasePostingIndex& postings_;
+  const PhraseDictionary& dict_;
+  std::size_t num_docs_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_CORE_SIMITSIS_MINER_H_

@@ -1,0 +1,83 @@
+#include "core/smj_miner.h"
+
+#include <array>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/delta_index.h"
+#include "core/exact_miner.h"
+
+namespace phrasemine {
+
+SmjMiner::SmjMiner(const WordIdOrderedLists& lists,
+                   const PhraseDictionary& dict)
+    : lists_(lists), dict_(dict) {}
+
+MineResult SmjMiner::Mine(const Query& query, const MineOptions& options) {
+  PM_CHECK_MSG(query.terms.size() <= 32, "SMJ supports up to 32 query terms");
+  MineResult result;
+  StopWatch watch;
+
+  const QueryOperator op = query.op;
+  const std::size_t r = query.terms.size();
+  std::vector<std::span<const ListEntry>> lists(r);
+  std::vector<std::size_t> pos(r, 0);
+  for (std::size_t i = 0; i < r; ++i) {
+    lists[i] = lists_.list(query.terms[i]);
+  }
+
+  TopKCollector collector(options.k);
+  std::vector<double> probs;
+  probs.reserve(r);
+  std::size_t distinct = 0;
+
+  for (;;) {
+    // Find the smallest unread phrase id across lists (Alg. 2 line 4);
+    // r is tiny (2-6), so a linear scan beats a heap.
+    PhraseId min_id = kInvalidPhraseId;
+    for (std::size_t i = 0; i < r; ++i) {
+      if (pos[i] < lists[i].size() && lists[i][pos[i]].phrase < min_id) {
+        min_id = lists[i][pos[i]].phrase;
+      }
+    }
+    if (min_id == kInvalidPhraseId) break;  // All lists exhausted.
+
+    // Consume every list entry carrying min_id; collect the per-term
+    // conditional probabilities (absent lists contribute 0).
+    probs.clear();
+    std::size_t present = 0;
+    for (std::size_t i = 0; i < r; ++i) {
+      double p = 0.0;
+      if (pos[i] < lists[i].size() && lists[i][pos[i]].phrase == min_id) {
+        p = lists[i][pos[i]].prob;
+        if (options.delta != nullptr) {
+          p = options.delta->AdjustedProb(query.terms[i], min_id, p);
+        }
+        ++pos[i];
+        ++present;
+        ++result.entries_read;
+      }
+      probs.push_back(p);
+    }
+    ++distinct;
+
+    double score;
+    if (op == QueryOperator::kAnd) {
+      if (present < r) continue;  // A zero factor nullifies an AND product.
+      score = AndScore(probs);
+      if (score == kMinusInfinity) continue;
+    } else {
+      score = OrScore(probs, options.or_order);
+      if (score <= 0.0) continue;
+    }
+    collector.Offer(min_id, score, ScoreToInterestingness(score, op));
+  }
+
+  result.peak_candidates = distinct;
+  result.phrases = collector.Take();
+  result.compute_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace phrasemine

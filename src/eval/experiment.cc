@@ -1,0 +1,70 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace phrasemine {
+
+double TrueInterestingness(MiningEngine& engine, PhraseId phrase,
+                           const std::vector<DocId>& subset) {
+  const std::span<const DocId> docs = engine.postings().docs(phrase);
+  if (docs.empty()) return 0.0;
+  const std::size_t inter = InvertedIndex::IntersectSize(docs, subset);
+  return static_cast<double>(inter) / static_cast<double>(docs.size());
+}
+
+AggregateRun RunExperiment(MiningEngine& engine,
+                           std::span<const Query> queries, QueryOperator op,
+                           Algorithm algorithm, const MineOptions& options,
+                           bool evaluate_quality) {
+  AggregateRun agg;
+  double diff_sum = 0.0;
+  std::size_t diff_count = 0;
+
+  for (const Query& base : queries) {
+    Query query = base;
+    query.op = op;
+
+    MineResult run = engine.Mine(query, algorithm, options);
+    agg.avg_compute_ms += run.compute_ms;
+    agg.avg_disk_ms += run.disk_ms;
+    agg.avg_total_ms += run.TotalMs();
+    agg.avg_traversed_fraction += run.lists_traversed_fraction;
+    agg.avg_entries_read += static_cast<double>(run.entries_read);
+    ++agg.num_queries;
+
+    if (!evaluate_quality) continue;
+
+    MineResult truth = engine.Mine(query, Algorithm::kExact, options);
+    std::unordered_set<PhraseId> relevant;
+    for (const MinedPhrase& p : truth.phrases) relevant.insert(p.phrase);
+
+    // Paper rule: a result with true interestingness 1.0 also counts as
+    // correct even when outside the exact top-k (ties at the maximum).
+    const std::vector<DocId> subset = EvalSubCollection(query, engine.inverted());
+    std::vector<PhraseId> retrieved;
+    for (const MinedPhrase& p : run.phrases) {
+      retrieved.push_back(p.phrase);
+      const double true_score = TrueInterestingness(engine, p.phrase, subset);
+      if (true_score >= 1.0) relevant.insert(p.phrase);
+      diff_sum += std::abs(p.interestingness - true_score);
+      ++diff_count;
+    }
+    agg.quality += ComputeQuality(retrieved, relevant, options.k);
+  }
+
+  const double n = static_cast<double>(agg.num_queries == 0 ? 1 : agg.num_queries);
+  agg.avg_compute_ms /= n;
+  agg.avg_disk_ms /= n;
+  agg.avg_total_ms /= n;
+  agg.avg_traversed_fraction /= n;
+  agg.avg_entries_read /= n;
+  if (evaluate_quality) {
+    agg.quality = agg.quality / n;
+    agg.mean_interestingness_diff =
+        diff_count == 0 ? 0.0 : diff_sum / static_cast<double>(diff_count);
+  }
+  return agg;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,50 @@
+#ifndef PHRASEMINE_EVAL_EXPERIMENT_H_
+#define PHRASEMINE_EVAL_EXPERIMENT_H_
+
+#include <span>
+#include <vector>
+
+#include "core/engine.h"
+#include "eval/metrics.h"
+
+namespace phrasemine {
+
+/// Aggregated outcome of running one algorithm configuration over a query
+/// workload; everything the Section 5 figures and tables report.
+struct AggregateRun {
+  /// Averaged rank-quality vs the exact results (Figures 5/6); only filled
+  /// when quality evaluation was requested.
+  QualityMetrics quality;
+  /// Mean |estimated - true| interestingness over result phrases (Table 6).
+  double mean_interestingness_diff = 0.0;
+
+  double avg_compute_ms = 0.0;
+  double avg_disk_ms = 0.0;
+  double avg_total_ms = 0.0;  ///< compute + charged disk (Figures 7-10, 12, 13)
+
+  /// Average fraction of lists traversed (Figure 11, NRA only).
+  double avg_traversed_fraction = 0.0;
+  double avg_entries_read = 0.0;
+
+  std::size_t num_queries = 0;
+};
+
+/// True interestingness I_D(p, D') of Eq. 1, computed from the phrase
+/// posting index: |docs(p) ∩ D'| / |docs(p)|. `subset` must be sorted.
+double TrueInterestingness(MiningEngine& engine, PhraseId phrase,
+                           const std::vector<DocId>& subset);
+
+/// Runs `algorithm` over every query (with the given operator applied) and
+/// aggregates timings; when `evaluate_quality` is set, also runs the exact
+/// miner per query and scores the approximation against it using the
+/// paper's correctness rule (Section 5.3): a retrieved phrase is correct if
+/// it is in the exact top-k or its true interestingness is 1.0 (the
+/// achievable maximum).
+AggregateRun RunExperiment(MiningEngine& engine,
+                           std::span<const Query> queries, QueryOperator op,
+                           Algorithm algorithm, const MineOptions& options,
+                           bool evaluate_quality);
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_EVAL_EXPERIMENT_H_

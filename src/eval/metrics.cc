@@ -1,0 +1,55 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phrasemine {
+
+QualityMetrics& QualityMetrics::operator+=(const QualityMetrics& other) {
+  precision += other.precision;
+  mrr += other.mrr;
+  map += other.map;
+  ndcg += other.ndcg;
+  return *this;
+}
+
+QualityMetrics QualityMetrics::operator/(double divisor) const {
+  return QualityMetrics{precision / divisor, mrr / divisor, map / divisor,
+                        ndcg / divisor};
+}
+
+QualityMetrics ComputeQuality(const std::vector<PhraseId>& retrieved,
+                              const std::unordered_set<PhraseId>& relevant,
+                              std::size_t k) {
+  QualityMetrics m;
+  if (k == 0 || relevant.empty()) return m;
+
+  const std::size_t depth = std::min(retrieved.size(), k);
+  std::size_t hits = 0;
+  double ap_sum = 0.0;
+  double dcg = 0.0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    if (!relevant.contains(retrieved[i])) continue;
+    ++hits;
+    if (m.mrr == 0.0) {
+      m.mrr = 1.0 / static_cast<double>(i + 1);
+    }
+    ap_sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    dcg += 1.0 / std::log2(static_cast<double>(i + 2));
+  }
+
+  m.precision = static_cast<double>(hits) / static_cast<double>(k);
+
+  const std::size_t ideal_hits = std::min(k, relevant.size());
+  if (hits > 0) {
+    m.map = ap_sum / static_cast<double>(std::min(ideal_hits, depth));
+  }
+  double ideal_dcg = 0.0;
+  for (std::size_t i = 0; i < ideal_hits; ++i) {
+    ideal_dcg += 1.0 / std::log2(static_cast<double>(i + 2));
+  }
+  if (ideal_dcg > 0.0) m.ndcg = dcg / ideal_dcg;
+  return m;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,35 @@
+#ifndef PHRASEMINE_EVAL_METRICS_H_
+#define PHRASEMINE_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "text/types.h"
+
+namespace phrasemine {
+
+/// The four rank-quality measures of Section 5.2, computed over binary
+/// relevance. All lie in [0, 1]; 1.0 is perfect agreement with the
+/// reference results.
+struct QualityMetrics {
+  double precision = 0.0;  ///< Fraction of retrieved results that are correct.
+  double mrr = 0.0;        ///< Reciprocal rank of the first correct result.
+  double map = 0.0;        ///< Average precision over correct positions.
+  double ndcg = 0.0;       ///< Normalized discounted cumulative gain.
+
+  /// Element-wise accumulation helpers for averaging across queries.
+  QualityMetrics& operator+=(const QualityMetrics& other);
+  QualityMetrics operator/(double divisor) const;
+};
+
+/// Scores a retrieved ranking against a set of relevant ids. `k` is the
+/// retrieval depth (top-k); rankings shorter than k are treated as-is.
+/// The ideal DCG normalizer uses min(k, |relevant|) leading relevant slots.
+QualityMetrics ComputeQuality(const std::vector<PhraseId>& retrieved,
+                              const std::unordered_set<PhraseId>& relevant,
+                              std::size_t k);
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_EVAL_METRICS_H_

@@ -1,0 +1,133 @@
+#include "eval/query_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace phrasemine {
+
+QuerySetGenerator::QuerySetGenerator(QueryGenOptions options)
+    : options_(options) {}
+
+std::vector<Query> QuerySetGenerator::Generate(
+    const PhraseDictionary& dict, const InvertedIndex& inverted,
+    std::size_t num_docs) const {
+  const uint32_t max_term_df =
+      num_docs == 0 ? UINT32_MAX
+                    : static_cast<uint32_t>(options_.max_term_df_fraction *
+                                            static_cast<double>(num_docs));
+  // Candidate phrases: multi-word, sorted by df desc so we harvest from the
+  // most frequent ones first (the paper picks frequent phrases).
+  std::vector<PhraseId> candidates;
+  for (PhraseId p = 0; p < dict.size(); ++p) {
+    if (dict.info(p).tokens.size() >= 2) candidates.push_back(p);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](PhraseId a, PhraseId b) {
+    if (dict.df(a) != dict.df(b)) return dict.df(a) > dict.df(b);
+    return a < b;
+  });
+
+  Rng rng(options_.seed);
+  std::vector<Query> queries;
+  std::set<std::vector<TermId>> seen;
+
+  // Desired word-count per query, in production order: the long queries
+  // first, then 2-4 word queries.
+  std::vector<std::size_t> wanted_lengths;
+  for (std::size_t i = 0; i < options_.num_six_word; ++i)
+    wanted_lengths.push_back(6);
+  for (std::size_t i = 0; i < options_.num_five_word; ++i)
+    wanted_lengths.push_back(5);
+  while (wanted_lengths.size() < options_.num_queries) {
+    wanted_lengths.push_back(2 + rng.NextBelow(3));  // 2..4 words
+  }
+
+  // A term set of size L is assembled from one or two frequent phrases'
+  // words. Skim candidates in frequency order with a random stride so the
+  // workload is not just the top-|Q| phrases.
+  std::size_t cursor = 0;
+  auto next_candidate = [&]() -> PhraseId {
+    if (candidates.empty()) return kInvalidPhraseId;
+    const PhraseId p = candidates[cursor % candidates.size()];
+    cursor += 1 + rng.NextBelow(3);
+    return p;
+  };
+
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = options_.num_queries * 200 + 1000;
+  for (std::size_t qi = 0;
+       qi < wanted_lengths.size() && attempts < max_attempts;) {
+    ++attempts;
+    const std::size_t want = wanted_lengths[qi];
+    const PhraseId seed_phrase = next_candidate();
+    if (seed_phrase == kInvalidPhraseId) break;
+
+    // Harvest mid-frequency words from the seed phrase (and further
+    // phrases when it is too short), requiring pairwise document
+    // co-occurrence with the words picked so far. This mirrors the paper's
+    // harvesting: query words come from frequent corpus phrases -- and are
+    // therefore strongly mutually correlated, the regime the independence
+    // assumption of Section 4.1.1 is designed for -- while the frequency
+    // cap keeps ubiquitous near-stopwords out (nobody queries for those).
+    std::vector<TermId> terms;
+    std::unordered_set<TermId> used;
+    auto absorb = [&](PhraseId p) {
+      for (TermId t : dict.info(p).tokens) {
+        if (terms.size() >= want) return;
+        if (inverted.df(t) < options_.min_term_df) continue;
+        if (inverted.df(t) > max_term_df) continue;
+        if (used.contains(t)) continue;
+        bool coherent = true;
+        for (TermId prev : terms) {
+          if (InvertedIndex::IntersectSize(inverted.docs(prev),
+                                           inverted.docs(t)) <
+              options_.min_pairwise_codf) {
+            coherent = false;
+            break;
+          }
+        }
+        if (!coherent) continue;
+        used.insert(t);
+        terms.push_back(t);
+      }
+    };
+    absorb(seed_phrase);
+    for (int extra = 0; terms.size() < want && extra < 24; ++extra) {
+      absorb(next_candidate());
+    }
+    if (terms.size() < want) continue;
+
+    // The same query set serves AND and OR experiments, so the conjunction
+    // must select a workable sub-collection (the paper required "at least a
+    // dozen matches" when curating its Pubmed workload).
+    {
+      std::vector<const std::vector<DocId>*> lists;
+      for (TermId t : terms) lists.push_back(&inverted.docs(t));
+      if (InvertedIndex::Intersect(lists).size() <
+          options_.min_and_matches) {
+        continue;
+      }
+    }
+
+    std::vector<TermId> key = terms;
+    std::sort(key.begin(), key.end());
+    if (!seen.insert(key).second) continue;
+
+    Query q;
+    q.terms = std::move(terms);
+    q.op = QueryOperator::kAnd;
+    queries.push_back(std::move(q));
+    ++qi;
+  }
+  return queries;
+}
+
+std::vector<Query> WithOperator(std::vector<Query> queries,
+                                QueryOperator op) {
+  for (Query& q : queries) q.op = op;
+  return queries;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,64 @@
+#ifndef PHRASEMINE_EVAL_QUERY_GEN_H_
+#define PHRASEMINE_EVAL_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "index/inverted_index.h"
+#include "phrase/phrase_dictionary.h"
+
+namespace phrasemine {
+
+/// Workload-generation knobs. The defaults reproduce the paper's Reuters
+/// query set shape (Section 5.1): 100 queries harvested from frequent
+/// phrases, two 6-word and two 5-word queries, the rest 2-4 words.
+struct QueryGenOptions {
+  uint64_t seed = 7;
+  std::size_t num_queries = 100;
+  std::size_t num_six_word = 2;
+  std::size_t num_five_word = 2;
+  /// Minimum document frequency for a term to be usable in a query (avoids
+  /// degenerate one-document features).
+  uint32_t min_term_df = 12;
+  /// Maximum document frequency for a query term, as a fraction of the
+  /// corpus. Near-ubiquitous words make P(q|p) = 1 for every phrase --
+  /// nobody queries for stopwords -- so the workload sticks to
+  /// mid-frequency keywords like the paper's "trade" or "protein".
+  double max_term_df_fraction = 0.10;
+  /// Minimum pairwise document co-occurrence between any two query words:
+  /// keeps the keyword set topically coherent without requiring the words
+  /// to form a contiguous corpus phrase.
+  uint32_t min_pairwise_codf = 6;
+  /// Minimum size of the AND sub-collection for the query to be accepted
+  /// (the paper curated its Pubmed workload to "at least a dozen matches").
+  std::size_t min_and_matches = 6;
+};
+
+/// Harvests query term-sets from the corpus's frequent phrases, as the
+/// paper does: the words of a frequent multi-word phrase become the query
+/// terms, guaranteeing that AND sub-collections are non-empty and that
+/// strong phrase-query correlations exist. The produced queries carry term
+/// ids only; the caller picks the operator per experiment (the paper runs
+/// the same set under both AND and OR).
+class QuerySetGenerator {
+ public:
+  explicit QuerySetGenerator(QueryGenOptions options = {});
+
+  /// Generates `options.num_queries` distinct term-sets. `num_docs` (the
+  /// corpus size) anchors the max_term_df_fraction cutoff; passing 0
+  /// disables the cap.
+  std::vector<Query> Generate(const PhraseDictionary& dict,
+                              const InvertedIndex& inverted,
+                              std::size_t num_docs = 0) const;
+
+ private:
+  QueryGenOptions options_;
+};
+
+/// Copies a query set with the operator switched (harness convenience).
+std::vector<Query> WithOperator(std::vector<Query> queries, QueryOperator op);
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_EVAL_QUERY_GEN_H_

@@ -1,0 +1,114 @@
+#include "index/forward_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+std::vector<PhraseId> CollectDocPhrases(std::span<const TermId> tokens,
+                                        const PhraseDictionary& dict) {
+  std::vector<PhraseId> ids;
+  const std::size_t max_len = std::max<std::size_t>(dict.max_len(), 1);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    PhraseId id = dict.Unigram(tokens[i]);
+    std::size_t len = 1;
+    while (id != kInvalidPhraseId) {
+      ids.push_back(id);
+      if (len >= max_len || i + len >= tokens.size()) break;
+      id = dict.Child(id, tokens[i + len]);
+      ++len;
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+ForwardIndex ForwardIndex::Build(const Corpus& corpus,
+                                 const PhraseDictionary& dict,
+                                 ForwardStorage storage) {
+  ForwardIndex index;
+  index.storage_ = storage;
+  index.offsets_.reserve(corpus.size() + 1);
+  index.offsets_.push_back(0);
+
+  // Scratch set of phrases that are a direct parent of another phrase in the
+  // same document; only used in compressed mode.
+  std::unordered_set<PhraseId> implied;
+
+  for (DocId d = 0; d < corpus.size(); ++d) {
+    std::vector<PhraseId> ids = CollectDocPhrases(corpus.doc(d).tokens, dict);
+    if (storage == ForwardStorage::kPrefixCompressed) {
+      implied.clear();
+      for (PhraseId id : ids) {
+        const PhraseId parent = dict.info(id).parent;
+        if (parent != kInvalidPhraseId) implied.insert(parent);
+      }
+      std::erase_if(ids, [&](PhraseId id) { return implied.contains(id); });
+    }
+    index.values_.insert(index.values_.end(), ids.begin(), ids.end());
+    index.offsets_.push_back(index.values_.size());
+  }
+  return index;
+}
+
+std::span<const PhraseId> ForwardIndex::stored(DocId d) const {
+  PM_CHECK(d + 1 < offsets_.size());
+  return {values_.data() + offsets_[d],
+          values_.data() + offsets_[d + 1]};
+}
+
+std::vector<PhraseId> ForwardIndex::Phrases(DocId d,
+                                            const PhraseDictionary& dict) const {
+  std::span<const PhraseId> base = stored(d);
+  std::vector<PhraseId> ids(base.begin(), base.end());
+  if (storage_ == ForwardStorage::kPrefixCompressed) {
+    // Expand implied prefixes by walking parent chains; dedupe at the end.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      PhraseId parent = dict.info(ids[i]).parent;
+      while (parent != kInvalidPhraseId) {
+        ids.push_back(parent);
+        parent = dict.info(parent).parent;
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  return ids;
+}
+
+void ForwardIndex::Serialize(BinaryWriter* writer) const {
+  writer->PutU8(storage_ == ForwardStorage::kPrefixCompressed ? 1 : 0);
+  writer->PutU32(static_cast<uint32_t>(num_docs()));
+  writer->PutU64(values_.size());
+  for (uint64_t off : offsets_) writer->PutU64(off);
+  writer->PutRaw(values_.data(), values_.size() * sizeof(PhraseId));
+}
+
+Result<ForwardIndex> ForwardIndex::Deserialize(BinaryReader* reader) {
+  uint8_t compressed = 0;
+  uint32_t num_docs = 0;
+  uint64_t num_values = 0;
+  Status s = reader->GetU8(&compressed);
+  if (!s.ok()) return s;
+  s = reader->GetU32(&num_docs);
+  if (!s.ok()) return s;
+  s = reader->GetU64(&num_values);
+  if (!s.ok()) return s;
+  ForwardIndex index;
+  index.storage_ = compressed != 0 ? ForwardStorage::kPrefixCompressed
+                                   : ForwardStorage::kFull;
+  index.offsets_.resize(static_cast<std::size_t>(num_docs) + 1);
+  for (uint64_t& off : index.offsets_) {
+    s = reader->GetU64(&off);
+    if (!s.ok()) return s;
+  }
+  index.values_.resize(static_cast<std::size_t>(num_values));
+  s = reader->GetRaw(index.values_.data(), index.values_.size() * sizeof(PhraseId));
+  if (!s.ok()) return s;
+  return index;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,75 @@
+#ifndef PHRASEMINE_INDEX_FORWARD_INDEX_H_
+#define PHRASEMINE_INDEX_FORWARD_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/io_util.h"
+#include "common/status.h"
+#include "phrase/phrase_dictionary.h"
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace phrasemine {
+
+/// Storage policy for per-document phrase lists (Section 2, Table 3).
+enum class ForwardStorage {
+  /// One entry per distinct phrase in the document (Bedathur et al. [2]
+  /// without optimizations).
+  kFull,
+  /// Store only phrases that are not the prefix of another stored phrase of
+  /// the same document; prefixes are implied and reconstructed by walking
+  /// the phrase dictionary's parent chain. This is the storage optimization
+  /// of [2]/[8] and what our GM baseline operates on.
+  kPrefixCompressed,
+};
+
+/// Document -> phrase-id forward lists in CSR layout. The lists realize
+/// "(Phrases in d) ∩ P" from Table 3 and are the index the exact baselines
+/// (GM / Bedathur-style) traverse for every document of D'.
+class ForwardIndex {
+ public:
+  ForwardIndex() = default;
+
+  ForwardIndex(ForwardIndex&&) = default;
+  ForwardIndex& operator=(ForwardIndex&&) = default;
+  ForwardIndex(const ForwardIndex&) = delete;
+  ForwardIndex& operator=(const ForwardIndex&) = delete;
+
+  /// Builds forward lists for every document.
+  static ForwardIndex Build(const Corpus& corpus, const PhraseDictionary& dict,
+                            ForwardStorage storage = ForwardStorage::kFull);
+
+  /// The stored (possibly prefix-compressed) sorted phrase list of doc d.
+  std::span<const PhraseId> stored(DocId d) const;
+
+  /// The full distinct phrase set of doc d, expanding implied prefixes when
+  /// the index is prefix-compressed. Returns a sorted vector.
+  std::vector<PhraseId> Phrases(DocId d, const PhraseDictionary& dict) const;
+
+  ForwardStorage storage() const { return storage_; }
+  std::size_t num_docs() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Total stored entries across all documents (index-size accounting).
+  std::size_t TotalStoredEntries() const { return values_.size(); }
+
+  /// Serialization to/from the library's binary format.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<ForwardIndex> Deserialize(BinaryReader* reader);
+
+ private:
+  ForwardStorage storage_ = ForwardStorage::kFull;
+  std::vector<uint64_t> offsets_;  // num_docs + 1 entries.
+  std::vector<PhraseId> values_;
+};
+
+/// Computes the sorted set of distinct phrases occurring in a token
+/// sequence, by walking the dictionary's child map from every position.
+/// Exposed for reuse by the delta index and tests.
+std::vector<PhraseId> CollectDocPhrases(std::span<const TermId> tokens,
+                                        const PhraseDictionary& dict);
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_INDEX_FORWARD_INDEX_H_

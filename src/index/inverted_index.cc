@@ -1,0 +1,106 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+InvertedIndex InvertedIndex::Build(const Corpus& corpus) {
+  InvertedIndex index;
+  index.postings_.resize(corpus.vocab().size());
+  for (DocId d = 0; d < corpus.size(); ++d) {
+    const Document& doc = corpus.doc(d);
+    auto add = [&](TermId t) {
+      PM_CHECK(t < index.postings_.size());
+      std::vector<DocId>& list = index.postings_[t];
+      if (list.empty() || list.back() != d) list.push_back(d);
+    };
+    for (TermId t : doc.tokens) add(t);
+    for (TermId t : doc.facets) add(t);
+  }
+  return index;
+}
+
+const std::vector<DocId>& InvertedIndex::docs(TermId term) const {
+  if (term >= postings_.size()) return empty_;
+  return postings_[term];
+}
+
+std::vector<DocId> InvertedIndex::Intersect(
+    const std::vector<const std::vector<DocId>*>& lists) {
+  if (lists.empty()) return {};
+  std::vector<const std::vector<DocId>*> sorted = lists;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<DocId> result = *sorted[0];
+  for (std::size_t i = 1; i < sorted.size() && !result.empty(); ++i) {
+    const std::vector<DocId>& other = *sorted[i];
+    std::vector<DocId> next;
+    next.reserve(result.size());
+    auto it = other.begin();
+    for (DocId d : result) {
+      it = std::lower_bound(it, other.end(), d);
+      if (it == other.end()) break;
+      if (*it == d) next.push_back(d);
+    }
+    result = std::move(next);
+  }
+  return result;
+}
+
+std::vector<DocId> InvertedIndex::Union(
+    const std::vector<const std::vector<DocId>*>& lists) {
+  std::vector<DocId> result;
+  for (const std::vector<DocId>* list : lists) {
+    if (list->empty()) continue;
+    if (result.empty()) {
+      result = *list;
+      continue;
+    }
+    std::vector<DocId> merged;
+    merged.reserve(result.size() + list->size());
+    std::set_union(result.begin(), result.end(), list->begin(), list->end(),
+                   std::back_inserter(merged));
+    result = std::move(merged);
+  }
+  return result;
+}
+
+std::size_t InvertedIndex::IntersectSize(std::span<const DocId> a,
+                                         std::span<const DocId> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::size_t count = 0;
+  auto it = b.begin();
+  for (DocId d : a) {
+    it = std::lower_bound(it, b.end(), d);
+    if (it == b.end()) break;
+    if (*it == d) {
+      ++count;
+      ++it;
+    }
+  }
+  return count;
+}
+
+void InvertedIndex::Serialize(BinaryWriter* writer) const {
+  writer->PutU32(static_cast<uint32_t>(postings_.size()));
+  for (const std::vector<DocId>& list : postings_) {
+    writer->PutU32Vector(list);
+  }
+}
+
+Result<InvertedIndex> InvertedIndex::Deserialize(BinaryReader* reader) {
+  uint32_t n = 0;
+  Status s = reader->GetU32(&n);
+  if (!s.ok()) return s;
+  InvertedIndex index;
+  index.postings_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    s = reader->GetU32Vector(&index.postings_[i]);
+    if (!s.ok()) return s;
+  }
+  return index;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,64 @@
+#ifndef PHRASEMINE_INDEX_INVERTED_INDEX_H_
+#define PHRASEMINE_INDEX_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "common/io_util.h"
+#include "common/status.h"
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace phrasemine {
+
+/// Classic word -> sorted document-id postings over words *and* facets.
+/// This realizes docs(D, q) from Eq. 2 of the paper and is the substrate
+/// every mining algorithm uses to materialize the sub-collection D'.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  /// Builds the index over all tokens and facet terms of the corpus.
+  static InvertedIndex Build(const Corpus& corpus);
+
+  /// Sorted, duplicate-free posting list for a term. Terms with no postings
+  /// (or ids beyond the vocabulary) yield an empty list.
+  const std::vector<DocId>& docs(TermId term) const;
+
+  /// Document frequency |docs(D, q)|.
+  uint32_t df(TermId term) const {
+    return static_cast<uint32_t>(docs(term).size());
+  }
+
+  std::size_t num_terms() const { return postings_.size(); }
+
+  /// Intersection of several sorted doc lists (the AND aggregation of
+  /// Eq. 2). Lists are processed smallest-first with galloping probes.
+  static std::vector<DocId> Intersect(
+      const std::vector<const std::vector<DocId>*>& lists);
+
+  /// Union of several sorted doc lists (the OR aggregation of Eq. 2).
+  static std::vector<DocId> Union(
+      const std::vector<const std::vector<DocId>*>& lists);
+
+  /// |a ∩ b| for two sorted doc lists, without materializing the result.
+  static std::size_t IntersectSize(std::span<const DocId> a,
+                                   std::span<const DocId> b);
+
+  /// Serialization to/from the library's binary format.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<InvertedIndex> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<std::vector<DocId>> postings_;
+  std::vector<DocId> empty_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_INDEX_INVERTED_INDEX_H_

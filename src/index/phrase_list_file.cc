@@ -1,0 +1,64 @@
+#include "index/phrase_list_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+PhraseListFile PhraseListFile::Build(const PhraseDictionary& dict,
+                                     const Vocabulary& vocab,
+                                     std::size_t slot_size) {
+  PM_CHECK(slot_size >= 1);
+  PhraseListFile file;
+  file.slot_size_ = slot_size;
+  file.bytes_.assign(dict.size() * slot_size, 0);
+  for (PhraseId id = 0; id < dict.size(); ++id) {
+    const std::string text = dict.Text(id, vocab);
+    const std::size_t n = std::min(text.size(), slot_size);
+    if (text.size() > slot_size) ++file.truncated_;
+    std::memcpy(file.bytes_.data() + file.SlotOffset(id), text.data(), n);
+  }
+  return file;
+}
+
+std::string PhraseListFile::Text(PhraseId id) const {
+  PM_CHECK(id < num_phrases());
+  const uint8_t* slot = bytes_.data() + SlotOffset(id);
+  std::size_t len = 0;
+  while (len < slot_size_ && slot[len] != 0) ++len;
+  return std::string(reinterpret_cast<const char*>(slot), len);
+}
+
+void PhraseListFile::Serialize(BinaryWriter* writer) const {
+  writer->PutU32(static_cast<uint32_t>(slot_size_));
+  writer->PutU64(truncated_);
+  writer->PutU64(bytes_.size());
+  writer->PutRaw(bytes_.data(), bytes_.size());
+}
+
+Result<PhraseListFile> PhraseListFile::Deserialize(BinaryReader* reader) {
+  uint32_t slot_size = 0;
+  uint64_t truncated = 0;
+  uint64_t num_bytes = 0;
+  Status s = reader->GetU32(&slot_size);
+  if (!s.ok()) return s;
+  s = reader->GetU64(&truncated);
+  if (!s.ok()) return s;
+  s = reader->GetU64(&num_bytes);
+  if (!s.ok()) return s;
+  if (slot_size == 0) return Status::Corruption("zero slot size");
+  if (num_bytes % slot_size != 0) {
+    return Status::Corruption("phrase list byte count not slot-aligned");
+  }
+  PhraseListFile file;
+  file.slot_size_ = slot_size;
+  file.truncated_ = static_cast<std::size_t>(truncated);
+  file.bytes_.resize(static_cast<std::size_t>(num_bytes));
+  s = reader->GetRaw(file.bytes_.data(), file.bytes_.size());
+  if (!s.ok()) return s;
+  return file;
+}
+
+}  // namespace phrasemine

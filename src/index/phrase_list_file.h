@@ -1,0 +1,60 @@
+#ifndef PHRASEMINE_INDEX_PHRASE_LIST_FILE_H_
+#define PHRASEMINE_INDEX_PHRASE_LIST_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/io_util.h"
+#include "common/status.h"
+#include "phrase/phrase_dictionary.h"
+#include "text/types.h"
+#include "text/vocabulary.h"
+
+namespace phrasemine {
+
+/// The phrase list of Section 4.2.1 / Figure 1: the lexical representation
+/// of every phrase in P stored in fixed-size slots of `slot_size` bytes
+/// (paper default s = 50), zero-padded, with the slot position serving as
+/// the phrase ID. Finding phrase i means reading bytes
+/// [(i-1)*s+1, i*s] -- here, the 0-based equivalent [i*s, (i+1)*s).
+class PhraseListFile {
+ public:
+  /// Paper's slot size: 50 bytes covered every phrase they encountered.
+  static constexpr std::size_t kDefaultSlotSize = 50;
+
+  PhraseListFile() = default;
+
+  /// Builds the slot file from a dictionary. Phrases longer than the slot
+  /// are truncated (and counted in truncated_count()) rather than rejected,
+  /// so slot sizing is observable by callers.
+  static PhraseListFile Build(const PhraseDictionary& dict,
+                              const Vocabulary& vocab,
+                              std::size_t slot_size = kDefaultSlotSize);
+
+  /// The lexical form of phrase `id` (zero padding stripped).
+  std::string Text(PhraseId id) const;
+
+  /// Byte offset of the slot for phrase `id` (the Figure 1 calculation).
+  std::size_t SlotOffset(PhraseId id) const { return id * slot_size_; }
+
+  std::size_t slot_size() const { return slot_size_; }
+  std::size_t num_phrases() const {
+    return slot_size_ == 0 ? 0 : bytes_.size() / slot_size_;
+  }
+  std::size_t SizeBytes() const { return bytes_.size(); }
+  std::size_t truncated_count() const { return truncated_; }
+
+  /// Serialization to/from the library's binary format.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<PhraseListFile> Deserialize(BinaryReader* reader);
+
+ private:
+  std::size_t slot_size_ = kDefaultSlotSize;
+  std::size_t truncated_ = 0;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_INDEX_PHRASE_LIST_FILE_H_

@@ -1,0 +1,49 @@
+#ifndef PHRASEMINE_INDEX_PHRASE_POSTING_INDEX_H_
+#define PHRASEMINE_INDEX_PHRASE_POSTING_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "index/forward_index.h"
+#include "phrase/phrase_dictionary.h"
+#include "text/types.h"
+
+namespace phrasemine {
+
+/// Phrase -> sorted document-id postings, with phrases additionally ordered
+/// by decreasing posting-list cardinality. This is the index layout of
+/// Simitsis et al. [15] (Table 3, row 1): one list per phrase, most abundant
+/// phrase first, so the first-phase filter can stop once remaining lists are
+/// shorter than an already-achieved intersection cardinality.
+class PhrasePostingIndex {
+ public:
+  PhrasePostingIndex() = default;
+
+  PhrasePostingIndex(PhrasePostingIndex&&) = default;
+  PhrasePostingIndex& operator=(PhrasePostingIndex&&) = default;
+  PhrasePostingIndex(const PhrasePostingIndex&) = delete;
+  PhrasePostingIndex& operator=(const PhrasePostingIndex&) = delete;
+
+  /// Inverts a forward index into phrase postings.
+  static PhrasePostingIndex Build(const ForwardIndex& forward,
+                                  const PhraseDictionary& dict);
+
+  /// Sorted doc list of a phrase.
+  std::span<const DocId> docs(PhraseId p) const;
+
+  /// Phrase ids sorted by decreasing |docs(p)| (ties by increasing id).
+  const std::vector<PhraseId>& by_cardinality() const { return by_cardinality_; }
+
+  std::size_t num_phrases() const { return postings_.size(); }
+
+  /// Total posting entries (index-size accounting).
+  std::size_t TotalEntries() const;
+
+ private:
+  std::vector<std::vector<DocId>> postings_;
+  std::vector<PhraseId> by_cardinality_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_INDEX_PHRASE_POSTING_INDEX_H_

@@ -1,0 +1,180 @@
+#include "index/word_lists.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+namespace {
+
+/// Builds the score-ordered list for one term: count phrase co-occurrences
+/// over docs(term), normalize by df(p), sort by (prob desc, id asc).
+std::vector<ListEntry> BuildOneList(const InvertedIndex& inverted,
+                                    const ForwardIndex& forward,
+                                    const PhraseDictionary& dict,
+                                    TermId term,
+                                    std::unordered_map<PhraseId, uint32_t>*
+                                        scratch_counts) {
+  scratch_counts->clear();
+  for (DocId d : inverted.docs(term)) {
+    for (PhraseId p : forward.Phrases(d, dict)) {
+      ++(*scratch_counts)[p];
+    }
+  }
+  std::vector<ListEntry> list;
+  list.reserve(scratch_counts->size());
+  for (const auto& [phrase, count] : *scratch_counts) {
+    const uint32_t df = dict.df(phrase);
+    PM_CHECK_MSG(count <= df, "co-occurrence count exceeds phrase df");
+    if (count == 0) continue;  // Zero scores are omitted (Section 4.2.2).
+    list.push_back(ListEntry{phrase, static_cast<double>(count) / df});
+  }
+  std::sort(list.begin(), list.end(), [](const ListEntry& a, const ListEntry& b) {
+    if (a.prob != b.prob) return a.prob > b.prob;
+    return a.phrase < b.phrase;
+  });
+  return list;
+}
+
+}  // namespace
+
+WordScoreLists WordScoreLists::Build(const InvertedIndex& inverted,
+                                     const ForwardIndex& forward,
+                                     const PhraseDictionary& dict,
+                                     std::span<const TermId> terms) {
+  WordScoreLists result;
+  std::unordered_map<PhraseId, uint32_t> scratch;
+  for (TermId t : terms) {
+    if (result.lists_.contains(t)) continue;
+    result.lists_.emplace(t,
+                          BuildOneList(inverted, forward, dict, t, &scratch));
+  }
+  return result;
+}
+
+WordScoreLists WordScoreLists::BuildAll(const InvertedIndex& inverted,
+                                        const ForwardIndex& forward,
+                                        const PhraseDictionary& dict,
+                                        uint32_t min_term_df) {
+  WordScoreLists result;
+  std::unordered_map<PhraseId, uint32_t> scratch;
+  for (TermId t = 0; t < inverted.num_terms(); ++t) {
+    if (inverted.df(t) < min_term_df) continue;
+    result.lists_.emplace(t,
+                          BuildOneList(inverted, forward, dict, t, &scratch));
+  }
+  return result;
+}
+
+std::span<const ListEntry> WordScoreLists::list(TermId term) const {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) return {};
+  return it->second;
+}
+
+std::span<const ListEntry> WordScoreLists::Partial(TermId term,
+                                                   double fraction) const {
+  std::span<const ListEntry> full = list(term);
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const std::size_t n = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(full.size())));
+  return full.subspan(0, n);
+}
+
+std::size_t WordScoreLists::TotalEntries() const {
+  std::size_t total = 0;
+  for (const auto& [term, list] : lists_) total += list.size();
+  return total;
+}
+
+std::size_t WordScoreLists::SizeBytes(double fraction) const {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  std::size_t total = 0;
+  for (const auto& [term, list] : lists_) {
+    total += static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(list.size())));
+  }
+  return total * kListEntryBytes;
+}
+
+void WordScoreLists::Merge(WordScoreLists&& other) {
+  for (auto& [term, list] : other.lists_) {
+    lists_.try_emplace(term, std::move(list));
+  }
+  other.lists_.clear();
+}
+
+std::vector<TermId> WordScoreLists::Terms() const {
+  std::vector<TermId> terms;
+  terms.reserve(lists_.size());
+  for (const auto& [term, list] : lists_) terms.push_back(term);
+  return terms;
+}
+
+void WordScoreLists::Serialize(BinaryWriter* writer) const {
+  writer->PutU32(static_cast<uint32_t>(lists_.size()));
+  for (const auto& [term, list] : lists_) {
+    writer->PutU32(term);
+    writer->PutU64(list.size());
+    for (const ListEntry& e : list) {
+      writer->PutU32(e.phrase);
+      writer->PutDouble(e.prob);
+    }
+  }
+}
+
+Result<WordScoreLists> WordScoreLists::Deserialize(BinaryReader* reader) {
+  uint32_t num_terms = 0;
+  Status s = reader->GetU32(&num_terms);
+  if (!s.ok()) return s;
+  WordScoreLists result;
+  for (uint32_t i = 0; i < num_terms; ++i) {
+    uint32_t term = 0;
+    uint64_t len = 0;
+    s = reader->GetU32(&term);
+    if (!s.ok()) return s;
+    s = reader->GetU64(&len);
+    if (!s.ok()) return s;
+    std::vector<ListEntry> list(static_cast<std::size_t>(len));
+    for (ListEntry& e : list) {
+      s = reader->GetU32(&e.phrase);
+      if (!s.ok()) return s;
+      s = reader->GetDouble(&e.prob);
+      if (!s.ok()) return s;
+    }
+    result.lists_.emplace(term, std::move(list));
+  }
+  return result;
+}
+
+WordIdOrderedLists WordIdOrderedLists::Build(const WordScoreLists& score_lists,
+                                             double fraction) {
+  WordIdOrderedLists result;
+  result.fraction_ = std::clamp(fraction, 0.0, 1.0);
+  for (TermId t : score_lists.Terms()) {
+    std::span<const ListEntry> prefix = score_lists.Partial(t, result.fraction_);
+    std::vector<ListEntry> list(prefix.begin(), prefix.end());
+    std::sort(list.begin(), list.end(),
+              [](const ListEntry& a, const ListEntry& b) {
+                return a.phrase < b.phrase;
+              });
+    result.lists_.emplace(t, std::move(list));
+  }
+  return result;
+}
+
+std::span<const ListEntry> WordIdOrderedLists::list(TermId term) const {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) return {};
+  return it->second;
+}
+
+std::size_t WordIdOrderedLists::TotalEntries() const {
+  std::size_t total = 0;
+  for (const auto& [term, list] : lists_) total += list.size();
+  return total;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,129 @@
+#ifndef PHRASEMINE_INDEX_WORD_LISTS_H_
+#define PHRASEMINE_INDEX_WORD_LISTS_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/io_util.h"
+#include "common/status.h"
+#include "index/forward_index.h"
+#include "index/inverted_index.h"
+#include "phrase/phrase_dictionary.h"
+#include "text/types.h"
+
+namespace phrasemine {
+
+/// One [phraseid, prob] pair of a word-specific list (Figure 2). `prob`
+/// holds P(q|p) = |docs(q) ∩ docs(p)| / |docs(p)| (Eq. 13). Entry size is
+/// 12 bytes (4 id + 8 double), the figure used for the paper's index-size
+/// accounting in Section 5.7.
+struct ListEntry {
+  PhraseId phrase;
+  double prob;
+};
+
+inline constexpr std::size_t kListEntryBytes = 12;
+
+/// Word-specific phrase lists sorted by non-increasing P(q|p), ties broken
+/// by increasing phrase id (Section 4.2.2). Zero-probability phrases are
+/// omitted. These lists are the input of the NRA algorithm; truncating each
+/// to its top fraction gives the paper's "partial lists".
+class WordScoreLists {
+ public:
+  WordScoreLists() = default;
+
+  WordScoreLists(WordScoreLists&&) = default;
+  WordScoreLists& operator=(WordScoreLists&&) = default;
+  WordScoreLists(const WordScoreLists&) = delete;
+  WordScoreLists& operator=(const WordScoreLists&) = delete;
+
+  /// Builds lists for the given terms only. Building a term's list costs
+  /// O(sum of forward-list lengths over docs(term)), so restricting to the
+  /// query workload's terms keeps preprocessing tractable on large corpora;
+  /// BuildAll covers every term for small corpora and for index-size
+  /// studies.
+  static WordScoreLists Build(const InvertedIndex& inverted,
+                              const ForwardIndex& forward,
+                              const PhraseDictionary& dict,
+                              std::span<const TermId> terms);
+
+  /// Builds lists for every term with document frequency >= min_term_df.
+  static WordScoreLists BuildAll(const InvertedIndex& inverted,
+                                 const ForwardIndex& forward,
+                                 const PhraseDictionary& dict,
+                                 uint32_t min_term_df = 1);
+
+  /// True if a list exists for this term (it may still be empty).
+  bool Has(TermId term) const { return lists_.contains(term); }
+
+  /// Full score-ordered list for a term; empty span if absent.
+  std::span<const ListEntry> list(TermId term) const;
+
+  /// Prefix of the list covering `fraction` of its entries (ceil rounding),
+  /// the paper's partial-list view. fraction is clamped to [0, 1].
+  std::span<const ListEntry> Partial(TermId term, double fraction) const;
+
+  /// Number of terms with lists.
+  std::size_t num_terms() const { return lists_.size(); }
+
+  /// Total entries across all lists.
+  std::size_t TotalEntries() const;
+
+  /// Index size in bytes at 12 bytes/entry (Section 5.7 accounting),
+  /// scaled by the partial-list fraction.
+  std::size_t SizeBytes(double fraction = 1.0) const;
+
+  /// Terms that have lists, in unspecified order.
+  std::vector<TermId> Terms() const;
+
+  /// Absorbs all lists of `other` (move). Lists for terms already present
+  /// are kept as-is; both sides were built from the same immutable corpus,
+  /// so they are identical anyway. Enables incremental extension of the
+  /// indexed term set as new query workloads arrive.
+  void Merge(WordScoreLists&& other);
+
+  /// Serialization to/from the library's binary format.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<WordScoreLists> Deserialize(BinaryReader* reader);
+
+ private:
+  std::unordered_map<TermId, std::vector<ListEntry>> lists_;
+};
+
+/// Word-specific lists re-ordered by increasing phrase id (Section 4.4.1,
+/// Figure 4), the input of the SMJ algorithm. Partial lists are a
+/// construction-time decision here: the top `fraction` of the score-ordered
+/// list is taken first and then re-sorted by id, so a different fraction
+/// requires rebuilding -- exactly the run-time/construction-time asymmetry
+/// the paper contrasts between NRA and SMJ.
+class WordIdOrderedLists {
+ public:
+  WordIdOrderedLists() = default;
+
+  WordIdOrderedLists(WordIdOrderedLists&&) = default;
+  WordIdOrderedLists& operator=(WordIdOrderedLists&&) = default;
+  WordIdOrderedLists(const WordIdOrderedLists&) = delete;
+  WordIdOrderedLists& operator=(const WordIdOrderedLists&) = delete;
+
+  /// Builds id-ordered lists from score-ordered lists at a fixed fraction.
+  static WordIdOrderedLists Build(const WordScoreLists& score_lists,
+                                  double fraction);
+
+  bool Has(TermId term) const { return lists_.contains(term); }
+
+  /// Id-ordered list for a term; empty span if absent.
+  std::span<const ListEntry> list(TermId term) const;
+
+  double fraction() const { return fraction_; }
+  std::size_t TotalEntries() const;
+
+ private:
+  double fraction_ = 1.0;
+  std::unordered_map<TermId, std::vector<ListEntry>> lists_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_INDEX_WORD_LISTS_H_

@@ -1,0 +1,99 @@
+#include "phrase/phrase_dictionary.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+PhraseId PhraseDictionary::AddPhrase(std::vector<TermId> tokens,
+                                     PhraseId parent, uint32_t df) {
+  PM_CHECK(!tokens.empty());
+  const PhraseId id = static_cast<PhraseId>(phrases_.size());
+  if (tokens.size() == 1) {
+    PM_CHECK_MSG(parent == kInvalidPhraseId, "unigram must have no parent");
+    const bool inserted = unigrams_.emplace(tokens[0], id).second;
+    PM_CHECK_MSG(inserted, "duplicate unigram phrase");
+  } else {
+    PM_CHECK_MSG(parent < phrases_.size(), "parent must be registered first");
+    PM_CHECK(phrases_[parent].tokens.size() + 1 == tokens.size());
+    const bool inserted =
+        children_.emplace(ChildKey(parent, tokens.back()), id).second;
+    PM_CHECK_MSG(inserted, "duplicate phrase extension");
+  }
+  if (tokens.size() > max_len_) max_len_ = tokens.size();
+  phrases_.push_back(PhraseInfo{std::move(tokens), parent, df});
+  return id;
+}
+
+PhraseId PhraseDictionary::Unigram(TermId term) const {
+  auto it = unigrams_.find(term);
+  return it == unigrams_.end() ? kInvalidPhraseId : it->second;
+}
+
+PhraseId PhraseDictionary::Child(PhraseId parent, TermId next) const {
+  auto it = children_.find(ChildKey(parent, next));
+  return it == children_.end() ? kInvalidPhraseId : it->second;
+}
+
+PhraseId PhraseDictionary::Find(std::span<const TermId> tokens) const {
+  if (tokens.empty()) return kInvalidPhraseId;
+  PhraseId id = Unigram(tokens[0]);
+  for (std::size_t i = 1; i < tokens.size() && id != kInvalidPhraseId; ++i) {
+    id = Child(id, tokens[i]);
+  }
+  return id;
+}
+
+const PhraseInfo& PhraseDictionary::info(PhraseId id) const {
+  PM_CHECK(id < phrases_.size());
+  return phrases_[id];
+}
+
+void PhraseDictionary::set_df(PhraseId id, uint32_t df) {
+  PM_CHECK(id < phrases_.size());
+  phrases_[id].df = df;
+}
+
+std::string PhraseDictionary::Text(PhraseId id,
+                                   const Vocabulary& vocab) const {
+  const PhraseInfo& p = info(id);
+  std::string out;
+  for (std::size_t i = 0; i < p.tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += vocab.TermText(p.tokens[i]);
+  }
+  return out;
+}
+
+void PhraseDictionary::Serialize(BinaryWriter* writer) const {
+  writer->PutU32(static_cast<uint32_t>(phrases_.size()));
+  for (const PhraseInfo& p : phrases_) {
+    writer->PutU32Vector(p.tokens);
+    writer->PutU32(p.parent);
+    writer->PutU32(p.df);
+  }
+}
+
+Result<PhraseDictionary> PhraseDictionary::Deserialize(BinaryReader* reader) {
+  uint32_t n = 0;
+  Status s = reader->GetU32(&n);
+  if (!s.ok()) return s;
+  PhraseDictionary dict;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<TermId> tokens;
+    uint32_t parent = 0;
+    uint32_t df = 0;
+    s = reader->GetU32Vector(&tokens);
+    if (!s.ok()) return s;
+    s = reader->GetU32(&parent);
+    if (!s.ok()) return s;
+    s = reader->GetU32(&df);
+    if (!s.ok()) return s;
+    if (tokens.empty()) return Status::Corruption("empty phrase");
+    dict.AddPhrase(std::move(tokens), parent, df);
+  }
+  return dict;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,91 @@
+#ifndef PHRASEMINE_PHRASE_PHRASE_DICTIONARY_H_
+#define PHRASEMINE_PHRASE_PHRASE_DICTIONARY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/io_util.h"
+#include "common/status.h"
+#include "text/types.h"
+#include "text/vocabulary.h"
+
+namespace phrasemine {
+
+/// Metadata for one phrase in P.
+struct PhraseInfo {
+  /// The phrase's token-id sequence (1..max_phrase_len terms).
+  std::vector<TermId> tokens;
+  /// Id of the length-(n-1) prefix phrase, or kInvalidPhraseId for unigrams.
+  /// By the Apriori property every frequent phrase's prefix is frequent, so
+  /// the parent always exists; this chain is what the prefix-compressed
+  /// forward index (Bedathur-style) relies on.
+  PhraseId parent = kInvalidPhraseId;
+  /// Document frequency in the whole corpus: |docs(D, p)| = freq(p, D).
+  uint32_t df = 0;
+};
+
+/// The global phrase set P of the paper (Table 2): every word n-gram of up
+/// to `max_phrase_len` words occurring in at least `min_df` documents.
+/// Phrases are identified by dense PhraseIds; navigation is via the
+/// (parent, next-term) -> child map, which makes both lookup of arbitrary
+/// token spans and per-document phrase enumeration O(length) per step.
+class PhraseDictionary {
+ public:
+  PhraseDictionary() = default;
+
+  PhraseDictionary(PhraseDictionary&&) = default;
+  PhraseDictionary& operator=(PhraseDictionary&&) = default;
+  PhraseDictionary(const PhraseDictionary&) = delete;
+  PhraseDictionary& operator=(const PhraseDictionary&) = delete;
+
+  /// Registers a phrase. `parent` must already exist (or be invalid for
+  /// unigrams); duplicate (parent, last-term) registrations are forbidden.
+  PhraseId AddPhrase(std::vector<TermId> tokens, PhraseId parent, uint32_t df);
+
+  /// Id of the unigram phrase for `term`, or kInvalidPhraseId.
+  PhraseId Unigram(TermId term) const;
+
+  /// Id of the phrase extending `parent` with `next`, or kInvalidPhraseId.
+  PhraseId Child(PhraseId parent, TermId next) const;
+
+  /// Id of the phrase with exactly this token sequence, or kInvalidPhraseId.
+  PhraseId Find(std::span<const TermId> tokens) const;
+
+  /// Number of phrases (|P|).
+  std::size_t size() const { return phrases_.size(); }
+
+  const PhraseInfo& info(PhraseId id) const;
+
+  /// Document frequency freq(p, D), the denominator of Eq. 1.
+  uint32_t df(PhraseId id) const { return info(id).df; }
+
+  /// Mutable df accessor used by the incremental delta index (Section 4.5.1).
+  void set_df(PhraseId id, uint32_t df);
+
+  /// Renders the phrase as space-joined words.
+  std::string Text(PhraseId id, const Vocabulary& vocab) const;
+
+  /// Longest phrase length present.
+  std::size_t max_len() const { return max_len_; }
+
+  /// Serialization to/from the library's binary format.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<PhraseDictionary> Deserialize(BinaryReader* reader);
+
+ private:
+  static uint64_t ChildKey(PhraseId parent, TermId next) {
+    return (static_cast<uint64_t>(parent) << 32) | next;
+  }
+
+  std::vector<PhraseInfo> phrases_;
+  std::unordered_map<TermId, PhraseId> unigrams_;
+  std::unordered_map<uint64_t, PhraseId> children_;
+  std::size_t max_len_ = 0;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_PHRASE_PHRASE_DICTIONARY_H_

@@ -1,0 +1,127 @@
+#include "phrase/phrase_extractor.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+namespace {
+
+/// Candidate counter with per-document dedupe: `last_doc` records the most
+/// recent document that touched this candidate so repeats within one
+/// document do not inflate the document frequency.
+struct Candidate {
+  uint32_t df = 0;
+  DocId last_doc = kInvalidTermId;
+};
+
+uint64_t PairKey(PhraseId prefix, TermId next) {
+  return (static_cast<uint64_t>(prefix) << 32) | next;
+}
+
+}  // namespace
+
+PhraseExtractor::PhraseExtractor(PhraseExtractorOptions options)
+    : options_(options) {
+  PM_CHECK(options_.max_phrase_len >= 1);
+  PM_CHECK(options_.min_df >= 1);
+}
+
+PhraseDictionary PhraseExtractor::Extract(const Corpus& corpus) const {
+  PhraseDictionary dict;
+  const std::size_t num_docs = corpus.size();
+
+  // prev[d][i] = id of the frequent (level)-gram starting at position i of
+  // document d, or kInvalidPhraseId. Level 0 bootstrap: "empty prefix" is
+  // encoded by treating level 1 specially (keyed on the token itself).
+  std::vector<std::vector<PhraseId>> prev(num_docs);
+
+  // ---- Level 1: unigram document frequencies -------------------------------
+  {
+    std::unordered_map<TermId, Candidate> counts;
+    for (DocId d = 0; d < num_docs; ++d) {
+      for (TermId t : corpus.doc(d).tokens) {
+        Candidate& c = counts[t];
+        if (c.last_doc != d) {
+          ++c.df;
+          c.last_doc = d;
+        }
+      }
+    }
+    for (const auto& [term, cand] : counts) {
+      if (cand.df >= options_.min_df) {
+        dict.AddPhrase({term}, kInvalidPhraseId, cand.df);
+      }
+    }
+    // Fill prev with level-1 ids.
+    for (DocId d = 0; d < num_docs; ++d) {
+      const std::vector<TermId>& tokens = corpus.doc(d).tokens;
+      prev[d].resize(tokens.size());
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        prev[d][i] = dict.Unigram(tokens[i]);
+      }
+    }
+  }
+
+  // ---- Levels 2..max: Apriori extension ------------------------------------
+  for (std::size_t level = 2; level <= options_.max_phrase_len; ++level) {
+    std::unordered_map<uint64_t, Candidate> counts;
+    bool any_prefix = false;
+    for (DocId d = 0; d < num_docs; ++d) {
+      const std::vector<TermId>& tokens = corpus.doc(d).tokens;
+      if (tokens.size() < level) continue;
+      const std::size_t limit = tokens.size() - level + 1;
+      for (std::size_t i = 0; i < limit; ++i) {
+        const PhraseId prefix = prev[d][i];
+        if (prefix == kInvalidPhraseId) continue;
+        // The extending word must itself be frequent (Apriori on the suffix
+        // unigram): a phrase containing an infrequent word cannot reach
+        // min_df documents.
+        const TermId next = tokens[i + level - 1];
+        if (dict.Unigram(next) == kInvalidPhraseId) continue;
+        any_prefix = true;
+        Candidate& c = counts[PairKey(prefix, next)];
+        if (c.last_doc != d) {
+          ++c.df;
+          c.last_doc = d;
+        }
+      }
+    }
+    if (!any_prefix) break;
+
+    std::size_t created = 0;
+    for (const auto& [key, cand] : counts) {
+      if (cand.df < options_.min_df) continue;
+      const PhraseId prefix = static_cast<PhraseId>(key >> 32);
+      const TermId next = static_cast<TermId>(key & 0xFFFFFFFFu);
+      std::vector<TermId> tokens = dict.info(prefix).tokens;
+      tokens.push_back(next);
+      dict.AddPhrase(std::move(tokens), prefix, cand.df);
+      ++created;
+    }
+    if (created == 0) break;
+
+    // Refresh prev to hold level-n ids for the next round.
+    for (DocId d = 0; d < num_docs; ++d) {
+      const std::vector<TermId>& tokens = corpus.doc(d).tokens;
+      std::vector<PhraseId>& p = prev[d];
+      if (tokens.size() < level) {
+        p.clear();
+        continue;
+      }
+      const std::size_t limit = tokens.size() - level + 1;
+      for (std::size_t i = 0; i < limit; ++i) {
+        p[i] = (p[i] == kInvalidPhraseId)
+                   ? kInvalidPhraseId
+                   : dict.Child(p[i], tokens[i + level - 1]);
+      }
+      p.resize(limit);
+    }
+  }
+
+  return dict;
+}
+
+}  // namespace phrasemine

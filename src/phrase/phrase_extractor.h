@@ -1,0 +1,40 @@
+#ifndef PHRASEMINE_PHRASE_PHRASE_EXTRACTOR_H_
+#define PHRASEMINE_PHRASE_PHRASE_EXTRACTOR_H_
+
+#include <cstdint>
+
+#include "phrase/phrase_dictionary.h"
+#include "text/corpus.h"
+
+namespace phrasemine {
+
+/// Extraction knobs. Paper defaults: n-grams of up to 6 words occurring in
+/// more than 5 (or 10) documents.
+struct PhraseExtractorOptions {
+  /// Maximum phrase length in words.
+  std::size_t max_phrase_len = 6;
+  /// Minimum document frequency for a phrase to enter P.
+  uint32_t min_df = 5;
+};
+
+/// Builds the phrase dictionary P from a corpus with a level-wise (Apriori)
+/// sweep: level n counts only n-grams whose (n-1)-prefix already qualified,
+/// which keeps the candidate space linear in corpus size instead of
+/// exploding with all possible n-grams. Document frequency is counted
+/// set-wise (each document contributes at most 1 per phrase), matching the
+/// docs(D, p) cardinalities used throughout the paper's formulas.
+class PhraseExtractor {
+ public:
+  explicit PhraseExtractor(PhraseExtractorOptions options = {});
+
+  /// Extracts the dictionary. Facet terms are excluded; only token text
+  /// participates in phrases.
+  PhraseDictionary Extract(const Corpus& corpus) const;
+
+ private:
+  PhraseExtractorOptions options_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_PHRASE_PHRASE_EXTRACTOR_H_

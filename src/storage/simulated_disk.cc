@@ -1,0 +1,115 @@
+#include "storage/simulated_disk.h"
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+SimulatedDisk::SimulatedDisk(DiskOptions options) : options_(options) {
+  PM_CHECK(options_.page_size_bytes > 0);
+  PM_CHECK(options_.cache_pages > 0);
+}
+
+uint32_t SimulatedDisk::RegisterFile(uint64_t size_bytes) {
+  const uint32_t id = static_cast<uint32_t>(file_pages_.size());
+  file_pages_.push_back(PagesForBytes(size_bytes));
+  return id;
+}
+
+uint64_t SimulatedDisk::PagesForBytes(uint64_t size_bytes) const {
+  return (size_bytes + options_.page_size_bytes - 1) / options_.page_size_bytes;
+}
+
+void SimulatedDisk::Read(uint32_t file, uint64_t offset, uint64_t n) {
+  if (n == 0) return;
+  const uint64_t first = offset / options_.page_size_bytes;
+  const uint64_t last = (offset + n - 1) / options_.page_size_bytes;
+  for (uint64_t page = first; page <= last; ++page) {
+    AccessPage(file, page);
+  }
+}
+
+void SimulatedDisk::AccessPage(uint32_t file, uint64_t page) {
+  PM_CHECK(file < file_pages_.size());
+  PM_CHECK_MSG(page < file_pages_[file], "page beyond end of file");
+  ++stats_.page_requests;
+  const uint64_t key = PageKey(file, page);
+  if (InCache(key)) {
+    ++stats_.cache_hits;
+    TouchLru(key);
+  } else {
+    Fetch(file, page, /*is_lookahead=*/false);
+  }
+  // One-page lookahead on every page access (the Section 5.5 cache): the
+  // prefetch trails the head sequentially, so it is charged at the
+  // sequential rate.
+  if (options_.lookahead && page + 1 < file_pages_[file]) {
+    const uint64_t next_key = PageKey(file, page + 1);
+    if (!InCache(next_key)) {
+      Fetch(file, page + 1, /*is_lookahead=*/true);
+    }
+  }
+}
+
+void SimulatedDisk::Fetch(uint32_t file, uint64_t page, bool is_lookahead) {
+  const bool sequential =
+      has_last_fetch_ && file == last_file_ && page == last_page_ + 1;
+  if (sequential || is_lookahead) {
+    ++stats_.sequential_fetches;
+    stats_.cost_ms += options_.sequential_ms;
+  } else {
+    ++stats_.random_fetches;
+    stats_.cost_ms += options_.random_ms;
+  }
+  has_last_fetch_ = true;
+  last_file_ = file;
+  last_page_ = page;
+  InsertLru(PageKey(file, page));
+}
+
+void SimulatedDisk::TouchLru(uint64_t key) {
+  auto it = cache_index_.find(key);
+  PM_CHECK(it != cache_index_.end());
+  lru_.erase(it->second);
+  lru_.push_front(key);
+  it->second = lru_.begin();
+}
+
+void SimulatedDisk::InsertLru(uint64_t key) {
+  if (cache_index_.contains(key)) {
+    TouchLru(key);
+    return;
+  }
+  lru_.push_front(key);
+  cache_index_.emplace(key, lru_.begin());
+  while (lru_.size() > options_.cache_pages) {
+    cache_index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void SimulatedDisk::Reset() {
+  stats_ = DiskStats{};
+  lru_.clear();
+  cache_index_.clear();
+  has_last_fetch_ = false;
+}
+
+DiskListCursor::DiskListCursor(SimulatedDisk* disk, uint32_t file,
+                               uint64_t base_offset, uint64_t num_entries,
+                               std::size_t entry_bytes)
+    : disk_(disk),
+      file_(file),
+      base_offset_(base_offset),
+      num_entries_(num_entries),
+      entry_bytes_(entry_bytes) {
+  PM_CHECK(disk_ != nullptr);
+  PM_CHECK(entry_bytes_ > 0);
+}
+
+void DiskListCursor::Advance() {
+  PM_CHECK(HasNext());
+  disk_->Read(file_, base_offset_ + next_ * entry_bytes_, entry_bytes_);
+  ++next_;
+}
+
+}  // namespace phrasemine

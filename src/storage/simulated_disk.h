@@ -1,0 +1,123 @@
+#ifndef PHRASEMINE_STORAGE_SIMULATED_DISK_H_
+#define PHRASEMINE_STORAGE_SIMULATED_DISK_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace phrasemine {
+
+/// Cost model of the disk simulation used in Section 5.5 of the paper
+/// (following Deshpande et al. [4]): 32 KiB pages, a 16-page LRU cache with
+/// one-page lookahead on each page access, 1 ms charged per sequential page
+/// fetch and 10 ms per random page fetch.
+struct DiskOptions {
+  std::size_t page_size_bytes = 32 * 1024;
+  std::size_t cache_pages = 16;
+  double sequential_ms = 1.0;
+  double random_ms = 10.0;
+  bool lookahead = true;
+};
+
+/// Aggregate I/O statistics for one simulated run.
+struct DiskStats {
+  uint64_t page_requests = 0;    ///< Logical page touches.
+  uint64_t cache_hits = 0;       ///< Served from the LRU cache.
+  uint64_t sequential_fetches = 0;
+  uint64_t random_fetches = 0;
+  double cost_ms = 0.0;          ///< Total charged I/O time.
+};
+
+/// Simulates disk-resident index files. Callers register files (sized in
+/// bytes), then issue byte-range reads; the simulator translates ranges to
+/// page accesses, runs them through the LRU cache + lookahead, and charges
+/// sequential/random fetch costs. Computation time is *not* included here:
+/// the harness adds charged I/O time to the measured in-memory compute time,
+/// exactly the simulation protocol of the paper.
+class SimulatedDisk {
+ public:
+  explicit SimulatedDisk(DiskOptions options = {});
+
+  /// Registers a file of `size_bytes`; returns its file id.
+  uint32_t RegisterFile(uint64_t size_bytes);
+
+  /// Reads [offset, offset + n) from `file`, touching each covered page.
+  void Read(uint32_t file, uint64_t offset, uint64_t n);
+
+  /// Touches a single page (used by list cursors that track entry->page
+  /// mapping themselves).
+  void AccessPage(uint32_t file, uint64_t page);
+
+  const DiskStats& stats() const { return stats_; }
+
+  /// Clears counters but keeps cache contents (use between measurement
+  /// phases of one run).
+  void ResetStats() { stats_ = DiskStats{}; }
+
+  /// Clears counters *and* cache (use between independent runs, i.e. a cold
+  /// cache).
+  void Reset();
+
+  const DiskOptions& options() const { return options_; }
+
+  /// Number of pages a file of `size_bytes` occupies under this page size.
+  uint64_t PagesForBytes(uint64_t size_bytes) const;
+
+ private:
+  /// Globally unique page key: file id in the high bits, page number below.
+  static uint64_t PageKey(uint32_t file, uint64_t page) {
+    return (static_cast<uint64_t>(file) << 40) | page;
+  }
+
+  /// Loads a page into the cache, charging its fetch cost.
+  void Fetch(uint32_t file, uint64_t page, bool is_lookahead);
+
+  bool InCache(uint64_t key) const { return cache_index_.contains(key); }
+  void TouchLru(uint64_t key);
+  void InsertLru(uint64_t key);
+
+  DiskOptions options_;
+  std::vector<uint64_t> file_pages_;  // pages per registered file
+  // LRU: most-recent at front.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> cache_index_;
+  // Physical head position: last fetched (file, page) for the
+  // sequential-vs-random decision.
+  bool has_last_fetch_ = false;
+  uint32_t last_file_ = 0;
+  uint64_t last_page_ = 0;
+  DiskStats stats_;
+};
+
+/// Sequential reader over a disk-resident list of fixed-size entries.
+/// Advancing the cursor touches the page holding the next entry, so cache
+/// hits/misses and their costs accrue on the owning SimulatedDisk.
+class DiskListCursor {
+ public:
+  /// `entry_bytes` is the on-disk entry footprint (12 for word lists).
+  DiskListCursor(SimulatedDisk* disk, uint32_t file, uint64_t base_offset,
+                 uint64_t num_entries, std::size_t entry_bytes);
+
+  /// True if entries remain.
+  bool HasNext() const { return next_ < num_entries_; }
+
+  /// Index of the next entry to be read.
+  uint64_t position() const { return next_; }
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Registers the I/O for reading the next entry and advances.
+  void Advance();
+
+ private:
+  SimulatedDisk* disk_;
+  uint32_t file_;
+  uint64_t base_offset_;
+  uint64_t num_entries_;
+  std::size_t entry_bytes_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_STORAGE_SIMULATED_DISK_H_

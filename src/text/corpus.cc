@@ -1,0 +1,85 @@
+#include "text/corpus.h"
+
+#include "common/check.h"
+#include "text/tokenizer.h"
+
+namespace phrasemine {
+
+DocId Corpus::AddText(std::string_view text) {
+  Tokenizer tokenizer;
+  return AddTokenized(tokenizer.Tokenize(text));
+}
+
+DocId Corpus::AddTokenized(const std::vector<std::string>& tokens,
+                           const std::vector<std::string>& facets) {
+  Document doc;
+  doc.tokens.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    doc.tokens.push_back(vocab_.Intern(t));
+  }
+  doc.facets.reserve(facets.size());
+  for (const std::string& f : facets) {
+    doc.facets.push_back(vocab_.Intern(f));
+  }
+  return AddDocument(std::move(doc));
+}
+
+DocId Corpus::AddDocument(Document doc) {
+  const DocId id = static_cast<DocId>(docs_.size());
+  docs_.push_back(std::move(doc));
+  return id;
+}
+
+const Document& Corpus::doc(DocId id) const {
+  PM_CHECK(id < docs_.size());
+  return docs_[id];
+}
+
+uint64_t Corpus::TotalTokens() const {
+  uint64_t total = 0;
+  for (const Document& d : docs_) {
+    total += d.tokens.size();
+  }
+  return total;
+}
+
+void Corpus::Serialize(BinaryWriter* writer) const {
+  vocab_.Serialize(writer);
+  writer->PutU32(static_cast<uint32_t>(docs_.size()));
+  for (const Document& d : docs_) {
+    writer->PutU32Vector(d.tokens);
+    writer->PutU32Vector(d.facets);
+  }
+}
+
+Result<Corpus> Corpus::Deserialize(BinaryReader* reader) {
+  Result<Vocabulary> vocab = Vocabulary::Deserialize(reader);
+  if (!vocab.ok()) return vocab.status();
+  Corpus corpus;
+  corpus.vocab_ = std::move(vocab.value());
+  uint32_t n = 0;
+  Status s = reader->GetU32(&n);
+  if (!s.ok()) return s;
+  corpus.docs_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    s = reader->GetU32Vector(&corpus.docs_[i].tokens);
+    if (!s.ok()) return s;
+    s = reader->GetU32Vector(&corpus.docs_[i].facets);
+    if (!s.ok()) return s;
+  }
+  return corpus;
+}
+
+Status Corpus::SaveToFile(const std::string& path) const {
+  BinaryWriter writer;
+  Serialize(&writer);
+  return writer.WriteToFile(path);
+}
+
+Result<Corpus> Corpus::LoadFromFile(const std::string& path) {
+  Result<BinaryReader> reader = BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  return Deserialize(&reader.value());
+}
+
+}  // namespace phrasemine

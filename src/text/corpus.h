@@ -1,0 +1,72 @@
+#ifndef PHRASEMINE_TEXT_CORPUS_H_
+#define PHRASEMINE_TEXT_CORPUS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io_util.h"
+#include "common/status.h"
+#include "text/types.h"
+#include "text/vocabulary.h"
+
+namespace phrasemine {
+
+/// A document is its token-id sequence plus optional metadata facet terms.
+/// Facet terms participate in querying exactly like words (Table 1 of the
+/// paper) but do not participate in phrase extraction.
+struct Document {
+  std::vector<TermId> tokens;
+  std::vector<TermId> facets;
+};
+
+/// The static corpus D: an append-only set of tokenized documents sharing a
+/// vocabulary. Mining structures (indexes, dictionaries) are built over a
+/// frozen Corpus; incremental updates are layered on via core/DeltaIndex.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  // Movable but not copyable: corpora can be hundreds of megabytes.
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  /// Tokenizes and appends a raw-text document; returns its DocId.
+  DocId AddText(std::string_view text);
+
+  /// Appends a document with pre-tokenized words and facet strings.
+  DocId AddTokenized(const std::vector<std::string>& tokens,
+                     const std::vector<std::string>& facets = {});
+
+  /// Appends a document that already uses this corpus's term ids.
+  DocId AddDocument(Document doc);
+
+  /// Number of documents (|D|).
+  std::size_t size() const { return docs_.size(); }
+
+  const Document& doc(DocId id) const;
+
+  Vocabulary& vocab() { return vocab_; }
+  const Vocabulary& vocab() const { return vocab_; }
+
+  /// Total token count across all documents.
+  uint64_t TotalTokens() const;
+
+  /// Serialization to/from the library's binary format.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Corpus> Deserialize(BinaryReader* reader);
+
+  /// Convenience wrappers over Serialize/Deserialize for files.
+  Status SaveToFile(const std::string& path) const;
+  static Result<Corpus> LoadFromFile(const std::string& path);
+
+ private:
+  Vocabulary vocab_;
+  std::vector<Document> docs_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_TEXT_CORPUS_H_

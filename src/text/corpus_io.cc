@@ -1,0 +1,75 @@
+#include "text/corpus_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace phrasemine {
+
+namespace {
+
+std::vector<std::string> SplitFacets(const std::string& spec) {
+  std::vector<std::string> facets;
+  std::string current;
+  for (char c : spec) {
+    if (c == ',') {
+      if (!current.empty()) facets.push_back(std::move(current));
+      current.clear();
+    } else if (c != ' ') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) facets.push_back(std::move(current));
+  return facets;
+}
+
+}  // namespace
+
+Corpus CorpusReader::FromPlainStream(std::istream& in) {
+  Corpus corpus;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    corpus.AddText(line);
+  }
+  return corpus;
+}
+
+Corpus CorpusReader::FromFacetedStream(std::istream& in) {
+  Corpus corpus;
+  Tokenizer tokenizer;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      corpus.AddText(line);
+      continue;
+    }
+    const std::vector<std::string> facets = SplitFacets(line.substr(0, tab));
+    const std::vector<std::string> tokens =
+        tokenizer.Tokenize(line.substr(tab + 1));
+    corpus.AddTokenized(tokens, facets);
+  }
+  return corpus;
+}
+
+Result<Corpus> CorpusReader::FromPlainFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open corpus file: " + path);
+  }
+  return FromPlainStream(in);
+}
+
+Result<Corpus> CorpusReader::FromFacetedFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open corpus file: " + path);
+  }
+  return FromFacetedStream(in);
+}
+
+}  // namespace phrasemine

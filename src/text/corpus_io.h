@@ -1,0 +1,38 @@
+#ifndef PHRASEMINE_TEXT_CORPUS_IO_H_
+#define PHRASEMINE_TEXT_CORPUS_IO_H_
+
+#include <istream>
+#include <string>
+
+#include "common/status.h"
+#include "text/corpus.h"
+
+namespace phrasemine {
+
+/// Loaders for external document collections. Two plain-text layouts are
+/// supported, both one document per line:
+///
+///  * plain:  the whole line is the document body;
+///  * faceted: "facet1,facet2<TAB>body" -- everything before the first tab
+///    is a comma-separated facet list ("topic:trade,year:1987"), matching
+///    the metadata model of Table 1 in the paper.
+///
+/// Blank lines are skipped. Tokenization is the library's standard
+/// Tokenizer (lowercased word tokens).
+class CorpusReader {
+ public:
+  /// Reads a plain one-document-per-line stream.
+  static Corpus FromPlainStream(std::istream& in);
+
+  /// Reads a faceted "facets<TAB>body" stream; lines without a tab are
+  /// treated as facet-less documents.
+  static Corpus FromFacetedStream(std::istream& in);
+
+  /// File wrappers around the stream loaders.
+  static Result<Corpus> FromPlainFile(const std::string& path);
+  static Result<Corpus> FromFacetedFile(const std::string& path);
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_TEXT_CORPUS_IO_H_

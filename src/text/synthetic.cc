@@ -1,0 +1,251 @@
+#include "text/synthetic.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+namespace {
+
+// Syllable inventory for readable pseudo-words. Deterministic composition of
+// 2-4 syllables gives ~10^6 distinct candidates, far more than any preset's
+// vocabulary, so collisions are rare and resolved by re-drawing.
+constexpr const char* kOnsets[] = {"b",  "d",  "f",  "g",  "k",  "l",
+                                   "m",  "n",  "p",  "r",  "s",  "t",
+                                   "v",  "z",  "ch", "st", "tr", "pl"};
+constexpr const char* kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ou", "ea"};
+constexpr const char* kCodas[] = {"", "", "", "n", "r", "s", "l", "x"};
+
+}  // namespace
+
+SyntheticCorpusGenerator::SyntheticCorpusGenerator(
+    SyntheticCorpusOptions options)
+    : options_(std::move(options)) {
+  PM_CHECK(options_.num_topics >= 1);
+  PM_CHECK(options_.min_doc_tokens >= 8);
+  PM_CHECK(options_.max_doc_tokens >= options_.min_doc_tokens);
+}
+
+std::string SyntheticCorpusGenerator::MakeWord(Rng& rng) {
+  const std::size_t syllables = 2 + rng.NextBelow(3);
+  std::string word;
+  for (std::size_t i = 0; i < syllables; ++i) {
+    word += kOnsets[rng.NextBelow(std::size(kOnsets))];
+    word += kNuclei[rng.NextBelow(std::size(kNuclei))];
+    if (i + 1 == syllables) {
+      word += kCodas[rng.NextBelow(std::size(kCodas))];
+    }
+  }
+  return word;
+}
+
+SyntheticCorpusOptions SyntheticCorpusGenerator::ReutersLike() {
+  SyntheticCorpusOptions o;
+  o.seed = 20140324;  // EDBT 2014 opening day.
+  o.num_docs = 21578;
+  o.num_topics = 25;
+  o.topic_vocab = 500;
+  o.shared_vocab = 2200;
+  o.num_stopwords = 120;
+  o.phrases_per_topic = 60;
+  o.min_doc_tokens = 50;
+  o.max_doc_tokens = 200;
+  o.stopword_rate = 0.35;
+  o.phrase_rate = 0.08;
+  o.shared_rate = 0.22;
+  o.zipf_s = 1.05;
+  o.topics_per_doc_max = 2;
+  o.subtopic_window = 0.25;
+  o.window_leak = 0.35;
+  return o;
+}
+
+SyntheticCorpusOptions SyntheticCorpusGenerator::PubmedLike(
+    std::size_t num_docs) {
+  SyntheticCorpusOptions o;
+  o.seed = 655000;
+  o.num_docs = num_docs;
+  o.num_topics = 60;
+  o.topic_vocab = 2200;
+  o.shared_vocab = 36000;
+  o.num_stopwords = 150;
+  o.phrases_per_topic = 100;
+  o.min_doc_tokens = 80;
+  o.max_doc_tokens = 260;
+  o.stopword_rate = 0.30;
+  // Abstracts are single-topic and collocation-dense: at most two topics
+  // per document and a higher phrase-injection rate. (Calibrated so the
+  // query-phrase correlations -- which the independence assumption of
+  // Section 4.1.1 relies on -- are as strong as in the paper's corpora.)
+  o.phrase_rate = 0.10;
+  o.shared_rate = 0.25;
+  o.zipf_s = 1.02;
+  o.topics_per_doc_max = 2;
+  o.subtopic_window = 0.25;
+  o.window_leak = 0.35;
+  return o;
+}
+
+Corpus SyntheticCorpusGenerator::Generate() {
+  Rng rng(options_.seed);
+  Corpus corpus;
+
+  // --- Vocabulary synthesis -------------------------------------------------
+  std::unordered_set<std::string> used;
+  auto fresh_word = [&](const char* prefix) {
+    for (;;) {
+      std::string w = MakeWord(rng);
+      if (used.insert(w).second) return w;
+      // Collision: append a disambiguating suffix and retry the insert.
+      w += prefix;
+      if (used.insert(w).second) return w;
+    }
+  };
+
+  std::vector<std::string> stopwords;
+  stopwords.reserve(options_.num_stopwords);
+  for (std::size_t i = 0; i < options_.num_stopwords; ++i) {
+    stopwords.push_back(fresh_word("s"));
+  }
+  std::vector<std::string> shared;
+  shared.reserve(options_.shared_vocab);
+  for (std::size_t i = 0; i < options_.shared_vocab; ++i) {
+    shared.push_back(fresh_word("g"));
+  }
+  std::vector<std::vector<std::string>> topic_words(options_.num_topics);
+  for (std::size_t t = 0; t < options_.num_topics; ++t) {
+    topic_words[t].reserve(options_.topic_vocab);
+    for (std::size_t i = 0; i < options_.topic_vocab; ++i) {
+      topic_words[t].push_back(fresh_word("t"));
+    }
+  }
+
+  // --- Seed collocations ----------------------------------------------------
+  // Phrase length distribution skews short (2-3 words) with a tail to 6,
+  // matching the paper's n-gram cap.
+  seed_phrases_.clear();
+  seed_phrase_topics_.clear();
+  std::vector<std::vector<std::size_t>> topic_phrase_ids(options_.num_topics);
+  // Anchor of each phrase within its topic's vocabulary circle: a phrase is
+  // only injected into documents whose subtopic window covers its anchor,
+  // so each phrase lives in a bounded, subtopic-coherent slice of the
+  // topic's documents (as collocations do in real corpora).
+  std::vector<std::size_t> phrase_anchor;
+  for (std::size_t t = 0; t < options_.num_topics; ++t) {
+    for (std::size_t i = 0; i < options_.phrases_per_topic; ++i) {
+      const std::size_t len_draw = rng.NextBelow(10);
+      const std::size_t len = len_draw < 4   ? 2
+                              : len_draw < 7 ? 3
+                              : len_draw < 8 ? 4
+                              : len_draw < 9 ? 5
+                                             : 6;
+      std::vector<std::string> phrase;
+      phrase.reserve(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        // Mostly topical words; occasionally a shared word so that some seed
+        // phrases straddle vocabularies like real collocations do.
+        if (rng.NextBool(0.15) && !shared.empty()) {
+          phrase.push_back(shared[rng.NextBelow(shared.size())]);
+        } else {
+          phrase.push_back(topic_words[t][rng.NextBelow(topic_words[t].size())]);
+        }
+      }
+      topic_phrase_ids[t].push_back(seed_phrases_.size());
+      seed_phrases_.push_back(std::move(phrase));
+      seed_phrase_topics_.push_back(t);
+      phrase_anchor.push_back(rng.NextBelow(options_.topic_vocab));
+    }
+  }
+
+  // --- Samplers ---------------------------------------------------------
+  const std::size_t window_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.subtopic_window *
+                                  static_cast<double>(options_.topic_vocab)));
+  ZipfSampler topic_sampler(options_.num_topics, options_.zipf_s);
+  ZipfSampler topic_word_sampler(window_size, options_.zipf_s);
+  ZipfSampler full_topic_word_sampler(options_.topic_vocab, options_.zipf_s);
+  ZipfSampler shared_sampler(options_.shared_vocab, options_.zipf_s);
+  ZipfSampler stop_sampler(options_.num_stopwords, options_.zipf_s);
+  ZipfSampler phrase_sampler(options_.phrases_per_topic, options_.zipf_s);
+
+  // --- Document synthesis ---------------------------------------------------
+  std::vector<std::string> tokens;
+  for (std::size_t d = 0; d < options_.num_docs; ++d) {
+    const std::size_t num_topics_in_doc =
+        1 + rng.NextBelow(options_.topics_per_doc_max);
+    std::vector<std::size_t> doc_topics;
+    std::vector<std::size_t> doc_windows;  // per-topic vocabulary rotation
+    doc_topics.reserve(num_topics_in_doc);
+    for (std::size_t i = 0; i < num_topics_in_doc; ++i) {
+      doc_topics.push_back(topic_sampler.Sample(rng));
+      doc_windows.push_back(rng.NextBelow(options_.topic_vocab));
+    }
+
+    const std::size_t target_len =
+        options_.min_doc_tokens +
+        rng.NextBelow(options_.max_doc_tokens - options_.min_doc_tokens + 1);
+
+    tokens.clear();
+    while (tokens.size() < target_len) {
+      const double u = rng.NextDouble();
+      const std::size_t topic_slot = rng.NextBelow(doc_topics.size());
+      const std::size_t topic = doc_topics[topic_slot];
+      if (u < options_.phrase_rate) {
+        // Sample a phrase whose anchor lies inside this document's window,
+        // or -- with probability window_leak -- any phrase of the topic
+        // (rejection sampling; fall back to a topical word when the window
+        // hosts none of the drawn phrases).
+        bool injected = false;
+        const bool leak = rng.NextBool(options_.window_leak);
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const std::size_t pid =
+              topic_phrase_ids[topic][phrase_sampler.Sample(rng)];
+          if (!leak) {
+            const std::size_t rel =
+                (phrase_anchor[pid] + options_.topic_vocab -
+                 doc_windows[topic_slot]) %
+                options_.topic_vocab;
+            if (rel >= window_size) continue;
+          }
+          for (const std::string& w : seed_phrases_[pid]) {
+            tokens.push_back(w);
+          }
+          injected = true;
+          break;
+        }
+        if (!injected) {
+          const std::size_t idx =
+              (doc_windows[topic_slot] + topic_word_sampler.Sample(rng)) %
+              options_.topic_vocab;
+          tokens.push_back(topic_words[topic][idx]);
+        }
+      } else if (u < options_.phrase_rate + options_.stopword_rate) {
+        tokens.push_back(stopwords[stop_sampler.Sample(rng)]);
+      } else if (u < options_.phrase_rate + options_.stopword_rate +
+                         options_.shared_rate) {
+        tokens.push_back(shared[shared_sampler.Sample(rng)]);
+      } else {
+        // Organic topical word from this document's subtopic window, or --
+        // with probability window_leak -- from the whole topic vocabulary.
+        const std::size_t idx =
+            rng.NextBool(options_.window_leak)
+                ? full_topic_word_sampler.Sample(rng)
+                : (doc_windows[topic_slot] + topic_word_sampler.Sample(rng)) %
+                      options_.topic_vocab;
+        tokens.push_back(topic_words[topic][idx]);
+      }
+    }
+
+    std::vector<std::string> facets;
+    if (options_.add_facets) {
+      facets.push_back("topic:" + std::to_string(doc_topics[0]));
+      facets.push_back("year:" + std::to_string(1990 + rng.NextBelow(20)));
+    }
+    corpus.AddTokenized(tokens, facets);
+  }
+  return corpus;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,48 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace phrasemine {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '\'';
+}
+
+}  // namespace
+
+void Tokenizer::Tokenize(std::string_view text,
+                         std::vector<std::string>* out) const {
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    while (i < n && !IsWordChar(text[i])) ++i;
+    std::size_t start = i;
+    while (i < n && IsWordChar(text[i])) ++i;
+    if (i > start) {
+      // Strip edge apostrophes, lowercase the rest.
+      std::size_t b = start;
+      std::size_t e = i;
+      while (b < e && text[b] == '\'') ++b;
+      while (e > b && text[e - 1] == '\'') --e;
+      if (e > b) {
+        std::string token;
+        token.reserve(e - b);
+        for (std::size_t j = b; j < e; ++j) {
+          token.push_back(static_cast<char>(
+              std::tolower(static_cast<unsigned char>(text[j]))));
+        }
+        out->push_back(std::move(token));
+      }
+    }
+  }
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  Tokenize(text, &out);
+  return out;
+}
+
+}  // namespace phrasemine

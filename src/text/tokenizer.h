@@ -1,0 +1,27 @@
+#ifndef PHRASEMINE_TEXT_TOKENIZER_H_
+#define PHRASEMINE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phrasemine {
+
+/// Splits raw text into lowercase word tokens. Characters outside
+/// [a-zA-Z0-9'] terminate a token; apostrophes are kept inside words
+/// ("taiwan's") but stripped at token edges. This mirrors the simple
+/// whitespace/punctuation tokenization used by the corpora in the paper.
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+
+  /// Tokenizes `text` and appends the tokens to `out`.
+  void Tokenize(std::string_view text, std::vector<std::string>* out) const;
+
+  /// Convenience overload returning a fresh vector.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_TEXT_TOKENIZER_H_

@@ -1,0 +1,24 @@
+#ifndef PHRASEMINE_TEXT_TYPES_H_
+#define PHRASEMINE_TEXT_TYPES_H_
+
+#include <cstdint>
+
+namespace phrasemine {
+
+/// Identifier of a document within a Corpus; equal to its position.
+using DocId = uint32_t;
+
+/// Identifier of a term (word or metadata facet) within a Vocabulary.
+using TermId = uint32_t;
+
+/// Identifier of a phrase within a PhraseDictionary. Phrase IDs double as
+/// offsets into the fixed-slot phrase list file (Section 4.2.1 of the paper).
+using PhraseId = uint32_t;
+
+/// Sentinel for "no term" / "no phrase".
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+inline constexpr PhraseId kInvalidPhraseId = UINT32_MAX;
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_TEXT_TYPES_H_

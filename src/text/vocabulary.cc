@@ -1,0 +1,50 @@
+#include "text/vocabulary.h"
+
+#include "common/check.h"
+
+namespace phrasemine {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  if (it == ids_.end()) return kInvalidTermId;
+  return it->second;
+}
+
+const std::string& Vocabulary::TermText(TermId id) const {
+  PM_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+void Vocabulary::Serialize(BinaryWriter* writer) const {
+  writer->PutU32(static_cast<uint32_t>(terms_.size()));
+  for (const std::string& t : terms_) {
+    writer->PutString(t);
+  }
+}
+
+Result<Vocabulary> Vocabulary::Deserialize(BinaryReader* reader) {
+  uint32_t n = 0;
+  Status s = reader->GetU32(&n);
+  if (!s.ok()) return s;
+  Vocabulary vocab;
+  vocab.terms_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string term;
+    s = reader->GetString(&term);
+    if (!s.ok()) return s;
+    vocab.terms_.push_back(std::move(term));
+    vocab.ids_.emplace(vocab.terms_.back(), i);
+  }
+  return vocab;
+}
+
+}  // namespace phrasemine

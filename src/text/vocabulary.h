@@ -1,0 +1,46 @@
+#ifndef PHRASEMINE_TEXT_VOCABULARY_H_
+#define PHRASEMINE_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/io_util.h"
+#include "common/status.h"
+#include "text/types.h"
+
+namespace phrasemine {
+
+/// Bidirectional mapping between term strings (words and metadata facets)
+/// and dense TermIds. The paper's set W of queryable features maps 1:1 onto
+/// this vocabulary: metadata facets are interned like words, conventionally
+/// spelled "facet:value" (e.g. "venue:sigmod").
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if previously unseen.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTermId if it was never interned.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the string for a valid term id.
+  const std::string& TermText(TermId id) const;
+
+  /// Number of distinct terms (|W| in the paper's notation).
+  std::size_t size() const { return terms_.size(); }
+
+  /// Serialization to/from the library's binary format.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Vocabulary> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, TermId> ids_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_TEXT_VOCABULARY_H_

@@ -1,0 +1,210 @@
+#include <cstdio>
+#include <string>
+
+#include "common/io_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "gtest/gtest.h"
+
+namespace phrasemine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IOError("disk gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(50, 1.1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, RankZeroMostProbable) {
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_GT(zipf.Probability(0), zipf.Probability(1));
+  EXPECT_GT(zipf.Probability(1), zipf.Probability(50));
+}
+
+TEST(ZipfSamplerTest, EmpiricalSkewMatches) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(5);
+  std::vector<int> histogram(10, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++histogram[zipf.Sample(rng)];
+  // Rank 0 should be drawn roughly 1/H_10 ≈ 0.34 of the time.
+  EXPECT_NEAR(static_cast<double>(histogram[0]) / n, zipf.Probability(0), 0.02);
+  EXPECT_GT(histogram[0], histogram[4]);
+}
+
+TEST(ZipfSamplerTest, SingleOutcome) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Probability(0), 1.0, 1e-12);
+}
+
+TEST(BinaryIoTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(123456);
+  w.PutU64(987654321012345ULL);
+  w.PutDouble(3.25);
+  w.PutString("hello");
+
+  BinaryReader r(w.TakeBuffer());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  double d;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 987654321012345ULL);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, VectorRoundTrip) {
+  BinaryWriter w;
+  std::vector<uint32_t> v = {1, 2, 3, 0xFFFFFFFF};
+  w.PutU32Vector(v);
+  BinaryReader r(w.TakeBuffer());
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(r.GetU32Vector(&out).ok());
+  EXPECT_EQ(out, v);
+}
+
+TEST(BinaryIoTest, TruncatedReadFails) {
+  BinaryWriter w;
+  w.PutU32(5);
+  BinaryReader r(w.TakeBuffer());
+  uint64_t u64;
+  EXPECT_FALSE(r.GetU64(&u64).ok());
+}
+
+TEST(BinaryIoTest, CorruptStringLengthFails) {
+  BinaryWriter w;
+  w.PutU32(1000);  // Claims 1000 bytes follow; none do.
+  BinaryReader r(w.TakeBuffer());
+  std::string s;
+  EXPECT_EQ(r.GetString(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pm_io_test.bin";
+  BinaryWriter w;
+  w.PutU32(2024);
+  w.PutString("edbt");
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+
+  auto r = BinaryReader::FromFile(path);
+  ASSERT_TRUE(r.ok());
+  uint32_t year;
+  std::string venue;
+  ASSERT_TRUE(r.value().GetU32(&year).ok());
+  ASSERT_TRUE(r.value().GetString(&venue).ok());
+  EXPECT_EQ(year, 2024u);
+  EXPECT_EQ(venue, "edbt");
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileFails) {
+  auto r = BinaryReader::FromFile("/nonexistent/path/file.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(StopWatchTest, MeasuresElapsedTime) {
+  StopWatch watch;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GE(watch.ElapsedMicros(), 0);
+  const double ms = watch.ElapsedMillis();
+  EXPECT_GE(ms, 0.0);
+}
+
+}  // namespace
+}  // namespace phrasemine

@@ -1,0 +1,76 @@
+#include "text/corpus_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace phrasemine {
+namespace {
+
+TEST(CorpusReaderTest, PlainStreamOneDocPerLine) {
+  std::istringstream in(
+      "The first document body\n"
+      "\n"
+      "second document here\n");
+  Corpus corpus = CorpusReader::FromPlainStream(in);
+  ASSERT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.doc(0).tokens.size(), 4u);
+  EXPECT_TRUE(corpus.doc(0).facets.empty());
+  EXPECT_NE(corpus.vocab().Lookup("second"), kInvalidTermId);
+}
+
+TEST(CorpusReaderTest, FacetedStreamParsesFacets) {
+  std::istringstream in(
+      "topic:trade,year:1987\tgrain exports rise sharply\n"
+      "topic:money\tcentral bank cuts rates\n");
+  Corpus corpus = CorpusReader::FromFacetedStream(in);
+  ASSERT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.doc(0).facets.size(), 2u);
+  EXPECT_EQ(corpus.vocab().TermText(corpus.doc(0).facets[0]), "topic:trade");
+  EXPECT_EQ(corpus.doc(1).facets.size(), 1u);
+  EXPECT_EQ(corpus.doc(0).tokens.size(), 4u);
+}
+
+TEST(CorpusReaderTest, FacetedLineWithoutTabIsPlain) {
+  std::istringstream in("just a plain line\n");
+  Corpus corpus = CorpusReader::FromFacetedStream(in);
+  ASSERT_EQ(corpus.size(), 1u);
+  EXPECT_TRUE(corpus.doc(0).facets.empty());
+  EXPECT_EQ(corpus.doc(0).tokens.size(), 4u);
+}
+
+TEST(CorpusReaderTest, FacetSpecSkipsSpacesAndEmpties) {
+  std::istringstream in("a, b,,c\tbody text\n");
+  Corpus corpus = CorpusReader::FromFacetedStream(in);
+  ASSERT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(corpus.doc(0).facets.size(), 3u);
+}
+
+TEST(CorpusReaderTest, MissingFileFails) {
+  auto r = CorpusReader::FromPlainFile("/nonexistent/corpus.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CorpusReaderTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pm_corpus_io_test.txt";
+  {
+    std::ofstream out(path);
+    out << "alpha beta gamma\n";
+    out << "topic:x\tdelta epsilon\n";
+  }
+  auto plain = CorpusReader::FromPlainFile(path);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().size(), 2u);
+
+  auto faceted = CorpusReader::FromFacetedFile(path);
+  ASSERT_TRUE(faceted.ok());
+  EXPECT_EQ(faceted.value().size(), 2u);
+  EXPECT_EQ(faceted.value().doc(1).facets.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace phrasemine

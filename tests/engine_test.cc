@@ -1,0 +1,173 @@
+// MiningEngine facade behaviour: lazy structures, word-list lifecycle,
+// snapshot persistence, and end-to-end agreement after a save/load cycle.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+TEST(EngineTest, BuildPopulatesAllEagerStructures) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  EXPECT_GT(engine.dict().size(), 0u);
+  EXPECT_EQ(engine.corpus().size(), 8u);
+  EXPECT_EQ(engine.forward().num_docs(), 8u);
+  EXPECT_EQ(engine.forward_compressed().storage(),
+            ForwardStorage::kPrefixCompressed);
+  EXPECT_EQ(engine.phrase_file().num_phrases(), engine.dict().size());
+  EXPECT_EQ(engine.word_lists().num_terms(), 0u);  // Lazy.
+}
+
+TEST(EngineTest, ParseQueryUsesCorpusVocabulary) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  EXPECT_TRUE(engine.ParseQuery("query db", QueryOperator::kAnd).ok());
+  EXPECT_FALSE(engine.ParseQuery("nonexistentword", QueryOperator::kOr).ok());
+}
+
+TEST(EngineTest, MineBuildsWordListsOnDemand) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  auto q = engine.ParseQuery("query optimization", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(engine.word_lists().num_terms(), 0u);
+  (void)engine.Mine(q.value(), Algorithm::kSmj);
+  EXPECT_EQ(engine.word_lists().num_terms(), 2u);
+  // A second query extends rather than rebuilds.
+  auto q2 = engine.ParseQuery("kernel", QueryOperator::kAnd);
+  ASSERT_TRUE(q2.ok());
+  (void)engine.Mine(q2.value(), Algorithm::kNra);
+  EXPECT_EQ(engine.word_lists().num_terms(), 3u);
+}
+
+TEST(EngineTest, SetSmjFractionRebuildsIdLists) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  auto q = engine.ParseQuery("db", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  engine.SetSmjFraction(1.0);
+  MineResult full = engine.Mine(q.value(), Algorithm::kSmj);
+  engine.SetSmjFraction(0.1);
+  MineResult small = engine.Mine(q.value(), Algorithm::kSmj);
+  EXPECT_DOUBLE_EQ(engine.smj_fraction(), 0.1);
+  EXPECT_LE(small.entries_read, full.entries_read);
+}
+
+TEST(EngineTest, PhraseTextServedFromSlotFile) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  for (PhraseId p = 0; p < engine.dict().size(); ++p) {
+    EXPECT_EQ(engine.PhraseText(p),
+              engine.dict().Text(p, engine.corpus().vocab()));
+  }
+}
+
+TEST(EngineTest, AlgorithmNamesStable) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kExact), "Exact");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kGm), "GM");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kSimitsis), "Simitsis");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kNra), "NRA");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kNraDisk), "NRA-disk");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kSmj), "SMJ");
+}
+
+TEST(EngineTest, SnapshotRoundTripPreservesResults) {
+  const std::string dir = ::testing::TempDir();
+  MiningEngine original = testing::MakeTinyEngine();
+  auto q = original.ParseQuery("query optimization", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  // Materialize word lists so the snapshot carries them.
+  MineResult before = original.Mine(q.value(), Algorithm::kSmj);
+  ASSERT_TRUE(original.SaveToDirectory(dir).ok());
+
+  auto loaded = MiningEngine::LoadFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok());
+  MiningEngine& engine = loaded.value();
+  EXPECT_EQ(engine.corpus().size(), original.corpus().size());
+  EXPECT_EQ(engine.dict().size(), original.dict().size());
+  EXPECT_EQ(engine.word_lists().num_terms(),
+            original.word_lists().num_terms());
+
+  // Same query, same results, across all algorithms.
+  auto q2 = engine.ParseQuery("query optimization", QueryOperator::kAnd);
+  ASSERT_TRUE(q2.ok());
+  for (Algorithm a : {Algorithm::kExact, Algorithm::kGm, Algorithm::kSmj,
+                      Algorithm::kNra, Algorithm::kSimitsis}) {
+    MineResult from_loaded = engine.Mine(q2.value(), a);
+    MineResult from_original = original.Mine(q.value(), a);
+    EXPECT_EQ(testing::Ids(from_loaded), testing::Ids(from_original))
+        << AlgorithmName(a);
+  }
+  std::remove((dir + "/engine.pmsnap").c_str());
+}
+
+TEST(EngineTest, LoadMissingSnapshotFails) {
+  auto loaded = MiningEngine::LoadFromDirectory("/nonexistent/dir");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(EngineTest, LoadRejectsGarbageFile) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/engine.pmsnap";
+  {
+    BinaryWriter w;
+    w.PutU32(0xDEADBEEF);  // wrong magic
+    w.PutU32(1);
+    ASSERT_TRUE(w.WriteToFile(path).ok());
+  }
+  auto loaded = MiningEngine::LoadFromDirectory(dir);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, LoadRejectsWrongVersion) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/engine.pmsnap";
+  {
+    BinaryWriter w;
+    w.PutU32(0x504D534E);
+    w.PutU32(999);
+    ASSERT_TRUE(w.WriteToFile(path).ok());
+  }
+  auto loaded = MiningEngine::LoadFromDirectory(dir);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, TruncatedSnapshotFailsCleanly) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/engine.pmsnap";
+  MiningEngine original = testing::MakeTinyEngine();
+  ASSERT_TRUE(original.SaveToDirectory(dir).ok());
+  // Truncate the snapshot to its first half and expect a clean error.
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  const std::size_t full = reader.value().Remaining();
+  {
+    std::vector<uint8_t> half(full / 2);
+    ASSERT_TRUE(reader.value().GetRaw(half.data(), half.size()).ok());
+    BinaryWriter w;
+    w.PutRaw(half.data(), half.size());
+    ASSERT_TRUE(w.WriteToFile(path).ok());
+  }
+  auto loaded = MiningEngine::LoadFromDirectory(dir);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, NraDiskReportsDiskCost) {
+  MiningEngine engine = testing::MakeSmallEngine(200);
+  auto queries = engine.ParseQuery("topic:0", QueryOperator::kAnd);
+  ASSERT_TRUE(queries.ok());
+  MineResult r = engine.Mine(queries.value(), Algorithm::kNraDisk);
+  EXPECT_GT(r.disk_ms, 0.0);
+  EXPECT_GT(r.TotalMs(), r.compute_ms);
+  // In-memory runs report no disk cost.
+  MineResult mem = engine.Mine(queries.value(), Algorithm::kNra);
+  EXPECT_DOUBLE_EQ(mem.disk_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace phrasemine

@@ -1,0 +1,106 @@
+#include "eval/experiment.h"
+
+#include "eval/query_gen.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+struct Fixture {
+  Fixture() : engine(testing::MakeSmallEngine(400)) {
+    QuerySetGenerator qgen(QueryGenOptions{.seed = 19, .num_queries = 6});
+    queries =
+        qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+    engine.EnsureWordListsFor(queries);
+  }
+  MiningEngine engine;
+  std::vector<Query> queries;
+};
+
+TEST(ExperimentTest, ExactAgainstItselfIsPerfect) {
+  Fixture f;
+  AggregateRun run =
+      RunExperiment(f.engine, f.queries, QueryOperator::kAnd,
+                    Algorithm::kExact, MineOptions{.k = 5},
+                    /*evaluate_quality=*/true);
+  EXPECT_EQ(run.num_queries, f.queries.size());
+  EXPECT_NEAR(run.quality.precision, 1.0, 1e-12);
+  EXPECT_NEAR(run.quality.ndcg, 1.0, 1e-12);
+  EXPECT_NEAR(run.quality.mrr, 1.0, 1e-12);
+  EXPECT_NEAR(run.quality.map, 1.0, 1e-12);
+  // Exact scores equal true interestingness: zero divergence.
+  EXPECT_NEAR(run.mean_interestingness_diff, 0.0, 1e-12);
+}
+
+TEST(ExperimentTest, GmAgainstExactIsPerfectToo) {
+  Fixture f;
+  AggregateRun run = RunExperiment(f.engine, f.queries, QueryOperator::kOr,
+                                   Algorithm::kGm, MineOptions{.k = 5},
+                                   /*evaluate_quality=*/true);
+  EXPECT_NEAR(run.quality.ndcg, 1.0, 1e-12);
+}
+
+TEST(ExperimentTest, TimingOnlySkipsQualityWork) {
+  Fixture f;
+  AggregateRun run =
+      RunExperiment(f.engine, f.queries, QueryOperator::kAnd, Algorithm::kSmj,
+                    MineOptions{.k = 5}, /*evaluate_quality=*/false);
+  EXPECT_EQ(run.num_queries, f.queries.size());
+  EXPECT_DOUBLE_EQ(run.quality.ndcg, 0.0);
+  EXPECT_GE(run.avg_total_ms, 0.0);
+  EXPECT_GT(run.avg_entries_read, 0.0);
+}
+
+TEST(ExperimentTest, OperatorIsApplied) {
+  Fixture f;
+  // AND and OR must traverse different amounts of data for GM.
+  AggregateRun and_run =
+      RunExperiment(f.engine, f.queries, QueryOperator::kAnd, Algorithm::kGm,
+                    MineOptions{.k = 5}, /*evaluate_quality=*/false);
+  AggregateRun or_run =
+      RunExperiment(f.engine, f.queries, QueryOperator::kOr, Algorithm::kGm,
+                    MineOptions{.k = 5}, /*evaluate_quality=*/false);
+  EXPECT_GT(or_run.avg_entries_read, and_run.avg_entries_read);
+}
+
+TEST(ExperimentTest, TrueInterestingnessMatchesDefinition) {
+  Fixture f;
+  Query q = f.queries.front();
+  q.op = QueryOperator::kOr;
+  const std::vector<DocId> subset = EvalSubCollection(q, f.engine.inverted());
+  ASSERT_FALSE(subset.empty());
+  // For any phrase: |docs(p) ∩ D'| / df(p), cross-checked against postings.
+  for (PhraseId p = 0; p < std::min<std::size_t>(f.engine.dict().size(), 50);
+       ++p) {
+    const double value = TrueInterestingness(f.engine, p, subset);
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+    const double expected =
+        static_cast<double>(InvertedIndex::IntersectSize(
+            f.engine.postings().docs(p), subset)) /
+        static_cast<double>(f.engine.dict().df(p));
+    EXPECT_DOUBLE_EQ(value, expected);
+  }
+}
+
+TEST(ExperimentTest, DiskRunsAccumulateDiskTime) {
+  Fixture f;
+  AggregateRun run = RunExperiment(
+      f.engine, f.queries, QueryOperator::kAnd, Algorithm::kNraDisk,
+      MineOptions{.k = 5}, /*evaluate_quality=*/false);
+  EXPECT_GT(run.avg_disk_ms, 0.0);
+  EXPECT_NEAR(run.avg_total_ms, run.avg_compute_ms + run.avg_disk_ms, 1e-9);
+}
+
+TEST(ExperimentTest, EmptyWorkloadIsSafe) {
+  Fixture f;
+  AggregateRun run =
+      RunExperiment(f.engine, {}, QueryOperator::kAnd, Algorithm::kExact,
+                    MineOptions{.k = 5}, /*evaluate_quality=*/true);
+  EXPECT_EQ(run.num_queries, 0u);
+  EXPECT_DOUBLE_EQ(run.avg_total_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace phrasemine

@@ -1,0 +1,143 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "index/forward_index.h"
+#include "phrase/phrase_extractor.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+using testing::MakeTinyCorpus;
+
+struct TinyFixture {
+  Corpus corpus = MakeTinyCorpus();
+  PhraseDictionary dict =
+      PhraseExtractor({.max_phrase_len = 4, .min_df = 2}).Extract(corpus);
+};
+
+TEST(ForwardIndexTest, FullListsSortedDistinct) {
+  TinyFixture f;
+  ForwardIndex index =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kFull);
+  ASSERT_EQ(index.num_docs(), f.corpus.size());
+  for (DocId d = 0; d < index.num_docs(); ++d) {
+    auto list = index.stored(d);
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+    EXPECT_EQ(std::adjacent_find(list.begin(), list.end()), list.end());
+  }
+}
+
+TEST(ForwardIndexTest, FullContainsKnownPhrase) {
+  TinyFixture f;
+  ForwardIndex index =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kFull);
+  const PhraseId p = f.dict.Find(std::vector<TermId>{
+      f.corpus.vocab().Lookup("query"), f.corpus.vocab().Lookup("optimization")});
+  ASSERT_NE(p, kInvalidPhraseId);
+  // Docs 0-3 contain "query optimization".
+  for (DocId d = 0; d < 4; ++d) {
+    auto list = index.stored(d);
+    EXPECT_TRUE(std::binary_search(list.begin(), list.end(), p)) << d;
+  }
+  for (DocId d = 4; d < 8; ++d) {
+    auto list = index.stored(d);
+    EXPECT_FALSE(std::binary_search(list.begin(), list.end(), p)) << d;
+  }
+}
+
+TEST(ForwardIndexTest, CompressedSmallerThanFull) {
+  TinyFixture f;
+  ForwardIndex full =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kFull);
+  ForwardIndex compressed =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kPrefixCompressed);
+  EXPECT_LT(compressed.TotalStoredEntries(), full.TotalStoredEntries());
+}
+
+TEST(ForwardIndexTest, CompressedExpandsToFullSet) {
+  TinyFixture f;
+  ForwardIndex full =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kFull);
+  ForwardIndex compressed =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kPrefixCompressed);
+  for (DocId d = 0; d < f.corpus.size(); ++d) {
+    const std::vector<PhraseId> expanded = compressed.Phrases(d, f.dict);
+    const std::vector<PhraseId> reference = full.Phrases(d, f.dict);
+    EXPECT_EQ(expanded, reference) << "doc " << d;
+  }
+}
+
+TEST(ForwardIndexTest, CompressedStoresNoImpliedPrefix) {
+  TinyFixture f;
+  ForwardIndex compressed =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kPrefixCompressed);
+  for (DocId d = 0; d < f.corpus.size(); ++d) {
+    auto list = compressed.stored(d);
+    for (PhraseId p : list) {
+      // No stored phrase may be the parent of another stored phrase.
+      for (PhraseId q : list) {
+        if (q == p) continue;
+        EXPECT_NE(f.dict.info(q).parent, p)
+            << "doc " << d << " stores both a phrase and its prefix";
+      }
+    }
+  }
+}
+
+TEST(ForwardIndexTest, CollectDocPhrasesWalksAllLengths) {
+  TinyFixture f;
+  const auto& tokens = f.corpus.doc(0).tokens;
+  const std::vector<PhraseId> phrases = CollectDocPhrases(tokens, f.dict);
+  // Must contain the unigram "query", the bigram "query optimization" and
+  // the stopword bigram "the of".
+  const TermId query = f.corpus.vocab().Lookup("query");
+  const TermId optimization = f.corpus.vocab().Lookup("optimization");
+  EXPECT_TRUE(std::binary_search(phrases.begin(), phrases.end(),
+                                 f.dict.Unigram(query)));
+  EXPECT_TRUE(std::binary_search(
+      phrases.begin(), phrases.end(),
+      f.dict.Find(std::vector<TermId>{query, optimization})));
+}
+
+TEST(ForwardIndexTest, SerializationRoundTrip) {
+  TinyFixture f;
+  for (ForwardStorage storage :
+       {ForwardStorage::kFull, ForwardStorage::kPrefixCompressed}) {
+    ForwardIndex index = ForwardIndex::Build(f.corpus, f.dict, storage);
+    BinaryWriter w;
+    index.Serialize(&w);
+    BinaryReader r(w.TakeBuffer());
+    auto loaded = ForwardIndex::Deserialize(&r);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().storage(), storage);
+    ASSERT_EQ(loaded.value().num_docs(), index.num_docs());
+    for (DocId d = 0; d < index.num_docs(); ++d) {
+      EXPECT_TRUE(std::equal(index.stored(d).begin(), index.stored(d).end(),
+                             loaded.value().stored(d).begin(),
+                             loaded.value().stored(d).end()));
+    }
+  }
+}
+
+// Property: expansion equivalence holds on synthetic corpora too.
+class ForwardIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ForwardIndexPropertyTest, CompressedEquivalentOnSynthetic) {
+  Corpus corpus = testing::MakeSmallSyntheticCorpus(80 + 10 * GetParam());
+  PhraseDictionary dict =
+      PhraseExtractor({.max_phrase_len = 5, .min_df = 3}).Extract(corpus);
+  ForwardIndex full = ForwardIndex::Build(corpus, dict, ForwardStorage::kFull);
+  ForwardIndex compressed =
+      ForwardIndex::Build(corpus, dict, ForwardStorage::kPrefixCompressed);
+  EXPECT_LE(compressed.TotalStoredEntries(), full.TotalStoredEntries());
+  for (DocId d = 0; d < corpus.size(); d += 7) {
+    EXPECT_EQ(compressed.Phrases(d, dict), full.Phrases(d, dict));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Synthetic, ForwardIndexPropertyTest,
+                         ::testing::Range<uint64_t>(0, 5));
+
+}  // namespace
+}  // namespace phrasemine

@@ -1,0 +1,151 @@
+#include <algorithm>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/inverted_index.h"
+#include "test_util.h"
+#include "text/corpus.h"
+
+namespace phrasemine {
+namespace {
+
+using testing::MakeTinyCorpus;
+
+TEST(InvertedIndexTest, PostingsSortedAndDeduped) {
+  Corpus corpus = MakeTinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  for (TermId t = 0; t < corpus.vocab().size(); ++t) {
+    const auto& docs = index.docs(t);
+    EXPECT_TRUE(std::is_sorted(docs.begin(), docs.end()));
+    EXPECT_EQ(std::adjacent_find(docs.begin(), docs.end()), docs.end());
+  }
+}
+
+TEST(InvertedIndexTest, DocumentFrequencies) {
+  Corpus corpus = MakeTinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  EXPECT_EQ(index.df(corpus.vocab().Lookup("the")), 8u);
+  EXPECT_EQ(index.df(corpus.vocab().Lookup("db")), 4u);
+  EXPECT_EQ(index.df(corpus.vocab().Lookup("kernel")), 4u);
+  EXPECT_EQ(index.df(corpus.vocab().Lookup("histograms")), 1u);
+}
+
+TEST(InvertedIndexTest, FacetsIndexed) {
+  Corpus corpus;
+  corpus.AddTokenized({"words"}, {"topic:db"});
+  corpus.AddTokenized({"words"}, {"topic:os"});
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  EXPECT_EQ(index.df(corpus.vocab().Lookup("topic:db")), 1u);
+  EXPECT_EQ(index.df(corpus.vocab().Lookup("words")), 2u);
+}
+
+TEST(InvertedIndexTest, UnknownTermEmpty) {
+  Corpus corpus = MakeTinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  EXPECT_TRUE(index.docs(999999).empty());
+  EXPECT_EQ(index.df(999999), 0u);
+}
+
+TEST(InvertedIndexTest, IntersectBasic) {
+  std::vector<DocId> a = {1, 3, 5, 7, 9};
+  std::vector<DocId> b = {2, 3, 5, 8, 9};
+  std::vector<DocId> c = {3, 9};
+  auto result = InvertedIndex::Intersect({&a, &b, &c});
+  EXPECT_EQ(result, (std::vector<DocId>{3, 9}));
+}
+
+TEST(InvertedIndexTest, IntersectWithEmptyListIsEmpty) {
+  std::vector<DocId> a = {1, 2, 3};
+  std::vector<DocId> empty;
+  EXPECT_TRUE(InvertedIndex::Intersect({&a, &empty}).empty());
+}
+
+TEST(InvertedIndexTest, IntersectSingleList) {
+  std::vector<DocId> a = {4, 5, 6};
+  EXPECT_EQ(InvertedIndex::Intersect({&a}), a);
+}
+
+TEST(InvertedIndexTest, IntersectNoLists) {
+  EXPECT_TRUE(InvertedIndex::Intersect({}).empty());
+}
+
+TEST(InvertedIndexTest, UnionBasic) {
+  std::vector<DocId> a = {1, 3};
+  std::vector<DocId> b = {2, 3, 4};
+  auto result = InvertedIndex::Union({&a, &b});
+  EXPECT_EQ(result, (std::vector<DocId>{1, 2, 3, 4}));
+}
+
+TEST(InvertedIndexTest, UnionWithEmpty) {
+  std::vector<DocId> a = {1, 2};
+  std::vector<DocId> empty;
+  EXPECT_EQ(InvertedIndex::Union({&empty, &a}), a);
+  EXPECT_TRUE(InvertedIndex::Union({&empty, &empty}).empty());
+}
+
+TEST(InvertedIndexTest, IntersectSizeMatchesIntersect) {
+  std::vector<DocId> a = {1, 4, 6, 9, 12, 40, 77};
+  std::vector<DocId> b = {4, 9, 13, 40, 78, 100};
+  EXPECT_EQ(InvertedIndex::IntersectSize(a, b), 3u);
+  EXPECT_EQ(InvertedIndex::IntersectSize(b, a), 3u);
+  EXPECT_EQ(InvertedIndex::IntersectSize(a, {}), 0u);
+}
+
+TEST(InvertedIndexTest, SerializationRoundTrip) {
+  Corpus corpus = MakeTinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  BinaryWriter w;
+  index.Serialize(&w);
+  BinaryReader r(w.TakeBuffer());
+  auto loaded = InvertedIndex::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_terms(), index.num_terms());
+  for (TermId t = 0; t < index.num_terms(); ++t) {
+    EXPECT_EQ(loaded.value().docs(t), index.docs(t));
+  }
+}
+
+// Property sweep: Intersect/Union agree with a naive reference on random
+// sorted lists.
+class InvertedIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvertedIndexPropertyTest, SetAlgebraMatchesReference) {
+  Rng rng(GetParam());
+  auto make_list = [&](std::size_t max_len) {
+    std::vector<DocId> list;
+    const std::size_t len = rng.NextBelow(max_len + 1);
+    DocId cursor = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      cursor += 1 + static_cast<DocId>(rng.NextBelow(5));
+      list.push_back(cursor);
+    }
+    return list;
+  };
+  std::vector<DocId> a = make_list(60);
+  std::vector<DocId> b = make_list(60);
+  std::vector<DocId> c = make_list(30);
+
+  std::vector<DocId> ref_and;
+  for (DocId d : a) {
+    if (std::binary_search(b.begin(), b.end(), d) &&
+        std::binary_search(c.begin(), c.end(), d)) {
+      ref_and.push_back(d);
+    }
+  }
+  std::vector<DocId> ref_or = a;
+  ref_or.insert(ref_or.end(), b.begin(), b.end());
+  ref_or.insert(ref_or.end(), c.begin(), c.end());
+  std::sort(ref_or.begin(), ref_or.end());
+  ref_or.erase(std::unique(ref_or.begin(), ref_or.end()), ref_or.end());
+
+  EXPECT_EQ(InvertedIndex::Intersect({&a, &b, &c}), ref_and);
+  EXPECT_EQ(InvertedIndex::Union({&a, &b, &c}), ref_or);
+  EXPECT_EQ(InvertedIndex::IntersectSize(a, b),
+            InvertedIndex::Intersect({&a, &b}).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLists, InvertedIndexPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace phrasemine

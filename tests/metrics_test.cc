@@ -1,0 +1,100 @@
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+
+namespace phrasemine {
+namespace {
+
+std::unordered_set<PhraseId> Rel(std::initializer_list<PhraseId> ids) {
+  return std::unordered_set<PhraseId>(ids);
+}
+
+TEST(MetricsTest, PerfectRetrieval) {
+  QualityMetrics m = ComputeQuality({1, 2, 3, 4, 5}, Rel({1, 2, 3, 4, 5}), 5);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(m.map, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+}
+
+TEST(MetricsTest, AllWrong) {
+  QualityMetrics m = ComputeQuality({6, 7, 8, 9, 10}, Rel({1, 2, 3, 4, 5}), 5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.0);
+  EXPECT_DOUBLE_EQ(m.map, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+}
+
+TEST(MetricsTest, MrrSecondPosition) {
+  QualityMetrics m = ComputeQuality({9, 1, 8, 7, 6}, Rel({1, 2, 3, 4, 5}), 5);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.2);
+}
+
+TEST(MetricsTest, RankSensitivityOfNdcgAndMap) {
+  // The paper's example: 2 correct results score higher at positions 1-2
+  // than at positions 4-5.
+  QualityMetrics top = ComputeQuality({1, 2, 8, 9, 10}, Rel({1, 2}), 5);
+  QualityMetrics bottom = ComputeQuality({8, 9, 10, 1, 2}, Rel({1, 2}), 5);
+  EXPECT_DOUBLE_EQ(top.precision, bottom.precision);
+  EXPECT_GT(top.ndcg, bottom.ndcg);
+  EXPECT_GT(top.map, bottom.map);
+}
+
+TEST(MetricsTest, PerfectWhenAllRelevantRetrievedAtTop) {
+  // Only 2 relevant exist; retrieving them first is ideal -> NDCG = 1.
+  QualityMetrics m = ComputeQuality({1, 2, 8, 9, 10}, Rel({1, 2}), 5);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(m.map, 1.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+}
+
+TEST(MetricsTest, ShortRetrievedList) {
+  QualityMetrics m = ComputeQuality({1}, Rel({1, 2, 3}), 5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.2);  // 1 hit / k=5
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+}
+
+TEST(MetricsTest, EmptyInputs) {
+  QualityMetrics m1 = ComputeQuality({}, Rel({1}), 5);
+  EXPECT_DOUBLE_EQ(m1.precision, 0.0);
+  QualityMetrics m2 = ComputeQuality({1, 2}, {}, 5);
+  EXPECT_DOUBLE_EQ(m2.ndcg, 0.0);
+  QualityMetrics m3 = ComputeQuality({1}, Rel({1}), 0);
+  EXPECT_DOUBLE_EQ(m3.precision, 0.0);
+}
+
+TEST(MetricsTest, DcgUsesLogDiscount) {
+  // Single relevant at rank 3 of 3 relevant total (k=5):
+  // dcg = 1/log2(4), idcg = 1/log2(2)+1/log2(3)+1/log2(4).
+  QualityMetrics m = ComputeQuality({8, 9, 1, 10, 11}, Rel({1, 2, 3}), 5);
+  const double dcg = 1.0 / std::log2(4.0);
+  const double idcg =
+      1.0 / std::log2(2.0) + 1.0 / std::log2(3.0) + 1.0 / std::log2(4.0);
+  EXPECT_NEAR(m.ndcg, dcg / idcg, 1e-12);
+}
+
+TEST(MetricsTest, AccumulateAndAverage) {
+  QualityMetrics a{1.0, 1.0, 1.0, 1.0};
+  QualityMetrics b{0.0, 0.5, 0.25, 0.75};
+  a += b;
+  QualityMetrics avg = a / 2.0;
+  EXPECT_DOUBLE_EQ(avg.precision, 0.5);
+  EXPECT_DOUBLE_EQ(avg.mrr, 0.75);
+  EXPECT_DOUBLE_EQ(avg.map, 0.625);
+  EXPECT_DOUBLE_EQ(avg.ndcg, 0.875);
+}
+
+TEST(MetricsTest, MonotoneInHits) {
+  // Adding one more correct result never lowers any measure.
+  QualityMetrics one = ComputeQuality({1, 8, 9, 10, 11}, Rel({1, 2}), 5);
+  QualityMetrics two = ComputeQuality({1, 2, 9, 10, 11}, Rel({1, 2}), 5);
+  EXPECT_GE(two.precision, one.precision);
+  EXPECT_GE(two.map, one.map);
+  EXPECT_GE(two.ndcg, one.ndcg);
+  EXPECT_GE(two.mrr, one.mrr);
+}
+
+}  // namespace
+}  // namespace phrasemine

@@ -1,0 +1,104 @@
+#include "gtest/gtest.h"
+#include "index/phrase_list_file.h"
+#include "index/phrase_posting_index.h"
+#include "phrase/phrase_extractor.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    corpus = testing::MakeTinyCorpus();
+    dict = PhraseExtractor({.max_phrase_len = 4, .min_df = 2}).Extract(corpus);
+  }
+  Corpus corpus;
+  PhraseDictionary dict;
+};
+
+TEST(PhraseListFileTest, TextRoundTripsForEveryPhrase) {
+  Fixture f;
+  PhraseListFile file = PhraseListFile::Build(f.dict, f.corpus.vocab());
+  ASSERT_EQ(file.num_phrases(), f.dict.size());
+  for (PhraseId p = 0; p < f.dict.size(); ++p) {
+    EXPECT_EQ(file.Text(p), f.dict.Text(p, f.corpus.vocab()));
+  }
+  EXPECT_EQ(file.truncated_count(), 0u);
+}
+
+TEST(PhraseListFileTest, FixedSlotOffsets) {
+  Fixture f;
+  PhraseListFile file = PhraseListFile::Build(f.dict, f.corpus.vocab(), 64);
+  EXPECT_EQ(file.slot_size(), 64u);
+  EXPECT_EQ(file.SlotOffset(0), 0u);
+  EXPECT_EQ(file.SlotOffset(3), 3u * 64u);
+  EXPECT_EQ(file.SizeBytes(), f.dict.size() * 64u);
+}
+
+TEST(PhraseListFileTest, TruncatesLongPhrases) {
+  Fixture f;
+  // Slot of 8 bytes cannot hold "query optimization".
+  PhraseListFile file = PhraseListFile::Build(f.dict, f.corpus.vocab(), 8);
+  EXPECT_GT(file.truncated_count(), 0u);
+  for (PhraseId p = 0; p < f.dict.size(); ++p) {
+    EXPECT_LE(file.Text(p).size(), 8u);
+  }
+}
+
+TEST(PhraseListFileTest, SerializationRoundTrip) {
+  Fixture f;
+  PhraseListFile file = PhraseListFile::Build(f.dict, f.corpus.vocab());
+  BinaryWriter w;
+  file.Serialize(&w);
+  BinaryReader r(w.TakeBuffer());
+  auto loaded = PhraseListFile::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_phrases(), file.num_phrases());
+  for (PhraseId p = 0; p < file.num_phrases(); ++p) {
+    EXPECT_EQ(loaded.value().Text(p), file.Text(p));
+  }
+}
+
+TEST(PhraseListFileTest, DefaultSlotMatchesPaper) {
+  EXPECT_EQ(PhraseListFile::kDefaultSlotSize, 50u);
+}
+
+TEST(PhrasePostingIndexTest, PostingsMatchForwardIndex) {
+  Fixture f;
+  ForwardIndex forward =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kFull);
+  PhrasePostingIndex postings = PhrasePostingIndex::Build(forward, f.dict);
+  ASSERT_EQ(postings.num_phrases(), f.dict.size());
+  // Every phrase's posting-list length equals its df.
+  for (PhraseId p = 0; p < f.dict.size(); ++p) {
+    EXPECT_EQ(postings.docs(p).size(), f.dict.df(p)) << p;
+  }
+  EXPECT_EQ(postings.TotalEntries(), forward.TotalStoredEntries());
+}
+
+TEST(PhrasePostingIndexTest, CardinalityOrderNonIncreasing) {
+  Fixture f;
+  ForwardIndex forward =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kFull);
+  PhrasePostingIndex postings = PhrasePostingIndex::Build(forward, f.dict);
+  const auto& order = postings.by_cardinality();
+  ASSERT_EQ(order.size(), f.dict.size());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(postings.docs(order[i - 1]).size(),
+              postings.docs(order[i]).size());
+  }
+}
+
+TEST(PhrasePostingIndexTest, PostingListsSorted) {
+  Fixture f;
+  ForwardIndex forward =
+      ForwardIndex::Build(f.corpus, f.dict, ForwardStorage::kFull);
+  PhrasePostingIndex postings = PhrasePostingIndex::Build(forward, f.dict);
+  for (PhraseId p = 0; p < postings.num_phrases(); ++p) {
+    auto docs = postings.docs(p);
+    EXPECT_TRUE(std::is_sorted(docs.begin(), docs.end()));
+  }
+}
+
+}  // namespace
+}  // namespace phrasemine

@@ -1,0 +1,200 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "phrase/phrase_dictionary.h"
+#include "phrase/phrase_extractor.h"
+#include "test_util.h"
+#include "text/corpus.h"
+
+namespace phrasemine {
+namespace {
+
+using testing::MakeTinyCorpus;
+
+PhraseDictionary ExtractTiny(uint32_t min_df = 2, std::size_t max_len = 4) {
+  Corpus corpus = MakeTinyCorpus();
+  PhraseExtractor extractor({.max_phrase_len = max_len, .min_df = min_df});
+  return extractor.Extract(corpus);
+}
+
+TEST(PhraseExtractorTest, FindsExpectedBigram) {
+  Corpus corpus = MakeTinyCorpus();
+  PhraseExtractor extractor({.max_phrase_len = 4, .min_df = 2});
+  PhraseDictionary dict = extractor.Extract(corpus);
+
+  const TermId query = corpus.vocab().Lookup("query");
+  const TermId optimization = corpus.vocab().Lookup("optimization");
+  ASSERT_NE(query, kInvalidTermId);
+  ASSERT_NE(optimization, kInvalidTermId);
+  const std::vector<TermId> tokens = {query, optimization};
+  const PhraseId p = dict.Find(tokens);
+  ASSERT_NE(p, kInvalidPhraseId);
+  EXPECT_EQ(dict.df(p), 4u);  // Appears in all four database documents.
+}
+
+TEST(PhraseExtractorTest, StopwordBigramIsFrequent) {
+  Corpus corpus = MakeTinyCorpus();
+  PhraseExtractor extractor({.max_phrase_len = 4, .min_df = 2});
+  PhraseDictionary dict = extractor.Extract(corpus);
+  const std::vector<TermId> tokens = {corpus.vocab().Lookup("the"),
+                                      corpus.vocab().Lookup("of")};
+  const PhraseId p = dict.Find(tokens);
+  ASSERT_NE(p, kInvalidPhraseId);
+  EXPECT_EQ(dict.df(p), 8u);  // In every document: the normalization target.
+}
+
+TEST(PhraseExtractorTest, MinDfFiltersRarePhrases) {
+  Corpus corpus = MakeTinyCorpus();
+  PhraseExtractor strict({.max_phrase_len = 4, .min_df = 5});
+  PhraseDictionary dict = strict.Extract(corpus);
+  // "query optimization" has df 4 < 5 so it must not qualify.
+  const std::vector<TermId> tokens = {corpus.vocab().Lookup("query"),
+                                      corpus.vocab().Lookup("optimization")};
+  EXPECT_EQ(dict.Find(tokens), kInvalidPhraseId);
+  // "the of" has df 8 >= 5 and stays.
+  const std::vector<TermId> stop = {corpus.vocab().Lookup("the"),
+                                    corpus.vocab().Lookup("of")};
+  EXPECT_NE(dict.Find(stop), kInvalidPhraseId);
+}
+
+TEST(PhraseExtractorTest, DocFrequencyIsSetSemantics) {
+  Corpus corpus;
+  // "a b" occurs twice in one document: df must still be counted once,
+  // and with min_df = 2 the second document is required.
+  corpus.AddText("a b x a b");
+  corpus.AddText("a b y");
+  PhraseExtractor extractor({.max_phrase_len = 2, .min_df = 2});
+  PhraseDictionary dict = extractor.Extract(corpus);
+  const std::vector<TermId> tokens = {corpus.vocab().Lookup("a"),
+                                      corpus.vocab().Lookup("b")};
+  const PhraseId p = dict.Find(tokens);
+  ASSERT_NE(p, kInvalidPhraseId);
+  EXPECT_EQ(dict.df(p), 2u);
+}
+
+TEST(PhraseExtractorTest, RespectsMaxLength) {
+  Corpus corpus;
+  corpus.AddText("one two three four five six seven");
+  corpus.AddText("one two three four five six seven");
+  PhraseExtractor extractor({.max_phrase_len = 3, .min_df = 2});
+  PhraseDictionary dict = extractor.Extract(corpus);
+  EXPECT_EQ(dict.max_len(), 3u);
+  for (PhraseId p = 0; p < dict.size(); ++p) {
+    EXPECT_LE(dict.info(p).tokens.size(), 3u);
+  }
+}
+
+TEST(PhraseExtractorTest, AprioriParentAlwaysPresent) {
+  PhraseDictionary dict = ExtractTiny();
+  for (PhraseId p = 0; p < dict.size(); ++p) {
+    const PhraseInfo& info = dict.info(p);
+    if (info.tokens.size() == 1) {
+      EXPECT_EQ(info.parent, kInvalidPhraseId);
+    } else {
+      ASSERT_NE(info.parent, kInvalidPhraseId);
+      const PhraseInfo& parent = dict.info(info.parent);
+      EXPECT_EQ(parent.tokens.size() + 1, info.tokens.size());
+      // Parent df >= child df (superset of documents).
+      EXPECT_GE(parent.df, info.df);
+      // Parent tokens are the prefix.
+      EXPECT_TRUE(std::equal(parent.tokens.begin(), parent.tokens.end(),
+                             info.tokens.begin()));
+    }
+  }
+}
+
+TEST(PhraseExtractorTest, SixGramsOnRepeatedText) {
+  Corpus corpus;
+  for (int i = 0; i < 6; ++i) {
+    corpus.AddText("alpha beta gamma delta epsilon zeta filler" +
+                   std::to_string(i));
+  }
+  PhraseExtractor extractor({.max_phrase_len = 6, .min_df = 5});
+  PhraseDictionary dict = extractor.Extract(corpus);
+  std::vector<TermId> six;
+  for (const char* w :
+       {"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}) {
+    six.push_back(corpus.vocab().Lookup(w));
+  }
+  const PhraseId p = dict.Find(six);
+  ASSERT_NE(p, kInvalidPhraseId);
+  EXPECT_EQ(dict.df(p), 6u);
+  EXPECT_EQ(dict.info(p).tokens.size(), 6u);
+}
+
+TEST(PhraseDictionaryTest, ChildNavigation) {
+  Corpus corpus = MakeTinyCorpus();
+  PhraseExtractor extractor({.max_phrase_len = 4, .min_df = 2});
+  PhraseDictionary dict = extractor.Extract(corpus);
+  const TermId query = corpus.vocab().Lookup("query");
+  const TermId optimization = corpus.vocab().Lookup("optimization");
+  const PhraseId uni = dict.Unigram(query);
+  ASSERT_NE(uni, kInvalidPhraseId);
+  const PhraseId bi = dict.Child(uni, optimization);
+  ASSERT_NE(bi, kInvalidPhraseId);
+  EXPECT_EQ(dict.info(bi).parent, uni);
+}
+
+TEST(PhraseDictionaryTest, FindMissingReturnsInvalid) {
+  PhraseDictionary dict = ExtractTiny();
+  const std::vector<TermId> bogus = {9999999};
+  EXPECT_EQ(dict.Find(bogus), kInvalidPhraseId);
+  EXPECT_EQ(dict.Find({}), kInvalidPhraseId);
+}
+
+TEST(PhraseDictionaryTest, TextRendering) {
+  Corpus corpus = MakeTinyCorpus();
+  PhraseExtractor extractor({.max_phrase_len = 4, .min_df = 2});
+  PhraseDictionary dict = extractor.Extract(corpus);
+  const std::vector<TermId> tokens = {corpus.vocab().Lookup("query"),
+                                      corpus.vocab().Lookup("optimization")};
+  const PhraseId p = dict.Find(tokens);
+  ASSERT_NE(p, kInvalidPhraseId);
+  EXPECT_EQ(dict.Text(p, corpus.vocab()), "query optimization");
+}
+
+TEST(PhraseDictionaryTest, SerializationRoundTrip) {
+  Corpus corpus = MakeTinyCorpus();
+  PhraseExtractor extractor({.max_phrase_len = 4, .min_df = 2});
+  PhraseDictionary dict = extractor.Extract(corpus);
+
+  BinaryWriter w;
+  dict.Serialize(&w);
+  BinaryReader r(w.TakeBuffer());
+  auto loaded = PhraseDictionary::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  const PhraseDictionary& copy = loaded.value();
+  ASSERT_EQ(copy.size(), dict.size());
+  for (PhraseId p = 0; p < dict.size(); ++p) {
+    EXPECT_EQ(copy.info(p).tokens, dict.info(p).tokens);
+    EXPECT_EQ(copy.info(p).parent, dict.info(p).parent);
+    EXPECT_EQ(copy.df(p), dict.df(p));
+  }
+}
+
+TEST(PhraseDictionaryTest, SetDfMutates) {
+  PhraseDictionary dict = ExtractTiny();
+  ASSERT_GT(dict.size(), 0u);
+  dict.set_df(0, 12345);
+  EXPECT_EQ(dict.df(0), 12345u);
+}
+
+TEST(PhraseExtractorTest, EmptyCorpusYieldsEmptyDictionary) {
+  Corpus corpus;
+  PhraseExtractor extractor({.max_phrase_len = 6, .min_df = 1});
+  PhraseDictionary dict = extractor.Extract(corpus);
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(PhraseExtractorTest, UnigramDfMatchesInvertedIndexCounts) {
+  Corpus corpus = MakeTinyCorpus();
+  PhraseExtractor extractor({.max_phrase_len = 1, .min_df = 1});
+  PhraseDictionary dict = extractor.Extract(corpus);
+  // "db" occurs in 4 documents.
+  const PhraseId p = dict.Unigram(corpus.vocab().Lookup("db"));
+  ASSERT_NE(p, kInvalidPhraseId);
+  EXPECT_EQ(dict.df(p), 4u);
+}
+
+}  // namespace
+}  // namespace phrasemine

@@ -1,0 +1,91 @@
+#include <set>
+
+#include "eval/query_gen.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+TEST(QueryGenTest, ProducesRequestedCountAndLengths) {
+  MiningEngine engine = testing::MakeSmallEngine();
+  QueryGenOptions options;
+  options.num_queries = 30;
+  options.num_six_word = 2;
+  options.num_five_word = 2;
+  QuerySetGenerator qgen(options);
+  auto queries = qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+  ASSERT_EQ(queries.size(), 30u);
+
+  std::size_t six = 0, five = 0;
+  for (const Query& q : queries) {
+    EXPECT_GE(q.terms.size(), 2u);
+    EXPECT_LE(q.terms.size(), 6u);
+    if (q.terms.size() == 6) ++six;
+    if (q.terms.size() == 5) ++five;
+  }
+  // The paper's shape: two six-word and two five-word queries.
+  EXPECT_EQ(six, 2u);
+  EXPECT_EQ(five, 2u);
+}
+
+TEST(QueryGenTest, QueriesAreDistinct) {
+  MiningEngine engine = testing::MakeSmallEngine();
+  QuerySetGenerator qgen(QueryGenOptions{.seed = 2, .num_queries = 25});
+  auto queries = qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+  std::set<std::vector<TermId>> seen;
+  for (Query q : queries) {
+    std::sort(q.terms.begin(), q.terms.end());
+    EXPECT_TRUE(seen.insert(q.terms).second) << "duplicate query";
+  }
+}
+
+TEST(QueryGenTest, TermsAreFrequentEnough) {
+  MiningEngine engine = testing::MakeSmallEngine();
+  QueryGenOptions options;
+  options.num_queries = 20;
+  options.min_term_df = 12;
+  QuerySetGenerator qgen(options);
+  auto queries = qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+  for (const Query& q : queries) {
+    for (TermId t : q.terms) {
+      EXPECT_GE(engine.inverted().df(t), 12u);
+    }
+  }
+}
+
+TEST(QueryGenTest, Deterministic) {
+  MiningEngine engine = testing::MakeSmallEngine();
+  QuerySetGenerator a(QueryGenOptions{.seed = 9, .num_queries = 10});
+  QuerySetGenerator b(QueryGenOptions{.seed = 9, .num_queries = 10});
+  auto qa = a.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+  auto qb = b.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+  ASSERT_EQ(qa.size(), qb.size());
+  for (std::size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i].terms, qb[i].terms);
+  }
+}
+
+TEST(QueryGenTest, AndSubCollectionsNonEmpty) {
+  // Harvested from co-occurring phrase words, so the AND of the terms
+  // should select at least one document for most queries.
+  MiningEngine engine = testing::MakeSmallEngine();
+  QuerySetGenerator qgen(QueryGenOptions{.seed = 4, .num_queries = 15});
+  auto queries = qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+  std::size_t non_empty = 0;
+  for (Query q : queries) {
+    q.op = QueryOperator::kAnd;
+    if (!EvalSubCollection(q, engine.inverted()).empty()) ++non_empty;
+  }
+  EXPECT_GE(non_empty, queries.size() / 2);
+}
+
+TEST(QueryGenTest, WithOperatorSwitches) {
+  std::vector<Query> queries(3);
+  for (auto& q : queries) q.op = QueryOperator::kAnd;
+  auto switched = WithOperator(queries, QueryOperator::kOr);
+  for (const auto& q : switched) EXPECT_EQ(q.op, QueryOperator::kOr);
+}
+
+}  // namespace
+}  // namespace phrasemine

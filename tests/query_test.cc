@@ -1,0 +1,86 @@
+#include "core/query.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+using testing::MakeTinyCorpus;
+
+TEST(QueryTest, ParseValidTerms) {
+  Corpus corpus = MakeTinyCorpus();
+  auto q = Query::Parse("query optimization", QueryOperator::kAnd,
+                        corpus.vocab());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().terms.size(), 2u);
+  EXPECT_EQ(q.value().op, QueryOperator::kAnd);
+}
+
+TEST(QueryTest, ParseUnknownTermFails) {
+  Corpus corpus = MakeTinyCorpus();
+  auto q = Query::Parse("query zzzunknown", QueryOperator::kOr, corpus.vocab());
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryTest, ParseEmptyFails) {
+  Corpus corpus = MakeTinyCorpus();
+  auto q = Query::Parse("   ", QueryOperator::kAnd, corpus.vocab());
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, ToStringShowsOperator) {
+  Corpus corpus = MakeTinyCorpus();
+  auto q = Query::Parse("query db", QueryOperator::kOr, corpus.vocab());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().ToString(corpus.vocab()), "query OR db");
+}
+
+TEST(QueryTest, OperatorNames) {
+  EXPECT_STREQ(QueryOperatorName(QueryOperator::kAnd), "AND");
+  EXPECT_STREQ(QueryOperatorName(QueryOperator::kOr), "OR");
+}
+
+TEST(EvalSubCollectionTest, AndIntersects) {
+  Corpus corpus = MakeTinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  auto q = Query::Parse("query join", QueryOperator::kAnd, corpus.vocab());
+  ASSERT_TRUE(q.ok());
+  // "join" occurs in docs 0 and 2; "query" in docs 0-3.
+  EXPECT_EQ(EvalSubCollection(q.value(), index), (std::vector<DocId>{0, 2}));
+}
+
+TEST(EvalSubCollectionTest, OrUnions) {
+  Corpus corpus = MakeTinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  auto q = Query::Parse("histograms locks", QueryOperator::kOr, corpus.vocab());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(EvalSubCollection(q.value(), index), (std::vector<DocId>{3, 5}));
+}
+
+TEST(EvalSubCollectionTest, SingleTermSameUnderBothOps) {
+  Corpus corpus = MakeTinyCorpus();
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  auto a = Query::Parse("kernel", QueryOperator::kAnd, corpus.vocab());
+  auto o = Query::Parse("kernel", QueryOperator::kOr, corpus.vocab());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(EvalSubCollection(a.value(), index),
+            EvalSubCollection(o.value(), index));
+}
+
+TEST(EvalSubCollectionTest, FacetQuery) {
+  Corpus corpus;
+  corpus.AddTokenized({"alpha"}, {"topic:db", "year:1997"});
+  corpus.AddTokenized({"beta"}, {"topic:db", "year:1998"});
+  corpus.AddTokenized({"gamma"}, {"topic:os", "year:1997"});
+  InvertedIndex index = InvertedIndex::Build(corpus);
+  auto q = Query::Parse("topic:db year:1997", QueryOperator::kAnd,
+                        corpus.vocab());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(EvalSubCollection(q.value(), index), (std::vector<DocId>{0}));
+}
+
+}  // namespace
+}  // namespace phrasemine

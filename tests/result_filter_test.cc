@@ -1,0 +1,143 @@
+#include "core/result_filter.h"
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+TEST(ResultFilterTest, OverlapFractionComputation) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  const Corpus& corpus = engine.corpus();
+  auto q = engine.ParseQuery("query optimization", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+
+  const PhraseId qo = engine.dict().Find(std::vector<TermId>{
+      corpus.vocab().Lookup("query"), corpus.vocab().Lookup("optimization")});
+  ASSERT_NE(qo, kInvalidPhraseId);
+  EXPECT_DOUBLE_EQ(QueryOverlapFraction(q.value(), qo, engine.dict()), 1.0);
+
+  const PhraseId join = engine.dict().Unigram(corpus.vocab().Lookup("join"));
+  ASSERT_NE(join, kInvalidPhraseId);
+  EXPECT_DOUBLE_EQ(QueryOverlapFraction(q.value(), join, engine.dict()), 0.0);
+}
+
+TEST(ResultFilterTest, RemovesHighOverlapResults) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  auto q = engine.ParseQuery("query optimization", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  MineResult result =
+      engine.Mine(q.value(), Algorithm::kExact, MineOptions{.k = 50});
+  const std::size_t before = result.phrases.size();
+  ASSERT_GT(before, 0u);
+
+  OverlapFilterOptions filter;
+  filter.max_overlap_fraction = 0.0;  // Drop anything touching the query.
+  const std::size_t removed =
+      FilterQueryOverlap(q.value(), engine.dict(), filter, &result);
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(result.phrases.size() + removed, before);
+  for (const MinedPhrase& p : result.phrases) {
+    EXPECT_DOUBLE_EQ(QueryOverlapFraction(q.value(), p.phrase, engine.dict()),
+                     0.0);
+  }
+}
+
+TEST(ResultFilterTest, ThresholdOneKeepsEverything) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  auto q = engine.ParseQuery("db", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  MineResult result =
+      engine.Mine(q.value(), Algorithm::kExact, MineOptions{.k = 20});
+  OverlapFilterOptions filter;
+  filter.max_overlap_fraction = 1.0;
+  EXPECT_EQ(FilterQueryOverlap(q.value(), engine.dict(), filter, &result), 0u);
+}
+
+TEST(ResultFilterTest, PreservesRankOrder) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  auto q = engine.ParseQuery("kernel", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  MineResult result =
+      engine.Mine(q.value(), Algorithm::kExact, MineOptions{.k = 30});
+  OverlapFilterOptions filter;
+  filter.max_overlap_fraction = 0.4;
+  FilterQueryOverlap(q.value(), engine.dict(), filter, &result);
+  for (std::size_t i = 1; i < result.phrases.size(); ++i) {
+    EXPECT_GE(result.phrases[i - 1].score, result.phrases[i].score);
+  }
+}
+
+TEST(InterestingnessTest, NormalizedFrequencyIsEq1) {
+  EXPECT_DOUBLE_EQ(
+      EvaluateInterestingness(InterestingnessMeasure::kNormalizedFrequency, 3,
+                              12, 100, 1000),
+      0.25);
+}
+
+TEST(InterestingnessTest, DegenerateInputsYieldZero) {
+  for (InterestingnessMeasure m :
+       {InterestingnessMeasure::kNormalizedFrequency,
+        InterestingnessMeasure::kPmi}) {
+    EXPECT_DOUBLE_EQ(EvaluateInterestingness(m, 0, 10, 100, 1000), 0.0);
+    EXPECT_DOUBLE_EQ(EvaluateInterestingness(m, 5, 0, 100, 1000), 0.0);
+    EXPECT_DOUBLE_EQ(EvaluateInterestingness(m, 5, 10, 0, 1000), 0.0);
+  }
+}
+
+TEST(InterestingnessTest, PmiPositiveForConcentration) {
+  // Phrase fully concentrated in a 10% sub-collection: PMI = log(10) > 0.
+  const double pmi = EvaluateInterestingness(InterestingnessMeasure::kPmi, 10,
+                                             10, 100, 1000);
+  EXPECT_NEAR(pmi, std::log(10.0), 1e-12);
+}
+
+TEST(InterestingnessTest, PmiNegativeForAvoidance) {
+  // Phrase under-represented in the sub-collection: PMI < 0.
+  const double pmi = EvaluateInterestingness(InterestingnessMeasure::kPmi, 1,
+                                             100, 500, 1000);
+  EXPECT_LT(pmi, 0.0);
+}
+
+TEST(InterestingnessTest, ExactMinerSupportsPmi) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  auto q = engine.ParseQuery("query optimization", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  MineOptions options;
+  options.k = 5;
+  options.measure = InterestingnessMeasure::kPmi;
+  MineResult pmi = engine.Mine(q.value(), Algorithm::kExact, options);
+  ASSERT_FALSE(pmi.phrases.empty());
+  // PMI and Eq. 1 agree on which phrases are maximally concentrated, and
+  // both must exclude the everywhere-frequent stopword bigram from the top.
+  const PhraseId stop_bigram = engine.dict().Find(std::vector<TermId>{
+      engine.corpus().vocab().Lookup("the"),
+      engine.corpus().vocab().Lookup("of")});
+  for (const MinedPhrase& p : pmi.phrases) {
+    EXPECT_NE(p.phrase, stop_bigram);
+  }
+  // PMI scores are log-scale: top score = log(|D| / |D'|) for phrases fully
+  // inside D'.
+  const std::vector<DocId> subset =
+      EvalSubCollection(q.value(), engine.inverted());
+  EXPECT_NEAR(pmi.phrases[0].score,
+              std::log(static_cast<double>(engine.corpus().size()) /
+                       static_cast<double>(subset.size())),
+              1e-12);
+}
+
+TEST(InterestingnessTest, PmiAndEq1AgreeOnGmToo) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  auto q = engine.ParseQuery("kernel", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  MineOptions options;
+  options.k = 3;
+  options.measure = InterestingnessMeasure::kPmi;
+  MineResult exact = engine.Mine(q.value(), Algorithm::kExact, options);
+  MineResult gm = engine.Mine(q.value(), Algorithm::kGm, options);
+  EXPECT_EQ(testing::Ids(exact), testing::Ids(gm));
+}
+
+}  // namespace
+}  // namespace phrasemine

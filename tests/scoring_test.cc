@@ -1,0 +1,121 @@
+#include <cmath>
+#include <vector>
+
+#include "core/scoring.h"
+#include "gtest/gtest.h"
+
+namespace phrasemine {
+namespace {
+
+TEST(ScoringTest, EntryScoreOrIsIdentity) {
+  EXPECT_DOUBLE_EQ(EntryScore(0.25, QueryOperator::kOr), 0.25);
+  EXPECT_DOUBLE_EQ(EntryScore(1.0, QueryOperator::kOr), 1.0);
+}
+
+TEST(ScoringTest, EntryScoreAndIsLog) {
+  EXPECT_DOUBLE_EQ(EntryScore(1.0, QueryOperator::kAnd), 0.0);
+  EXPECT_DOUBLE_EQ(EntryScore(0.5, QueryOperator::kAnd), std::log(0.5));
+  EXPECT_EQ(EntryScore(0.0, QueryOperator::kAnd), kMinusInfinity);
+}
+
+TEST(ScoringTest, AndScoreSumsLogs) {
+  std::vector<double> probs = {0.5, 0.25};
+  EXPECT_NEAR(AndScore(probs), std::log(0.125), 1e-12);
+}
+
+TEST(ScoringTest, AndScoreZeroFactorIsMinusInf) {
+  std::vector<double> probs = {0.9, 0.0, 0.8};
+  EXPECT_EQ(AndScore(probs), kMinusInfinity);
+}
+
+TEST(ScoringTest, AndScoreEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(AndScore({}), 0.0);
+}
+
+TEST(ScoringTest, OrFirstOrderIsSum) {
+  std::vector<double> probs = {0.2, 0.3, 0.1};
+  EXPECT_NEAR(OrScore(probs, OrExpansionOrder::kFirstOrder), 0.6, 1e-12);
+}
+
+TEST(ScoringTest, OrSecondOrderSubtractsPairs) {
+  std::vector<double> probs = {0.5, 0.5};
+  // 1.0 - 0.25
+  EXPECT_NEAR(OrScore(probs, OrExpansionOrder::kSecondOrder), 0.75, 1e-12);
+}
+
+TEST(ScoringTest, OrFullIsInclusionExclusion) {
+  std::vector<double> probs = {0.5, 0.5};
+  EXPECT_NEAR(OrScore(probs, OrExpansionOrder::kFull), 0.75, 1e-12);
+  std::vector<double> three = {0.5, 0.5, 0.5};
+  EXPECT_NEAR(OrScore(three, OrExpansionOrder::kFull), 0.875, 1e-12);
+}
+
+TEST(ScoringTest, OrOrdersAgreeForTwoTerms) {
+  // With exactly two terms, second order equals the full expansion.
+  std::vector<double> probs = {0.37, 0.81};
+  EXPECT_NEAR(OrScore(probs, OrExpansionOrder::kSecondOrder),
+              OrScore(probs, OrExpansionOrder::kFull), 1e-12);
+}
+
+TEST(ScoringTest, OrOrderSandwich) {
+  // The truncated expansions alternate around the full value:
+  // first order >= full >= ... and first >= second for non-negative probs.
+  std::vector<double> probs = {0.4, 0.3, 0.6};
+  const double first = OrScore(probs, OrExpansionOrder::kFirstOrder);
+  const double second = OrScore(probs, OrExpansionOrder::kSecondOrder);
+  const double full = OrScore(probs, OrExpansionOrder::kFull);
+  EXPECT_GE(first, full);
+  EXPECT_LE(second, full);
+  EXPECT_GE(first, second);
+}
+
+TEST(ScoringTest, ScoreToInterestingnessAnd) {
+  EXPECT_NEAR(ScoreToInterestingness(std::log(0.3), QueryOperator::kAnd), 0.3,
+              1e-12);
+  EXPECT_DOUBLE_EQ(ScoreToInterestingness(kMinusInfinity, QueryOperator::kAnd),
+                   0.0);
+}
+
+TEST(ScoringTest, ScoreToInterestingnessOrIsIdentityBelowOne) {
+  EXPECT_DOUBLE_EQ(ScoreToInterestingness(0.42, QueryOperator::kOr), 0.42);
+}
+
+TEST(ScoringTest, ScoreToInterestingnessOrClampedAtOne) {
+  // The first-order OR sum can exceed 1, but it estimates a probability:
+  // the reported interestingness caps at the Eq. 1 maximum.
+  EXPECT_DOUBLE_EQ(ScoreToInterestingness(2.37, QueryOperator::kOr), 1.0);
+}
+
+// Property sweep: full expansion equals the probability of a union of
+// independent events computed by brute force over subsets.
+class OrExpansionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrExpansionPropertyTest, FullMatchesBruteForceInclusionExclusion) {
+  const int n = 2 + GetParam() % 4;
+  std::vector<double> probs;
+  double seedling = 0.13 * (GetParam() + 1);
+  for (int i = 0; i < n; ++i) {
+    seedling = std::fmod(seedling * 1.7 + 0.11, 1.0);
+    probs.push_back(seedling);
+  }
+  // Brute-force inclusion-exclusion over all non-empty subsets.
+  double expected = 0.0;
+  for (int mask = 1; mask < (1 << n); ++mask) {
+    double product = 1.0;
+    int bits = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        product *= probs[i];
+        ++bits;
+      }
+    }
+    expected += (bits % 2 == 1 ? 1.0 : -1.0) * product;
+  }
+  EXPECT_NEAR(OrScore(probs, OrExpansionOrder::kFull), expected, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OrExpansionPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace phrasemine

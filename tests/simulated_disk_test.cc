@@ -1,0 +1,156 @@
+#include "gtest/gtest.h"
+#include "storage/simulated_disk.h"
+
+namespace phrasemine {
+namespace {
+
+DiskOptions NoLookahead() {
+  DiskOptions o;
+  o.lookahead = false;
+  return o;
+}
+
+TEST(SimulatedDiskTest, FirstAccessIsRandom) {
+  SimulatedDisk disk(NoLookahead());
+  const uint32_t f = disk.RegisterFile(1 << 20);
+  disk.AccessPage(f, 0);
+  EXPECT_EQ(disk.stats().random_fetches, 1u);
+  EXPECT_EQ(disk.stats().sequential_fetches, 0u);
+  EXPECT_DOUBLE_EQ(disk.stats().cost_ms, 10.0);
+}
+
+TEST(SimulatedDiskTest, ConsecutivePagesAreSequential) {
+  SimulatedDisk disk(NoLookahead());
+  const uint32_t f = disk.RegisterFile(1 << 20);
+  disk.AccessPage(f, 0);
+  disk.AccessPage(f, 1);
+  disk.AccessPage(f, 2);
+  EXPECT_EQ(disk.stats().random_fetches, 1u);
+  EXPECT_EQ(disk.stats().sequential_fetches, 2u);
+  EXPECT_DOUBLE_EQ(disk.stats().cost_ms, 12.0);
+}
+
+TEST(SimulatedDiskTest, BackwardJumpIsRandom) {
+  SimulatedDisk disk(NoLookahead());
+  const uint32_t f = disk.RegisterFile(1 << 20);
+  disk.AccessPage(f, 5);
+  disk.AccessPage(f, 2);
+  EXPECT_EQ(disk.stats().random_fetches, 2u);
+}
+
+TEST(SimulatedDiskTest, CacheHitCostsNothing) {
+  SimulatedDisk disk(NoLookahead());
+  const uint32_t f = disk.RegisterFile(1 << 20);
+  disk.AccessPage(f, 3);
+  const double cost = disk.stats().cost_ms;
+  disk.AccessPage(f, 3);
+  EXPECT_DOUBLE_EQ(disk.stats().cost_ms, cost);
+  EXPECT_EQ(disk.stats().cache_hits, 1u);
+}
+
+TEST(SimulatedDiskTest, LruEvictsOldest) {
+  DiskOptions options = NoLookahead();
+  options.cache_pages = 2;
+  SimulatedDisk disk(options);
+  const uint32_t f = disk.RegisterFile(1 << 20);
+  disk.AccessPage(f, 0);  // cache: {0}
+  disk.AccessPage(f, 1);  // cache: {1, 0}
+  disk.AccessPage(f, 2);  // evicts 0; cache: {2, 1}
+  disk.ResetStats();
+  disk.AccessPage(f, 1);  // hit
+  EXPECT_EQ(disk.stats().cache_hits, 1u);
+  disk.AccessPage(f, 0);  // miss (was evicted)
+  EXPECT_EQ(disk.stats().cache_hits, 1u);
+  EXPECT_EQ(disk.stats().random_fetches, 1u);
+}
+
+TEST(SimulatedDiskTest, LookaheadPrefetchesNextPage) {
+  DiskOptions options;  // lookahead on
+  SimulatedDisk disk(options);
+  const uint32_t f = disk.RegisterFile(1 << 20);
+  disk.AccessPage(f, 0);
+  // Page 0 fetched random + page 1 prefetched sequential.
+  EXPECT_EQ(disk.stats().random_fetches, 1u);
+  EXPECT_EQ(disk.stats().sequential_fetches, 1u);
+  disk.ResetStats();
+  disk.AccessPage(f, 1);  // already prefetched -> hit + prefetch of 2
+  EXPECT_EQ(disk.stats().cache_hits, 1u);
+  EXPECT_EQ(disk.stats().sequential_fetches, 1u);
+}
+
+TEST(SimulatedDiskTest, LookaheadStopsAtEndOfFile) {
+  DiskOptions options;
+  options.page_size_bytes = 1024;
+  SimulatedDisk disk(options);
+  const uint32_t f = disk.RegisterFile(1024);  // single page
+  disk.AccessPage(f, 0);
+  EXPECT_EQ(disk.stats().sequential_fetches, 0u);  // nothing to prefetch
+}
+
+TEST(SimulatedDiskTest, ReadSpanningPagesTouchesEach) {
+  DiskOptions options = NoLookahead();
+  options.page_size_bytes = 100;
+  SimulatedDisk disk(options);
+  const uint32_t f = disk.RegisterFile(1000);
+  disk.Read(f, 95, 10);  // spans pages 0 and 1
+  EXPECT_EQ(disk.stats().page_requests, 2u);
+}
+
+TEST(SimulatedDiskTest, SequentialEntryScanIsCheap) {
+  // Scanning a list sequentially must cost ~1ms/page, not 10ms/page.
+  DiskOptions options;
+  SimulatedDisk disk(options);
+  const uint64_t bytes = 12 * 10000;  // 10k 12-byte entries
+  const uint32_t f = disk.RegisterFile(bytes);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    disk.Read(f, i * 12, 12);
+  }
+  const uint64_t pages = disk.PagesForBytes(bytes);
+  // First page random (10ms), everything else covered by sequential
+  // prefetches (1ms each).
+  EXPECT_DOUBLE_EQ(disk.stats().cost_ms,
+                   10.0 + 1.0 * static_cast<double>(pages - 1));
+}
+
+TEST(SimulatedDiskTest, ResetClearsCache) {
+  SimulatedDisk disk(NoLookahead());
+  const uint32_t f = disk.RegisterFile(1 << 20);
+  disk.AccessPage(f, 0);
+  disk.Reset();
+  EXPECT_DOUBLE_EQ(disk.stats().cost_ms, 0.0);
+  disk.AccessPage(f, 0);
+  EXPECT_EQ(disk.stats().random_fetches, 1u);  // cold again
+}
+
+TEST(SimulatedDiskTest, DistinctFilesNeverSequential) {
+  SimulatedDisk disk(NoLookahead());
+  const uint32_t a = disk.RegisterFile(1 << 20);
+  const uint32_t b = disk.RegisterFile(1 << 20);
+  disk.AccessPage(a, 0);
+  disk.AccessPage(b, 1);  // page number is last+1 but different file
+  EXPECT_EQ(disk.stats().random_fetches, 2u);
+}
+
+TEST(DiskListCursorTest, AdvancesThroughAllEntries) {
+  SimulatedDisk disk{DiskOptions{}};
+  const uint32_t f = disk.RegisterFile(12 * 100);
+  DiskListCursor cursor(&disk, f, 0, 100, 12);
+  std::size_t n = 0;
+  while (cursor.HasNext()) {
+    cursor.Advance();
+    ++n;
+  }
+  EXPECT_EQ(n, 100u);
+  EXPECT_EQ(cursor.position(), 100u);
+  EXPECT_GT(disk.stats().page_requests, 0u);
+}
+
+TEST(SimulatedDiskTest, PagesForBytesRoundsUp) {
+  SimulatedDisk disk{DiskOptions{}};
+  EXPECT_EQ(disk.PagesForBytes(1), 1u);
+  EXPECT_EQ(disk.PagesForBytes(32 * 1024), 1u);
+  EXPECT_EQ(disk.PagesForBytes(32 * 1024 + 1), 2u);
+}
+
+}  // namespace
+}  // namespace phrasemine

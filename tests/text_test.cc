@@ -1,0 +1,267 @@
+#include <cstdio>
+
+#include "gtest/gtest.h"
+#include "text/corpus.h"
+#include "text/synthetic.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace phrasemine {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("Hello, world!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("QUERY Optimization"),
+            (std::vector<std::string>{"query", "optimization"}));
+}
+
+TEST(TokenizerTest, KeepsInnerApostrophes) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("taiwan's reserves"),
+            (std::vector<std::string>{"taiwan's", "reserves"}));
+}
+
+TEST(TokenizerTest, StripsEdgeApostrophes) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("'quoted' words"),
+            (std::vector<std::string>{"quoted", "words"}));
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("year 1997 sigmod"),
+            (std::vector<std::string>{"year", "1997", "sigmod"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  .,;! ").empty());
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  const TermId a = v.Intern("word");
+  const TermId b = v.Intern("word");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary v;
+  EXPECT_EQ(v.Lookup("ghost"), kInvalidTermId);
+}
+
+TEST(VocabularyTest, RoundTripsText) {
+  Vocabulary v;
+  const TermId id = v.Intern("reserves");
+  EXPECT_EQ(v.TermText(id), "reserves");
+  EXPECT_EQ(v.Lookup("reserves"), id);
+}
+
+TEST(VocabularyTest, SerializationRoundTrip) {
+  Vocabulary v;
+  v.Intern("alpha");
+  v.Intern("beta");
+  v.Intern("topic:3");
+  BinaryWriter w;
+  v.Serialize(&w);
+  BinaryReader r(w.TakeBuffer());
+  auto loaded = Vocabulary::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value().Lookup("beta"), v.Lookup("beta"));
+  EXPECT_EQ(loaded.value().TermText(2), "topic:3");
+}
+
+TEST(CorpusTest, AddTextTokenizes) {
+  Corpus c;
+  const DocId d = c.AddText("The quick brown fox");
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.doc(d).tokens.size(), 4u);
+  EXPECT_EQ(c.vocab().size(), 4u);
+}
+
+TEST(CorpusTest, SharedVocabularyAcrossDocs) {
+  Corpus c;
+  c.AddText("apple banana");
+  c.AddText("banana cherry");
+  EXPECT_EQ(c.vocab().size(), 3u);
+  EXPECT_EQ(c.doc(0).tokens[1], c.doc(1).tokens[0]);
+}
+
+TEST(CorpusTest, FacetsInterned) {
+  Corpus c;
+  c.AddTokenized({"some", "words"}, {"topic:db", "year:1997"});
+  EXPECT_EQ(c.doc(0).facets.size(), 2u);
+  EXPECT_NE(c.vocab().Lookup("topic:db"), kInvalidTermId);
+}
+
+TEST(CorpusTest, TotalTokens) {
+  Corpus c;
+  c.AddText("one two three");
+  c.AddText("four five");
+  EXPECT_EQ(c.TotalTokens(), 5u);
+}
+
+TEST(CorpusTest, SerializationRoundTrip) {
+  Corpus c;
+  c.AddTokenized({"query", "optimization"}, {"topic:db"});
+  c.AddTokenized({"kernel", "systems"});
+  BinaryWriter w;
+  c.Serialize(&w);
+  BinaryReader r(w.TakeBuffer());
+  auto loaded = Corpus::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().doc(0).tokens, c.doc(0).tokens);
+  EXPECT_EQ(loaded.value().doc(0).facets, c.doc(0).facets);
+  EXPECT_EQ(loaded.value().vocab().Lookup("kernel"),
+            c.vocab().Lookup("kernel"));
+}
+
+TEST(CorpusTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pm_corpus_test.bin";
+  Corpus c;
+  c.AddText("persistent corpus data");
+  ASSERT_TRUE(c.SaveToFile(path).ok());
+  auto loaded = Corpus::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value().TotalTokens(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(SyntheticTest, GeneratesRequestedDocCount) {
+  SyntheticCorpusOptions options;
+  options.num_docs = 50;
+  options.num_topics = 3;
+  options.topic_vocab = 40;
+  options.shared_vocab = 60;
+  options.num_stopwords = 10;
+  options.phrases_per_topic = 5;
+  options.min_doc_tokens = 20;
+  options.max_doc_tokens = 40;
+  SyntheticCorpusGenerator gen(options);
+  Corpus c = gen.Generate();
+  EXPECT_EQ(c.size(), 50u);
+  for (DocId d = 0; d < c.size(); ++d) {
+    EXPECT_GE(c.doc(d).tokens.size(), 20u);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  SyntheticCorpusOptions options;
+  options.num_docs = 20;
+  options.num_topics = 2;
+  options.topic_vocab = 30;
+  options.shared_vocab = 50;
+  options.num_stopwords = 8;
+  options.phrases_per_topic = 4;
+  options.min_doc_tokens = 15;
+  options.max_doc_tokens = 30;
+
+  SyntheticCorpusGenerator g1(options);
+  SyntheticCorpusGenerator g2(options);
+  Corpus a = g1.Generate();
+  Corpus b = g2.Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (DocId d = 0; d < a.size(); ++d) {
+    EXPECT_EQ(a.doc(d).tokens, b.doc(d).tokens) << "doc " << d;
+  }
+  EXPECT_EQ(g1.seed_phrases(), g2.seed_phrases());
+}
+
+TEST(SyntheticTest, SeedPhrasesAppearInCorpus) {
+  SyntheticCorpusOptions options;
+  options.num_docs = 200;
+  options.num_topics = 2;
+  options.topic_vocab = 40;
+  options.shared_vocab = 60;
+  options.num_stopwords = 10;
+  options.phrases_per_topic = 6;
+  options.min_doc_tokens = 30;
+  options.max_doc_tokens = 60;
+  options.phrase_rate = 0.15;
+  SyntheticCorpusGenerator gen(options);
+  Corpus c = gen.Generate();
+
+  // The most popular seed phrase of topic 0 must occur somewhere.
+  const auto& phrase = gen.seed_phrases()[0];
+  std::vector<TermId> ids;
+  for (const auto& w : phrase) {
+    const TermId t = c.vocab().Lookup(w);
+    ASSERT_NE(t, kInvalidTermId) << w;
+    ids.push_back(t);
+  }
+  bool found = false;
+  for (DocId d = 0; d < c.size() && !found; ++d) {
+    const auto& tokens = c.doc(d).tokens;
+    if (tokens.size() < ids.size()) continue;
+    for (std::size_t i = 0; i + ids.size() <= tokens.size(); ++i) {
+      if (std::equal(ids.begin(), ids.end(), tokens.begin() + i)) {
+        found = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SyntheticTest, FacetsAttached) {
+  SyntheticCorpusOptions options;
+  options.num_docs = 10;
+  options.num_topics = 2;
+  options.topic_vocab = 20;
+  options.shared_vocab = 30;
+  options.num_stopwords = 5;
+  options.phrases_per_topic = 3;
+  options.min_doc_tokens = 15;
+  options.max_doc_tokens = 25;
+  options.add_facets = true;
+  SyntheticCorpusGenerator gen(options);
+  Corpus c = gen.Generate();
+  for (DocId d = 0; d < c.size(); ++d) {
+    EXPECT_EQ(c.doc(d).facets.size(), 2u);
+  }
+  EXPECT_NE(c.vocab().Lookup("topic:0"), kInvalidTermId);
+}
+
+TEST(SyntheticTest, SeedPhraseLengthsWithinPaperCap) {
+  SyntheticCorpusOptions options;
+  options.num_docs = 5;
+  options.num_topics = 4;
+  options.topic_vocab = 30;
+  options.shared_vocab = 40;
+  options.num_stopwords = 6;
+  options.phrases_per_topic = 50;
+  options.min_doc_tokens = 15;
+  options.max_doc_tokens = 25;
+  SyntheticCorpusGenerator gen(options);
+  (void)gen.Generate();
+  for (const auto& phrase : gen.seed_phrases()) {
+    EXPECT_GE(phrase.size(), 2u);
+    EXPECT_LE(phrase.size(), 6u);
+  }
+}
+
+TEST(SyntheticTest, ReutersPresetShape) {
+  const SyntheticCorpusOptions o = SyntheticCorpusGenerator::ReutersLike();
+  EXPECT_EQ(o.num_docs, 21578u);
+  EXPECT_GE(o.num_topics * o.topic_vocab + o.shared_vocab + o.num_stopwords,
+            14000u);
+}
+
+TEST(SyntheticTest, PubmedPresetScales) {
+  const SyntheticCorpusOptions o = SyntheticCorpusGenerator::PubmedLike(1000);
+  EXPECT_EQ(o.num_docs, 1000u);
+}
+
+}  // namespace
+}  // namespace phrasemine

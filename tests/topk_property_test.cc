@@ -1,0 +1,210 @@
+// Parameterized property sweeps across the algorithm surface: for random
+// (k, fraction, operator) configurations the miners must uphold their
+// invariants -- result sizes, rank monotonicity, baseline exactness, and
+// NRA's never-worse-than-SMJ result quality at equal fractions.
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/exact_miner.h"
+#include "eval/query_gen.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+class TopKCollectorTest : public ::testing::Test {};
+
+TEST_F(TopKCollectorTest, KeepsBestK) {
+  TopKCollector collector(3);
+  collector.Offer(1, 0.1, 0.1);
+  collector.Offer(2, 0.9, 0.9);
+  collector.Offer(3, 0.5, 0.5);
+  collector.Offer(4, 0.7, 0.7);
+  collector.Offer(5, 0.2, 0.2);
+  auto out = collector.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].phrase, 2u);
+  EXPECT_EQ(out[1].phrase, 4u);
+  EXPECT_EQ(out[2].phrase, 3u);
+}
+
+TEST_F(TopKCollectorTest, TieBreaksByAscendingId) {
+  TopKCollector collector(2);
+  collector.Offer(9, 0.5, 0.5);
+  collector.Offer(3, 0.5, 0.5);
+  collector.Offer(7, 0.5, 0.5);
+  auto out = collector.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].phrase, 3u);
+  EXPECT_EQ(out[1].phrase, 7u);
+}
+
+TEST_F(TopKCollectorTest, ZeroKIsEmpty) {
+  TopKCollector collector(0);
+  collector.Offer(1, 1.0, 1.0);
+  EXPECT_TRUE(collector.Take().empty());
+}
+
+TEST_F(TopKCollectorTest, FewerOffersThanK) {
+  TopKCollector collector(10);
+  collector.Offer(5, 0.3, 0.3);
+  collector.Offer(1, 0.8, 0.8);
+  auto out = collector.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].phrase, 1u);
+}
+
+TEST_F(TopKCollectorTest, ManyOffersStressOrdering) {
+  TopKCollector collector(16);
+  Rng rng(4242);
+  std::vector<std::pair<double, PhraseId>> all;
+  for (PhraseId p = 0; p < 500; ++p) {
+    const double score = rng.NextDouble();
+    all.push_back({score, p});
+    collector.Offer(p, score, score);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  auto out = collector.Take();
+  ASSERT_EQ(out.size(), 16u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].phrase, all[i].second) << i;
+  }
+}
+
+// --- Cross-algorithm sweep ------------------------------------------------
+
+struct SweepCase {
+  std::size_t k;
+  double fraction;
+  QueryOperator op;
+};
+
+class MinerSweepTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  // One shared engine across all sweep instances (build is the slow part).
+  static MiningEngine& Engine() {
+    static MiningEngine* engine =
+        new MiningEngine(testing::MakeSmallEngine(500));
+    return *engine;
+  }
+  static std::vector<Query>& Queries() {
+    static std::vector<Query>* queries = [] {
+      QuerySetGenerator qgen(QueryGenOptions{.seed = 77, .num_queries = 6});
+      return new std::vector<Query>(qgen.Generate(
+          Engine().dict(), Engine().inverted(), Engine().corpus().size()));
+    }();
+    return *queries;
+  }
+};
+
+TEST_P(MinerSweepTest, InvariantsHoldForAllAlgorithms) {
+  const SweepCase param = GetParam();
+  MiningEngine& engine = Engine();
+  engine.SetSmjFraction(param.fraction);
+  MineOptions options;
+  options.k = param.k;
+  options.list_fraction = param.fraction;
+
+  for (const Query& base : Queries()) {
+    Query q = base;
+    q.op = param.op;
+    MineResult exact = engine.Mine(q, Algorithm::kExact, options);
+    for (Algorithm a : {Algorithm::kExact, Algorithm::kGm, Algorithm::kSmj,
+                        Algorithm::kNra, Algorithm::kSimitsis}) {
+      MineResult r = engine.Mine(q, a, options);
+      // Size invariant: never more than k.
+      EXPECT_LE(r.phrases.size(), param.k) << AlgorithmName(a);
+      // Rank invariant: scores non-increasing, ids distinct.
+      std::unordered_set<PhraseId> seen;
+      for (std::size_t i = 0; i < r.phrases.size(); ++i) {
+        if (i > 0) {
+          EXPECT_GE(r.phrases[i - 1].score, r.phrases[i].score)
+              << AlgorithmName(a);
+        }
+        EXPECT_TRUE(seen.insert(r.phrases[i].phrase).second)
+            << AlgorithmName(a) << " returned a duplicate phrase";
+        // Interestingness estimates are in [0, 1] for the ratio measure.
+        EXPECT_GE(r.phrases[i].interestingness, 0.0);
+        EXPECT_LE(r.phrases[i].interestingness, 1.0 + 1e-9);
+      }
+      // GM is exact: identical ids to the exact miner.
+      if (a == Algorithm::kGm) {
+        EXPECT_EQ(testing::Ids(r), testing::Ids(exact));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinerSweepTest,
+    ::testing::Values(SweepCase{1, 1.0, QueryOperator::kAnd},
+                      SweepCase{1, 1.0, QueryOperator::kOr},
+                      SweepCase{5, 1.0, QueryOperator::kAnd},
+                      SweepCase{5, 1.0, QueryOperator::kOr},
+                      SweepCase{5, 0.5, QueryOperator::kAnd},
+                      SweepCase{5, 0.5, QueryOperator::kOr},
+                      SweepCase{5, 0.2, QueryOperator::kAnd},
+                      SweepCase{5, 0.2, QueryOperator::kOr},
+                      SweepCase{20, 1.0, QueryOperator::kAnd},
+                      SweepCase{20, 0.3, QueryOperator::kOr},
+                      SweepCase{100, 1.0, QueryOperator::kAnd},
+                      SweepCase{100, 1.0, QueryOperator::kOr}));
+
+// --- NRA disk determinism ----------------------------------------------------
+
+TEST(NraDiskTest, RepeatedQueriesChargeIdenticalCosts) {
+  MiningEngine engine = testing::MakeSmallEngine(300);
+  auto q = engine.ParseQuery("topic:0", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  MineResult first = engine.Mine(q.value(), Algorithm::kNraDisk);
+  MineResult second = engine.Mine(q.value(), Algorithm::kNraDisk);
+  // The simulated cache is cold-reset per query, so costs are reproducible.
+  EXPECT_DOUBLE_EQ(first.disk_ms, second.disk_ms);
+  EXPECT_EQ(first.entries_read, second.entries_read);
+  EXPECT_EQ(testing::Ids(first), testing::Ids(second));
+}
+
+TEST(NraDiskTest, DiskAndMemoryAgreeOnResults) {
+  MiningEngine engine = testing::MakeSmallEngine(300);
+  QuerySetGenerator qgen(QueryGenOptions{.seed = 31, .num_queries = 5});
+  auto queries =
+      qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+  for (Query q : queries) {
+    for (QueryOperator op : {QueryOperator::kAnd, QueryOperator::kOr}) {
+      q.op = op;
+      MineResult disk = engine.Mine(q, Algorithm::kNraDisk);
+      MineResult mem = engine.Mine(q, Algorithm::kNra);
+      EXPECT_EQ(testing::Ids(disk), testing::Ids(mem));
+      EXPECT_GT(disk.disk_ms, 0.0);
+    }
+  }
+}
+
+TEST(NraDiskTest, PartialListsReduceDiskCost) {
+  MiningEngine engine = testing::MakeSmallEngine(400);
+  QuerySetGenerator qgen(QueryGenOptions{.seed = 8, .num_queries = 4});
+  auto queries =
+      qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+  ASSERT_FALSE(queries.empty());
+  Query q = queries[0];
+  q.op = QueryOperator::kOr;
+  MineResult small = engine.Mine(
+      q, Algorithm::kNraDisk,
+      MineOptions{.k = 5, .list_fraction = 0.1, .nra_batch_size = 1u << 30});
+  MineResult full = engine.Mine(
+      q, Algorithm::kNraDisk,
+      MineOptions{.k = 5, .list_fraction = 1.0, .nra_batch_size = 1u << 30});
+  EXPECT_LE(small.entries_read, full.entries_read);
+  EXPECT_LE(small.disk_ms, full.disk_ms);
+}
+
+}  // namespace
+}  // namespace phrasemine

@@ -1,0 +1,203 @@
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "index/word_lists.h"
+#include "phrase/phrase_extractor.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+using testing::MakeTinyCorpus;
+
+struct Fixture {
+  Fixture() {
+    corpus = MakeTinyCorpus();
+    dict = PhraseExtractor({.max_phrase_len = 4, .min_df = 2}).Extract(corpus);
+    inverted = InvertedIndex::Build(corpus);
+    forward = ForwardIndex::Build(corpus, dict, ForwardStorage::kFull);
+  }
+  Corpus corpus;
+  PhraseDictionary dict;
+  InvertedIndex inverted;
+  ForwardIndex forward;
+
+  TermId term(const char* w) const { return corpus.vocab().Lookup(w); }
+};
+
+TEST(WordScoreListsTest, SortedByScoreThenId) {
+  Fixture f;
+  WordScoreLists lists =
+      WordScoreLists::BuildAll(f.inverted, f.forward, f.dict);
+  for (TermId t : lists.Terms()) {
+    auto list = lists.list(t);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      if (list[i - 1].prob == list[i].prob) {
+        EXPECT_LT(list[i - 1].phrase, list[i].phrase);
+      } else {
+        EXPECT_GT(list[i - 1].prob, list[i].prob);
+      }
+    }
+  }
+}
+
+TEST(WordScoreListsTest, ProbMatchesEq13) {
+  Fixture f;
+  const TermId db = f.term("db");
+  WordScoreLists lists = WordScoreLists::Build(
+      f.inverted, f.forward, f.dict, std::vector<TermId>{db});
+  // P(db | "query optimization") = |docs(db) ∩ docs(qo)| / |docs(qo)| = 4/4.
+  const PhraseId qo = f.dict.Find(std::vector<TermId>{
+      f.term("query"), f.term("optimization")});
+  ASSERT_NE(qo, kInvalidPhraseId);
+  bool found = false;
+  for (const ListEntry& e : lists.list(db)) {
+    if (e.phrase == qo) {
+      EXPECT_DOUBLE_EQ(e.prob, 1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // P(db | "the of") = 4/8 = 0.5 -- the stopword phrase is in all docs.
+  const PhraseId theof =
+      f.dict.Find(std::vector<TermId>{f.term("the"), f.term("of")});
+  ASSERT_NE(theof, kInvalidPhraseId);
+  for (const ListEntry& e : lists.list(db)) {
+    if (e.phrase == theof) {
+      EXPECT_DOUBLE_EQ(e.prob, 0.5);
+    }
+  }
+}
+
+TEST(WordScoreListsTest, ZeroScoresOmitted) {
+  Fixture f;
+  // "kernel" never co-occurs with "query optimization": the phrase must be
+  // absent from kernel's list.
+  const TermId kernel = f.term("kernel");
+  WordScoreLists lists = WordScoreLists::Build(
+      f.inverted, f.forward, f.dict, std::vector<TermId>{kernel});
+  const PhraseId qo = f.dict.Find(std::vector<TermId>{
+      f.term("query"), f.term("optimization")});
+  for (const ListEntry& e : lists.list(kernel)) {
+    EXPECT_NE(e.phrase, qo);
+    EXPECT_GT(e.prob, 0.0);
+  }
+}
+
+TEST(WordScoreListsTest, ProbsAreValidProbabilities) {
+  Fixture f;
+  WordScoreLists lists =
+      WordScoreLists::BuildAll(f.inverted, f.forward, f.dict);
+  for (TermId t : lists.Terms()) {
+    for (const ListEntry& e : lists.list(t)) {
+      EXPECT_GT(e.prob, 0.0);
+      EXPECT_LE(e.prob, 1.0);
+    }
+  }
+}
+
+TEST(WordScoreListsTest, PartialPrefix) {
+  Fixture f;
+  WordScoreLists lists =
+      WordScoreLists::BuildAll(f.inverted, f.forward, f.dict);
+  const TermId the = f.term("the");
+  const auto full = lists.list(the);
+  ASSERT_GT(full.size(), 4u);
+  const auto half = lists.Partial(the, 0.5);
+  EXPECT_EQ(half.size(),
+            static_cast<std::size_t>(std::ceil(0.5 * full.size())));
+  EXPECT_EQ(half.data(), full.data());  // Same underlying prefix.
+  EXPECT_EQ(lists.Partial(the, 0.0).size(), 0u);
+  EXPECT_EQ(lists.Partial(the, 1.0).size(), full.size());
+  EXPECT_EQ(lists.Partial(the, 5.0).size(), full.size());  // clamped
+}
+
+TEST(WordScoreListsTest, MissingTermEmpty) {
+  Fixture f;
+  WordScoreLists lists = WordScoreLists::Build(
+      f.inverted, f.forward, f.dict, std::vector<TermId>{f.term("db")});
+  EXPECT_FALSE(lists.Has(f.term("kernel")));
+  EXPECT_TRUE(lists.list(f.term("kernel")).empty());
+}
+
+TEST(WordScoreListsTest, SizeBytesAccounting) {
+  Fixture f;
+  WordScoreLists lists =
+      WordScoreLists::BuildAll(f.inverted, f.forward, f.dict);
+  EXPECT_EQ(lists.SizeBytes(1.0), lists.TotalEntries() * kListEntryBytes);
+  EXPECT_LE(lists.SizeBytes(0.5), lists.SizeBytes(1.0));
+  EXPECT_GT(lists.SizeBytes(0.5), 0u);
+}
+
+TEST(WordScoreListsTest, MergeAddsNewTermsOnly) {
+  Fixture f;
+  WordScoreLists a = WordScoreLists::Build(
+      f.inverted, f.forward, f.dict, std::vector<TermId>{f.term("db")});
+  WordScoreLists b = WordScoreLists::Build(
+      f.inverted, f.forward, f.dict,
+      std::vector<TermId>{f.term("db"), f.term("kernel")});
+  const std::size_t db_len = a.list(f.term("db")).size();
+  a.Merge(std::move(b));
+  EXPECT_TRUE(a.Has(f.term("kernel")));
+  EXPECT_EQ(a.list(f.term("db")).size(), db_len);
+}
+
+TEST(WordScoreListsTest, SerializationRoundTrip) {
+  Fixture f;
+  WordScoreLists lists =
+      WordScoreLists::BuildAll(f.inverted, f.forward, f.dict);
+  BinaryWriter w;
+  lists.Serialize(&w);
+  BinaryReader r(w.TakeBuffer());
+  auto loaded = WordScoreLists::Deserialize(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_terms(), lists.num_terms());
+  for (TermId t : lists.Terms()) {
+    auto a = lists.list(t);
+    auto b = loaded.value().list(t);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].phrase, b[i].phrase);
+      EXPECT_DOUBLE_EQ(a[i].prob, b[i].prob);
+    }
+  }
+}
+
+TEST(WordIdOrderedListsTest, OrderedById) {
+  Fixture f;
+  WordScoreLists score_lists =
+      WordScoreLists::BuildAll(f.inverted, f.forward, f.dict);
+  WordIdOrderedLists id_lists = WordIdOrderedLists::Build(score_lists, 1.0);
+  for (TermId t : score_lists.Terms()) {
+    auto list = id_lists.list(t);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LT(list[i - 1].phrase, list[i].phrase);
+    }
+    EXPECT_EQ(list.size(), score_lists.list(t).size());
+  }
+}
+
+TEST(WordIdOrderedListsTest, FractionTruncatesTopScores) {
+  Fixture f;
+  WordScoreLists score_lists =
+      WordScoreLists::BuildAll(f.inverted, f.forward, f.dict);
+  WordIdOrderedLists id_lists = WordIdOrderedLists::Build(score_lists, 0.3);
+  EXPECT_DOUBLE_EQ(id_lists.fraction(), 0.3);
+  for (TermId t : score_lists.Terms()) {
+    const auto prefix = score_lists.Partial(t, 0.3);
+    const auto list = id_lists.list(t);
+    ASSERT_EQ(list.size(), prefix.size());
+    // Same multiset of entries, different order.
+    std::vector<PhraseId> a, b;
+    for (const auto& e : prefix) a.push_back(e.phrase);
+    for (const auto& e : list) b.push_back(e.phrase);
+    std::sort(a.begin(), a.end());
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_LE(id_lists.TotalEntries(), score_lists.TotalEntries());
+}
+
+}  // namespace
+}  // namespace phrasemine
