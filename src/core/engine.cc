@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/check.h"
@@ -51,6 +53,7 @@ MiningEngine MiningEngine::Build(Corpus corpus, Options options) {
 }
 
 Status MiningEngine::SaveToDirectory(const std::string& dir) const {
+  std::shared_lock lists_lock(sync_->lists_mu);
   BinaryWriter writer;
   writer.PutU32(kSnapshotMagic);
   writer.PutU32(kSnapshotVersion);
@@ -132,6 +135,7 @@ Result<Query> MiningEngine::ParseQuery(std::string_view text,
 }
 
 const PhrasePostingIndex& MiningEngine::postings() {
+  std::scoped_lock lock(sync_->postings_mu);
   if (postings_ == nullptr) {
     postings_ = std::make_unique<PhrasePostingIndex>(
         PhrasePostingIndex::Build(forward_full_, dict_));
@@ -141,13 +145,22 @@ const PhrasePostingIndex& MiningEngine::postings() {
 
 void MiningEngine::EnsureWordLists(std::span<const TermId> terms) {
   std::vector<TermId> missing;
-  for (TermId t : terms) {
-    if (!word_lists_->Has(t)) missing.push_back(t);
+  {
+    std::shared_lock lock(sync_->lists_mu);
+    for (TermId t : terms) {
+      if (!word_lists_->Has(t)) missing.push_back(t);
+    }
   }
   if (missing.empty()) return;
-  word_lists_->Merge(
-      WordScoreLists::Build(inverted_, forward_full_, dict_, missing));
-  InvalidateDerivedLists();
+  // Build outside the lock so concurrent mines keep running; two threads
+  // racing on the same term both build it, and Merge keeps the first copy
+  // (lists for a term are identical by construction).
+  WordScoreLists built =
+      WordScoreLists::Build(inverted_, forward_full_, dict_, missing);
+  std::unique_lock lock(sync_->lists_mu);
+  const std::size_t before = word_lists_->num_terms();
+  word_lists_->Merge(std::move(built));
+  if (word_lists_->num_terms() != before) InvalidateDerivedLists();
 }
 
 void MiningEngine::EnsureWordListsFor(std::span<const Query> queries) {
@@ -164,6 +177,7 @@ void MiningEngine::InvalidateDerivedLists() {
 }
 
 void MiningEngine::SetSmjFraction(double fraction) {
+  std::unique_lock lock(sync_->lists_mu);
   smj_fraction_ = fraction;
   id_lists_.reset();
 }
@@ -172,31 +186,43 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
                               const MineOptions& options) {
   switch (algorithm) {
     case Algorithm::kExact: {
+      std::scoped_lock lock(sync_->exact_mu);
       if (exact_ == nullptr) {
         exact_ = std::make_unique<ExactMiner>(inverted_, forward_full_, dict_);
       }
       return exact_->Mine(query, options);
     }
     case Algorithm::kGm: {
+      std::scoped_lock lock(sync_->gm_mu);
       if (gm_ == nullptr) {
         gm_ = std::make_unique<GmMiner>(inverted_, forward_compressed_, dict_);
       }
       return gm_->Mine(query, options);
     }
     case Algorithm::kSimitsis: {
+      const PhrasePostingIndex& phrase_postings = postings();
+      std::scoped_lock lock(sync_->simitsis_mu);
       if (simitsis_ == nullptr) {
-        simitsis_ = std::make_unique<SimitsisMiner>(inverted_, postings(),
+        simitsis_ = std::make_unique<SimitsisMiner>(inverted_, phrase_postings,
                                                     dict_, corpus_.size());
       }
       return simitsis_->Mine(query, options);
     }
     case Algorithm::kNra: {
       EnsureWordLists(query.terms);
+      std::shared_lock lock(sync_->lists_mu);
       NraMiner miner(*word_lists_, dict_);
       return miner.Mine(query, options);
     }
     case Algorithm::kNraDisk: {
       EnsureWordLists(query.terms);
+      // disk_mu serializes the whole mine (the SimulatedDisk accumulates
+      // charged I/O); the shared lists lock keeps a concurrent merge from
+      // resetting disk_lists_ mid-mine. Only this path and the exclusive
+      // InvalidateDerivedLists touch disk_lists_, so writing it under the
+      // shared lock plus disk_mu is race-free.
+      std::scoped_lock disk_lock(sync_->disk_mu);
+      std::shared_lock lock(sync_->lists_mu);
       if (disk_lists_ == nullptr) {
         disk_lists_ = std::make_unique<DiskResidentLists>(
             *word_lists_, phrase_file_, options_.disk);
@@ -206,9 +232,19 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
     }
     case Algorithm::kSmj: {
       EnsureWordLists(query.terms);
-      if (id_lists_ == nullptr) {
-        id_lists_ = std::make_unique<WordIdOrderedLists>(
-            WordIdOrderedLists::Build(*word_lists_, smj_fraction_));
+      std::shared_lock lock(sync_->lists_mu);
+      while (id_lists_ == nullptr) {
+        lock.unlock();
+        {
+          std::unique_lock build_lock(sync_->lists_mu);
+          if (id_lists_ == nullptr) {
+            id_lists_ = std::make_unique<WordIdOrderedLists>(
+                WordIdOrderedLists::Build(*word_lists_, smj_fraction_));
+          }
+        }
+        // Re-acquire shared and re-check: a concurrent merge may have
+        // invalidated the freshly built lists in the gap.
+        lock.lock();
       }
       SmjMiner miner(*id_lists_, dict_);
       return miner.Mine(query, options);

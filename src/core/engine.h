@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -65,7 +67,27 @@ struct MiningEngineOptions {
 ///   for (const MinedPhrase& p : top.phrases)
 ///     std::cout << engine.PhraseText(p.phrase) << "\n";
 ///
-/// Not thread-safe.
+/// Threading contract:
+///   * Mine(), ParseQuery(), PhraseText() and the const component accessors
+///     over eagerly built structures (corpus, dict, indexes, phrase file)
+///     may be called concurrently from any number of threads. The lazy
+///     build-on-first-use paths (word lists, id-ordered lists, disk lists,
+///     phrase postings, persistent miners) are guarded internally: word
+///     lists are built outside the lock and merged under it, and readers
+///     hold a shared lock for the duration of a mine so a concurrent merge
+///     can never invalidate lists in use.
+///   * Exception: word_lists() hands out the lazily merged container
+///     without synchronization. Only read it while no Mine() or
+///     EnsureWordLists() call can be in flight (tests, benchmarks,
+///     single-threaded preprocessing). PhraseService never reads it.
+///   * Algorithms whose miners keep per-call scratch (kExact, kGm,
+///     kSimitsis) serialize per algorithm; kNraDisk serializes on the
+///     shared SimulatedDisk. kNra and kSmj run fully in parallel once
+///     their lists exist -- these are the paper's serving algorithms and
+///     the ones PhraseService routes through its own cache.
+///   * Structural mutations -- SetSmjFraction, SaveToDirectory,
+///     LoadFromDirectory, moves -- require external exclusive access: no
+///     concurrent Mine() calls may be in flight.
 class MiningEngine {
  public:
   using Options = MiningEngineOptions;
@@ -123,15 +145,33 @@ class MiningEngine {
   const ForwardIndex& forward() const { return forward_full_; }
   const ForwardIndex& forward_compressed() const { return forward_compressed_; }
   const PhraseListFile& phrase_file() const { return phrase_file_; }
+  /// Unsynchronized view of the lazily built word lists; see the class
+  /// threading contract before reading this concurrently.
   const WordScoreLists& word_lists() const { return *word_lists_; }
 
   /// Phrase posting index, built lazily (only the Simitsis baseline uses it).
   const PhrasePostingIndex& postings();
 
  private:
+  /// Lock bundle kept behind a pointer so the engine stays movable.
+  struct Sync {
+    /// Guards word_lists_, id_lists_, disk_lists_ and smj_fraction_:
+    /// shared for mining reads, exclusive for merges and rebuilds.
+    std::shared_mutex lists_mu;
+    /// Guards lazy construction of postings_.
+    std::mutex postings_mu;
+    /// Serializes kNraDisk mines (the SimulatedDisk accumulates I/O).
+    std::mutex disk_mu;
+    /// Per-miner locks for the scratch-carrying exact baselines.
+    std::mutex exact_mu;
+    std::mutex gm_mu;
+    std::mutex simitsis_mu;
+  };
+
   MiningEngine() = default;
 
   /// Invalidates structures derived from word_lists_ after it changes.
+  /// Caller must hold lists_mu exclusively.
   void InvalidateDerivedLists();
 
   Options options_;
@@ -152,6 +192,8 @@ class MiningEngine {
   std::unique_ptr<ExactMiner> exact_;
   std::unique_ptr<GmMiner> gm_;
   std::unique_ptr<SimitsisMiner> simitsis_;
+
+  std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
 };
 
 }  // namespace phrasemine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
@@ -48,8 +49,9 @@ WordScoreLists WordScoreLists::Build(const InvertedIndex& inverted,
   std::unordered_map<PhraseId, uint32_t> scratch;
   for (TermId t : terms) {
     if (result.lists_.contains(t)) continue;
-    result.lists_.emplace(t,
-                          BuildOneList(inverted, forward, dict, t, &scratch));
+    result.lists_.emplace(t, std::make_shared<const std::vector<ListEntry>>(
+                                 BuildOneList(inverted, forward, dict, t,
+                                              &scratch)));
   }
   return result;
 }
@@ -62,16 +64,37 @@ WordScoreLists WordScoreLists::BuildAll(const InvertedIndex& inverted,
   std::unordered_map<PhraseId, uint32_t> scratch;
   for (TermId t = 0; t < inverted.num_terms(); ++t) {
     if (inverted.df(t) < min_term_df) continue;
-    result.lists_.emplace(t,
-                          BuildOneList(inverted, forward, dict, t, &scratch));
+    result.lists_.emplace(t, std::make_shared<const std::vector<ListEntry>>(
+                                 BuildOneList(inverted, forward, dict, t,
+                                              &scratch)));
   }
   return result;
+}
+
+SharedWordList WordScoreLists::BuildOne(const InvertedIndex& inverted,
+                                        const ForwardIndex& forward,
+                                        const PhraseDictionary& dict,
+                                        TermId term) {
+  std::unordered_map<PhraseId, uint32_t> scratch;
+  return std::make_shared<const std::vector<ListEntry>>(
+      BuildOneList(inverted, forward, dict, term, &scratch));
 }
 
 std::span<const ListEntry> WordScoreLists::list(TermId term) const {
   auto it = lists_.find(term);
   if (it == lists_.end()) return {};
+  return *it->second;
+}
+
+SharedWordList WordScoreLists::shared(TermId term) const {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) return nullptr;
   return it->second;
+}
+
+void WordScoreLists::Insert(TermId term, SharedWordList list) {
+  PM_CHECK_MSG(list != nullptr, "Insert requires a non-null list");
+  lists_.try_emplace(term, std::move(list));
 }
 
 std::span<const ListEntry> WordScoreLists::Partial(TermId term,
@@ -85,7 +108,7 @@ std::span<const ListEntry> WordScoreLists::Partial(TermId term,
 
 std::size_t WordScoreLists::TotalEntries() const {
   std::size_t total = 0;
-  for (const auto& [term, list] : lists_) total += list.size();
+  for (const auto& [term, list] : lists_) total += list->size();
   return total;
 }
 
@@ -94,7 +117,7 @@ std::size_t WordScoreLists::SizeBytes(double fraction) const {
   std::size_t total = 0;
   for (const auto& [term, list] : lists_) {
     total += static_cast<std::size_t>(
-        std::ceil(fraction * static_cast<double>(list.size())));
+        std::ceil(fraction * static_cast<double>(list->size())));
   }
   return total * kListEntryBytes;
 }
@@ -117,8 +140,8 @@ void WordScoreLists::Serialize(BinaryWriter* writer) const {
   writer->PutU32(static_cast<uint32_t>(lists_.size()));
   for (const auto& [term, list] : lists_) {
     writer->PutU32(term);
-    writer->PutU64(list.size());
-    for (const ListEntry& e : list) {
+    writer->PutU64(list->size());
+    for (const ListEntry& e : *list) {
       writer->PutU32(e.phrase);
       writer->PutDouble(e.prob);
     }
@@ -144,36 +167,56 @@ Result<WordScoreLists> WordScoreLists::Deserialize(BinaryReader* reader) {
       s = reader->GetDouble(&e.prob);
       if (!s.ok()) return s;
     }
-    result.lists_.emplace(term, std::move(list));
+    result.lists_.emplace(
+        term, std::make_shared<const std::vector<ListEntry>>(std::move(list)));
   }
   return result;
 }
+
+WordIdOrderedLists::WordIdOrderedLists(double fraction)
+    : fraction_(std::clamp(fraction, 0.0, 1.0)) {}
 
 WordIdOrderedLists WordIdOrderedLists::Build(const WordScoreLists& score_lists,
                                              double fraction) {
   WordIdOrderedLists result;
   result.fraction_ = std::clamp(fraction, 0.0, 1.0);
   for (TermId t : score_lists.Terms()) {
-    std::span<const ListEntry> prefix = score_lists.Partial(t, result.fraction_);
-    std::vector<ListEntry> list(prefix.begin(), prefix.end());
-    std::sort(list.begin(), list.end(),
-              [](const ListEntry& a, const ListEntry& b) {
-                return a.phrase < b.phrase;
-              });
-    result.lists_.emplace(t, std::move(list));
+    result.lists_.emplace(
+        t, IdOrderPrefix(score_lists.Partial(t, result.fraction_)));
   }
   return result;
+}
+
+SharedWordList WordIdOrderedLists::IdOrderPrefix(
+    std::span<const ListEntry> prefix) {
+  std::vector<ListEntry> list(prefix.begin(), prefix.end());
+  std::sort(list.begin(), list.end(),
+            [](const ListEntry& a, const ListEntry& b) {
+              return a.phrase < b.phrase;
+            });
+  return std::make_shared<const std::vector<ListEntry>>(std::move(list));
 }
 
 std::span<const ListEntry> WordIdOrderedLists::list(TermId term) const {
   auto it = lists_.find(term);
   if (it == lists_.end()) return {};
+  return *it->second;
+}
+
+SharedWordList WordIdOrderedLists::shared(TermId term) const {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) return nullptr;
   return it->second;
+}
+
+void WordIdOrderedLists::Insert(TermId term, SharedWordList list) {
+  PM_CHECK_MSG(list != nullptr, "Insert requires a non-null list");
+  lists_.try_emplace(term, std::move(list));
 }
 
 std::size_t WordIdOrderedLists::TotalEntries() const {
   std::size_t total = 0;
-  for (const auto& [term, list] : lists_) total += list.size();
+  for (const auto& [term, list] : lists_) total += list->size();
   return total;
 }
 

@@ -2,6 +2,7 @@
 #define PHRASEMINE_INDEX_WORD_LISTS_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -26,10 +27,21 @@ struct ListEntry {
 
 inline constexpr std::size_t kListEntryBytes = 12;
 
+/// A word-specific list held by shared ownership. Lists are immutable once
+/// built, so one physical list can back an engine's lazy index, a service
+/// cache entry, and a per-query bundle simultaneously without copying.
+using SharedWordList = std::shared_ptr<const std::vector<ListEntry>>;
+
 /// Word-specific phrase lists sorted by non-increasing P(q|p), ties broken
 /// by increasing phrase id (Section 4.2.2). Zero-probability phrases are
 /// omitted. These lists are the input of the NRA algorithm; truncating each
 /// to its top fraction gives the paper's "partial lists".
+///
+/// Threading: individual lists are immutable after construction, and all
+/// const member functions are safe to call concurrently. Mutations (Merge,
+/// Insert) require exclusive access; MiningEngine serializes them behind
+/// its internal lock, and PhraseService builds per-query bundles that are
+/// never shared across threads.
 class WordScoreLists {
  public:
   WordScoreLists() = default;
@@ -55,11 +67,25 @@ class WordScoreLists {
                                  const PhraseDictionary& dict,
                                  uint32_t min_term_df = 1);
 
+  /// Builds the score-ordered list of a single term. This is the unit of
+  /// work the service-layer word-list cache stores and shares; the output
+  /// is byte-identical to the per-term lists produced by Build/BuildAll.
+  static SharedWordList BuildOne(const InvertedIndex& inverted,
+                                 const ForwardIndex& forward,
+                                 const PhraseDictionary& dict, TermId term);
+
   /// True if a list exists for this term (it may still be empty).
   bool Has(TermId term) const { return lists_.contains(term); }
 
   /// Full score-ordered list for a term; empty span if absent.
   std::span<const ListEntry> list(TermId term) const;
+
+  /// Shared handle to a term's list; nullptr if absent.
+  SharedWordList shared(TermId term) const;
+
+  /// Adds a prebuilt list for a term; keeps the existing list if one is
+  /// already present (all builders produce identical lists for a term).
+  void Insert(TermId term, SharedWordList list);
 
   /// Prefix of the list covering `fraction` of its entries (ceil rounding),
   /// the paper's partial-list view. fraction is clamped to [0, 1].
@@ -89,7 +115,7 @@ class WordScoreLists {
   static Result<WordScoreLists> Deserialize(BinaryReader* reader);
 
  private:
-  std::unordered_map<TermId, std::vector<ListEntry>> lists_;
+  std::unordered_map<TermId, SharedWordList> lists_;
 };
 
 /// Word-specific lists re-ordered by increasing phrase id (Section 4.4.1,
@@ -98,9 +124,16 @@ class WordScoreLists {
 /// list is taken first and then re-sorted by id, so a different fraction
 /// requires rebuilding -- exactly the run-time/construction-time asymmetry
 /// the paper contrasts between NRA and SMJ.
+///
+/// Threading: same contract as WordScoreLists -- const reads are safe
+/// concurrently, mutations require exclusive access.
 class WordIdOrderedLists {
  public:
   WordIdOrderedLists() = default;
+
+  /// Empty container pinned at a fraction, to be populated via Insert
+  /// (service-layer per-query bundles assembled from cached lists).
+  explicit WordIdOrderedLists(double fraction);
 
   WordIdOrderedLists(WordIdOrderedLists&&) = default;
   WordIdOrderedLists& operator=(WordIdOrderedLists&&) = default;
@@ -111,17 +144,29 @@ class WordIdOrderedLists {
   static WordIdOrderedLists Build(const WordScoreLists& score_lists,
                                   double fraction);
 
+  /// Re-sorts one score-ordered list prefix by phrase id; the single-term
+  /// unit of Build, shared with the service-layer cache. The prefix must
+  /// already be truncated to the desired fraction (see
+  /// WordScoreLists::Partial).
+  static SharedWordList IdOrderPrefix(std::span<const ListEntry> prefix);
+
   bool Has(TermId term) const { return lists_.contains(term); }
 
   /// Id-ordered list for a term; empty span if absent.
   std::span<const ListEntry> list(TermId term) const;
+
+  /// Shared handle to a term's list; nullptr if absent.
+  SharedWordList shared(TermId term) const;
+
+  /// Adds a prebuilt id-ordered list; keeps any existing list for the term.
+  void Insert(TermId term, SharedWordList list);
 
   double fraction() const { return fraction_; }
   std::size_t TotalEntries() const;
 
  private:
   double fraction_ = 1.0;
-  std::unordered_map<TermId, std::vector<ListEntry>> lists_;
+  std::unordered_map<TermId, SharedWordList> lists_;
 };
 
 }  // namespace phrasemine

@@ -1,0 +1,208 @@
+#include "service/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace phrasemine {
+
+namespace {
+
+/// Appends "name=1.2e+04" style cost renderings to the reason line.
+std::string FormatCost(double cost) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", cost);
+  return buf;
+}
+
+}  // namespace
+
+std::string PlanDecision::ToString() const {
+  std::string out = AlgorithmName(algorithm);
+  out += " (";
+  out += QueryOperatorName(op);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ", r=%zu, k=%zu, |D'|~%zu", terms.size(), k,
+                estimated_subcollection);
+  out += buf;
+  out += "): ";
+  out += reason;
+  if (!estimated_costs.empty()) {
+    out += " [";
+    for (std::size_t i = 0; i < estimated_costs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += AlgorithmName(estimated_costs[i].first);
+      out += "=";
+      out += FormatCost(estimated_costs[i].second);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+CostPlanner::CostPlanner(const MiningEngine* engine, PlannerOptions options,
+                         ListProbe probe)
+    : engine_(engine), options_(options), probe_(std::move(probe)) {
+  if (!probe_) {
+    probe_ = [engine](TermId term) -> std::optional<std::size_t> {
+      if (!engine->word_lists().Has(term)) return std::nullopt;
+      return engine->word_lists().list(term).size();
+    };
+  }
+  // Average forward-list length: each phrase contributes one entry to the
+  // forward list of every document it occurs in, so the mean list length
+  // is sum_p df(p) / |D|.
+  const PhraseDictionary& dict = engine_->dict();
+  uint64_t total_df = 0;
+  for (PhraseId p = 0; p < dict.size(); ++p) total_df += dict.df(p);
+  const std::size_t num_docs = engine_->corpus().size();
+  avg_doc_phrases_ =
+      num_docs == 0 ? 0.0 : static_cast<double>(total_df) / num_docs;
+}
+
+PlanDecision CostPlanner::Plan(const Query& query,
+                               const MineOptions& options) const {
+  PlannerInputs inputs;
+  inputs.num_docs = engine_->corpus().size();
+  inputs.avg_doc_phrases = avg_doc_phrases_;
+  inputs.op = query.op;
+  inputs.k = options.k;
+  inputs.terms.reserve(query.terms.size());
+  for (TermId t : query.terms) {
+    TermPlanStats stats;
+    stats.term = t;
+    stats.df = engine_->inverted().df(t);
+    if (std::optional<std::size_t> len = probe_(t)) {
+      stats.list_built = true;
+      stats.list_length = *len;
+    } else {
+      // A term's list holds the distinct phrases co-occurring with it,
+      // bounded by the total phrase occurrences across docs(term).
+      stats.list_built = false;
+      stats.list_length = static_cast<std::size_t>(std::min<double>(
+          static_cast<double>(engine_->dict().size()),
+          static_cast<double>(stats.df) * inputs.avg_doc_phrases));
+    }
+    inputs.terms.push_back(stats);
+  }
+  return PlanFromInputs(inputs, options_);
+}
+
+PlanDecision CostPlanner::PlanFromInputs(const PlannerInputs& inputs,
+                                         const PlannerOptions& options) {
+  PlanDecision decision;
+  decision.op = inputs.op;
+  decision.k = inputs.k;
+  decision.terms = inputs.terms;
+
+  // --- Sub-collection estimate (Eq. 2) -------------------------------------
+  // AND uses exponential-backoff selectivity (exponents 1, 1/2, 1/4, ...
+  // over ascending selectivities): query terms are topically correlated,
+  // so plain independence multiplication collapses every multi-term
+  // estimate toward zero and would mis-route everything to Exact.
+  const double n = static_cast<double>(inputs.num_docs);
+  double est = 0.0;
+  bool has_zero_df = false;
+  if (inputs.op == QueryOperator::kAnd) {
+    std::vector<double> selectivities;
+    selectivities.reserve(inputs.terms.size());
+    for (const TermPlanStats& t : inputs.terms) {
+      if (t.df == 0) has_zero_df = true;
+      selectivities.push_back(n == 0.0 ? 0.0
+                                       : static_cast<double>(t.df) / n);
+    }
+    std::sort(selectivities.begin(), selectivities.end());
+    est = n;
+    double exponent = 1.0;
+    for (double s : selectivities) {
+      est *= std::pow(s, exponent);
+      exponent *= 0.5;
+    }
+    if (has_zero_df) est = 0.0;
+    if (!has_zero_df && !inputs.terms.empty() && est < 1.0) est = 1.0;
+  } else {
+    for (const TermPlanStats& t : inputs.terms) {
+      est += static_cast<double>(t.df);
+    }
+    est = std::min(est, n);
+  }
+  decision.estimated_subcollection = static_cast<std::size_t>(std::llround(est));
+
+  // --- Degenerate and exact-only cases -------------------------------------
+  if (inputs.terms.empty()) {
+    decision.algorithm = Algorithm::kGm;
+    decision.reason = "empty query: nothing to aggregate, GM returns fast";
+    return decision;
+  }
+  if (inputs.op == QueryOperator::kAnd && has_zero_df) {
+    decision.algorithm = Algorithm::kGm;
+    decision.reason = "empty subcollection (zero-df term under AND)";
+    return decision;
+  }
+  if (!options.allow_approximate) {
+    if (decision.estimated_subcollection <=
+        options.exact_subcollection_threshold) {
+      decision.algorithm = Algorithm::kExact;
+      decision.reason = "approximation disallowed, tiny subcollection: Exact";
+    } else {
+      decision.algorithm = Algorithm::kGm;
+      decision.reason = "approximation disallowed: GM (exact forward scan)";
+    }
+    return decision;
+  }
+  if (decision.estimated_subcollection <=
+      options.exact_subcollection_threshold) {
+    decision.algorithm = Algorithm::kExact;
+    decision.reason = "tiny subcollection: exact forward scan is cheapest";
+    return decision;
+  }
+
+  // --- Cost model over {GM, NRA, SMJ} --------------------------------------
+  double total_list_entries = 0.0;
+  double build_charge = 0.0;
+  for (const TermPlanStats& t : inputs.terms) {
+    total_list_entries += static_cast<double>(t.list_length);
+    if (!t.list_built) {
+      // Building scans the forward lists of docs(term).
+      build_charge += static_cast<double>(t.df) * inputs.avg_doc_phrases *
+                      options.build_amortization;
+    }
+  }
+  const double or_factor =
+      inputs.op == QueryOperator::kOr ? options.or_overhead : 1.0;
+  const double traversal =
+      std::min(1.0, options.nra_traversal_fraction +
+                        options.nra_k_penalty * static_cast<double>(inputs.k));
+
+  const double cost_gm =
+      est * inputs.avg_doc_phrases * options.gm_entry_cost;
+  const double cost_nra = options.nra_fixed_cost +
+                          total_list_entries * traversal *
+                              options.nra_entry_cost * or_factor +
+                          build_charge;
+  const double cost_smj = options.smj_fixed_cost +
+                          total_list_entries * options.smj_entry_cost *
+                              or_factor +
+                          build_charge;
+
+  decision.estimated_costs = {{Algorithm::kGm, cost_gm},
+                              {Algorithm::kNra, cost_nra},
+                              {Algorithm::kSmj, cost_smj}};
+  decision.algorithm = Algorithm::kGm;
+  double best = cost_gm;
+  if (cost_nra < best) {
+    decision.algorithm = Algorithm::kNra;
+    best = cost_nra;
+  }
+  if (cost_smj < best) {
+    decision.algorithm = Algorithm::kSmj;
+    best = cost_smj;
+  }
+  decision.reason = std::string("cost: ") +
+                    AlgorithmName(decision.algorithm) + " cheapest (" +
+                    FormatCost(best) + ")";
+  return decision;
+}
+
+}  // namespace phrasemine

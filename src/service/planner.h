@@ -1,0 +1,142 @@
+#ifndef PHRASEMINE_SERVICE_PLANNER_H_
+#define PHRASEMINE_SERVICE_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/miner.h"
+#include "core/query.h"
+
+namespace phrasemine {
+
+/// Per-term statistics the planner based its decision on.
+struct TermPlanStats {
+  TermId term = 0;
+  /// Document frequency |docs(q)| from the inverted index.
+  uint32_t df = 0;
+  /// True when the term's score-ordered word list already exists (engine
+  /// lazy index or service cache), i.e. no build cost applies.
+  bool list_built = false;
+  /// Actual list length when built, otherwise the planner's estimate.
+  std::size_t list_length = 0;
+};
+
+/// The planner's explainable output: the chosen algorithm plus everything
+/// needed to audit the choice -- per-term stats, the sub-collection
+/// estimate, the modeled cost of every candidate, and a one-line reason.
+struct PlanDecision {
+  Algorithm algorithm = Algorithm::kGm;
+  QueryOperator op = QueryOperator::kAnd;
+  std::size_t k = 0;
+  /// Estimated |D'| under the query operator (independence assumption for
+  /// AND, truncated sum for OR).
+  std::size_t estimated_subcollection = 0;
+  std::vector<TermPlanStats> terms;
+  /// Modeled cost (abstract "entries touched" units) per candidate
+  /// algorithm, in the order they were evaluated.
+  std::vector<std::pair<Algorithm, double>> estimated_costs;
+  /// Human-readable justification, e.g. "cost: NRA cheapest (1.2e4)".
+  std::string reason;
+
+  /// Renders a compact single-line explanation for logs.
+  std::string ToString() const;
+};
+
+/// Cost-model knobs. The absolute numbers only matter relative to each
+/// other: the model ranks algorithms, it does not predict wall-clock time.
+struct PlannerOptions {
+  /// When false the planner never picks an approximate list-based method
+  /// (NRA/SMJ); results then always match ExactMiner.
+  bool allow_approximate = true;
+  /// Sub-collections at or below this size go to Exact: scanning a handful
+  /// of forward lists beats any index machinery.
+  std::size_t exact_subcollection_threshold = 16;
+  /// Expected fraction of the word lists NRA traverses before its early
+  /// termination fires, at k = 1 (Figure 11 shape).
+  double nra_traversal_fraction = 0.20;
+  /// Traversal growth per unit of k: deeper result lists delay NRA's
+  /// stopping condition.
+  double nra_k_penalty = 0.02;
+  /// Per-entry cost multipliers: NRA maintains a candidate hash and bounds
+  /// per entry, SMJ only merges, GM scans forward lists linearly.
+  double nra_entry_cost = 2.0;
+  double smj_entry_cost = 1.0;
+  double gm_entry_cost = 1.0;
+  /// Exact uses the uncompressed forward index and recomputes supports.
+  double exact_entry_cost = 1.2;
+  /// Fixed per-query overhead (candidate-set setup for NRA, k-way merge
+  /// setup for SMJ) that steers short-list queries toward SMJ, matching
+  /// the paper's guidance (SMJ for short lists, NRA for long ones).
+  double nra_fixed_cost = 500.0;
+  double smj_fixed_cost = 50.0;
+  /// OR queries expand candidate bookkeeping in the list-based methods.
+  double or_overhead = 1.3;
+  /// Fraction of a missing word list's build cost charged to the triggering
+  /// query; the rest is treated as amortized over future queries that the
+  /// cache will serve.
+  double build_amortization = 0.25;
+};
+
+/// Inputs of the pure cost model; CostPlanner::Plan gathers them from a
+/// MiningEngine, tests can synthesize them directly.
+struct PlannerInputs {
+  std::size_t num_docs = 0;
+  /// Average number of distinct phrases per document (forward-list length).
+  double avg_doc_phrases = 0.0;
+  QueryOperator op = QueryOperator::kAnd;
+  std::size_t k = 0;
+  std::vector<TermPlanStats> terms;
+};
+
+/// Selects the mining algorithm per query from per-term index statistics,
+/// so callers of PhraseService never have to know the paper's
+/// NRA-vs-SMJ-vs-forward-scan trade-offs. Decision procedure:
+///   1. An AND query with a zero-df term has an empty sub-collection:
+///      GM terminates immediately, pick it.
+///   2. allow_approximate == false: Exact for tiny sub-collections, GM
+///      otherwise (both are exact methods).
+///   3. Sub-collection estimate <= exact_subcollection_threshold: Exact.
+///   4. Otherwise: argmin of the modeled cost over {GM, NRA, SMJ}.
+/// kSimitsis and kNraDisk are never chosen -- they exist for the paper's
+/// comparison and disk-simulation studies and must be forced explicitly.
+///
+/// Thread-safety: Plan() is const and touches only immutable engine
+/// components (inverted index, dictionary) plus the injected list probe;
+/// it is safe from any number of service threads concurrently.
+class CostPlanner {
+ public:
+  /// Reports the score-list length for a term when one is already built,
+  /// nullopt otherwise. PhraseService injects a probe over its sharded
+  /// word-list cache; the default probe reads engine.word_lists(), which
+  /// is only safe while no concurrent engine merges run.
+  using ListProbe = std::function<std::optional<std::size_t>(TermId)>;
+
+  explicit CostPlanner(const MiningEngine* engine,
+                       PlannerOptions options = {}, ListProbe probe = nullptr);
+
+  /// Plans one query. `query` should be canonicalized (sorted unique
+  /// terms) so equal term sets produce identical decisions.
+  PlanDecision Plan(const Query& query, const MineOptions& options) const;
+
+  /// The pure cost model, exposed for decision-table tests.
+  static PlanDecision PlanFromInputs(const PlannerInputs& inputs,
+                                     const PlannerOptions& options);
+
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  const MiningEngine* engine_;
+  PlannerOptions options_;
+  ListProbe probe_;
+  /// Precomputed average forward-list length of the corpus.
+  double avg_doc_phrases_ = 0.0;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_SERVICE_PLANNER_H_

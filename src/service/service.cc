@@ -1,0 +1,279 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/nra_miner.h"
+#include "core/smj_miner.h"
+
+namespace phrasemine {
+
+namespace {
+
+/// Approximate bytes a cached MineResult pins in memory.
+std::size_t ResultCharge(const std::string& key, const MineResult& result) {
+  return key.size() + sizeof(MineResult) +
+         result.phrases.size() * sizeof(MinedPhrase) + 64;
+}
+
+/// Log2 bucket index of a latency sample.
+std::size_t LatencyBucket(double latency_ms, std::size_t num_buckets) {
+  const double us = std::max(1.0, latency_ms * 1000.0);
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::floor(std::log2(us)));
+  return std::min(bucket, num_buckets - 1);
+}
+
+/// Returns the q-quantile of a log2 histogram as the geometric bucket
+/// midpoint, in milliseconds.
+double HistogramQuantile(const std::array<uint64_t, 40>& buckets,
+                         uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const auto target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      return 1.5 * std::exp2(static_cast<double>(i)) / 1000.0;
+    }
+  }
+  return 1.5 * std::exp2(static_cast<double>(buckets.size() - 1)) / 1000.0;
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "queries=%llu (planned=%llu forced=%llu) p50=%.3fms "
+                "p95=%.3fms",
+                static_cast<unsigned long long>(queries),
+                static_cast<unsigned long long>(planned),
+                static_cast<unsigned long long>(forced), p50_latency_ms,
+                p95_latency_ms);
+  std::string out = buf;
+  out += "\n  per-algorithm:";
+  for (std::size_t i = 0; i < per_algorithm.size(); ++i) {
+    if (per_algorithm[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), " %s=%llu",
+                  AlgorithmName(static_cast<Algorithm>(i)),
+                  static_cast<unsigned long long>(per_algorithm[i]));
+    out += buf;
+  }
+  out += "\n  result cache: " + FormatCacheStats(result_cache);
+  out += "\n  word-list cache: " + FormatCacheStats(word_list_cache);
+  std::snprintf(buf, sizeof(buf),
+                "\n  pool: submitted=%llu executed=%llu rejected=%llu "
+                "peak_queue=%zu",
+                static_cast<unsigned long long>(pool.submitted),
+                static_cast<unsigned long long>(pool.executed),
+                static_cast<unsigned long long>(pool.rejected),
+                pool.peak_queue_depth);
+  out += buf;
+  return out;
+}
+
+PhraseService::PhraseService(MiningEngine* engine,
+                             PhraseServiceOptions options)
+    : engine_(engine),
+      options_(options),
+      smj_fraction_(options.smj_fraction.value_or(engine->smj_fraction())),
+      planner_(engine, options.planner,
+               // Probe the service's own cache so planning never races
+               // with engine-internal merges. With the cache disabled the
+               // probe conservatively reports "not built".
+               [this](TermId term) -> std::optional<std::size_t> {
+                 if (!options_.enable_word_list_cache) return std::nullopt;
+                 if (auto list = word_list_cache_.Peek(ScoreListKey(term))) {
+                   return (*list)->size();
+                 }
+                 return std::nullopt;
+               }),
+      result_cache_(options.result_cache_shards, options.result_cache_bytes),
+      word_list_cache_(options.word_list_cache_shards,
+                       options.word_list_cache_bytes),
+      pool_(options.pool) {}
+
+PhraseService::~PhraseService() { Shutdown(); }
+
+void PhraseService::Shutdown() { pool_.Shutdown(); }
+
+std::future<ServiceReply> PhraseService::Submit(ServiceRequest request) {
+  auto state = std::make_shared<std::promise<ServiceReply>>();
+  std::future<ServiceReply> future = state->get_future();
+  // The task copies the request so a rejected submission can still run
+  // inline below.
+  const bool accepted = pool_.Submit([this, state, request] {
+    try {
+      state->set_value(Execute(request));
+    } catch (...) {
+      state->set_exception(std::current_exception());
+    }
+  });
+  if (!accepted) {
+    // Pool shut down: degrade to inline execution so the future is
+    // always fulfilled.
+    try {
+      state->set_value(Execute(request));
+    } catch (...) {
+      state->set_exception(std::current_exception());
+    }
+  }
+  return future;
+}
+
+std::vector<std::future<ServiceReply>> PhraseService::SubmitBatch(
+    std::vector<ServiceRequest> requests) {
+  std::vector<std::future<ServiceReply>> futures;
+  futures.reserve(requests.size());
+  for (ServiceRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+ServiceReply PhraseService::MineSync(const ServiceRequest& request) {
+  return Execute(request);
+}
+
+ServiceReply PhraseService::Execute(const ServiceRequest& request) {
+  StopWatch watch;
+  ServiceReply reply;
+  const Query canonical = CanonicalizeQuery(request.query);
+
+  Algorithm algorithm;
+  if (request.algorithm.has_value()) {
+    algorithm = *request.algorithm;
+    reply.plan.algorithm = algorithm;
+    reply.plan.op = canonical.op;
+    reply.plan.k = request.options.k;
+    reply.plan.reason = "forced by caller";
+  } else {
+    reply.plan = planner_.Plan(canonical, request.options);
+    algorithm = reply.plan.algorithm;
+  }
+
+  // Delta overlays are external mutable state; results under them are not
+  // cacheable.
+  const bool cacheable =
+      options_.enable_result_cache && request.options.delta == nullptr;
+  std::string key;
+  if (cacheable) {
+    // kSmj output depends on the construction fraction of the id-ordered
+    // lists it will run on: the service's resolved fraction for cached
+    // bundles, the engine's current fraction when routed through Mine().
+    double smj_fraction = -1.0;
+    if (algorithm == Algorithm::kSmj) {
+      smj_fraction = options_.enable_word_list_cache
+                         ? smj_fraction_
+                         : engine_->smj_fraction();
+    }
+    key = ResultCacheKey(canonical, algorithm, request.options, smj_fraction);
+    if (auto hit = result_cache_.Get(key)) {
+      reply.result = **hit;
+      reply.result_cache_hit = true;
+      reply.latency_ms = watch.ElapsedMillis();
+      RecordQuery(algorithm, request.algorithm.has_value(),
+                  /*executed=*/false, reply.latency_ms);
+      return reply;
+    }
+  }
+
+  reply.result = Run(canonical, algorithm, request.options);
+  if (cacheable) {
+    auto shared = std::make_shared<const MineResult>(reply.result);
+    result_cache_.Put(key, shared, ResultCharge(key, *shared));
+  }
+  reply.latency_ms = watch.ElapsedMillis();
+  RecordQuery(algorithm, request.algorithm.has_value(), /*executed=*/true,
+              reply.latency_ms);
+  return reply;
+}
+
+MineResult PhraseService::Run(const Query& canonical, Algorithm algorithm,
+                              const MineOptions& options) {
+  if (options_.enable_word_list_cache) {
+    // The list-based serving algorithms mine per-query bundles assembled
+    // from the sharded cache: no engine mutation, no global lock.
+    if (algorithm == Algorithm::kNra) {
+      WordScoreLists bundle;
+      for (TermId t : canonical.terms) {
+        bundle.Insert(t, GetOrBuildScoreList(t));
+      }
+      NraMiner miner(bundle, engine_->dict());
+      return miner.Mine(canonical, options);
+    }
+    if (algorithm == Algorithm::kSmj) {
+      WordIdOrderedLists bundle(smj_fraction_);
+      for (TermId t : canonical.terms) {
+        bundle.Insert(t, GetOrBuildIdList(t));
+      }
+      SmjMiner miner(bundle, engine_->dict());
+      return miner.Mine(canonical, options);
+    }
+  }
+  return engine_->Mine(canonical, algorithm, options);
+}
+
+SharedWordList PhraseService::GetOrBuildScoreList(TermId term) {
+  const uint64_t key = ScoreListKey(term);
+  if (auto cached = word_list_cache_.Get(key)) return *cached;
+  // Two threads racing on the same cold term both build; the lists are
+  // identical by construction, so the second Put is a harmless refresh.
+  SharedWordList list = WordScoreLists::BuildOne(
+      engine_->inverted(), engine_->forward(), engine_->dict(), term);
+  word_list_cache_.Put(key, list, list->size() * kListEntryBytes + 64);
+  return list;
+}
+
+SharedWordList PhraseService::GetOrBuildIdList(TermId term) {
+  const uint64_t key = IdListKey(term);
+  if (auto cached = word_list_cache_.Get(key)) return *cached;
+  SharedWordList score = GetOrBuildScoreList(term);
+  const double fraction = std::clamp(smj_fraction_, 0.0, 1.0);
+  const std::size_t prefix_len = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(score->size())));
+  SharedWordList id_list = WordIdOrderedLists::IdOrderPrefix(
+      std::span<const ListEntry>(*score).subspan(0, prefix_len));
+  word_list_cache_.Put(key, id_list, id_list->size() * kListEntryBytes + 64);
+  return id_list;
+}
+
+void PhraseService::RecordQuery(Algorithm algorithm, bool forced,
+                                bool executed, double latency_ms) {
+  std::scoped_lock lock(stats_mu_);
+  ++queries_;
+  if (forced) {
+    ++forced_;
+  } else {
+    ++planned_;
+  }
+  if (executed) {
+    const auto index = static_cast<std::size_t>(algorithm);
+    if (index < per_algorithm_.size()) ++per_algorithm_[index];
+  }
+  ++latency_buckets_[LatencyBucket(latency_ms, latency_buckets_.size())];
+}
+
+ServiceStats PhraseService::stats() const {
+  ServiceStats stats;
+  {
+    std::scoped_lock lock(stats_mu_);
+    stats.queries = queries_;
+    stats.planned = planned_;
+    stats.forced = forced_;
+    stats.per_algorithm = per_algorithm_;
+    stats.p50_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.50);
+    stats.p95_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.95);
+  }
+  stats.result_cache = result_cache_.stats();
+  stats.word_list_cache = word_list_cache_.stats();
+  stats.pool = pool_.stats();
+  return stats;
+}
+
+}  // namespace phrasemine

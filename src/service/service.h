@@ -1,0 +1,175 @@
+#ifndef PHRASEMINE_SERVICE_SERVICE_H_
+#define PHRASEMINE_SERVICE_SERVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/miner.h"
+#include "core/query.h"
+#include "index/word_lists.h"
+#include "service/cache.h"
+#include "service/planner.h"
+#include "service/thread_pool.h"
+
+namespace phrasemine {
+
+/// Sizing and policy knobs for PhraseService.
+struct PhraseServiceOptions {
+  ThreadPoolOptions pool;
+  PlannerOptions planner;
+  /// Sharded LRU cache of full MineResults keyed by canonicalized query +
+  /// algorithm + mining options.
+  std::size_t result_cache_shards = 8;
+  std::size_t result_cache_bytes = 8u << 20;
+  bool enable_result_cache = true;
+  /// Sharded LRU cache of per-term word lists (score-ordered and
+  /// id-ordered), so concurrent queries stop re-building lists and the
+  /// engine's global lock stays out of the NRA/SMJ hot path.
+  std::size_t word_list_cache_shards = 8;
+  std::size_t word_list_cache_bytes = 64u << 20;
+  bool enable_word_list_cache = true;
+  /// Construction fraction of the cached id-ordered (SMJ) lists
+  /// (Section 4.4.1: fixed at construction time). Unset means "inherit
+  /// the engine's smj_fraction() at service construction", which keeps
+  /// service kSmj results identical to serial engine mines regardless of
+  /// enable_word_list_cache.
+  std::optional<double> smj_fraction;
+};
+
+/// One unit of work for the service.
+struct ServiceRequest {
+  Query query;
+  MineOptions options;
+  /// When set, bypasses the planner and runs exactly this algorithm.
+  std::optional<Algorithm> algorithm;
+};
+
+/// What the service hands back per query.
+struct ServiceReply {
+  MineResult result;
+  /// How the algorithm was chosen (reason == "forced by caller" when the
+  /// request pinned one).
+  PlanDecision plan;
+  bool result_cache_hit = false;
+  /// Execution latency measured from the moment a worker (or MineSync
+  /// caller) starts the query; time spent queued in the thread pool is
+  /// NOT included, so under saturation user-perceived latency is higher.
+  double latency_ms = 0.0;
+};
+
+/// Aggregated service counters.
+struct ServiceStats {
+  uint64_t queries = 0;
+  uint64_t planned = 0;
+  uint64_t forced = 0;
+  /// Actual mine executions per algorithm, indexed by
+  /// static_cast<int>(Algorithm). Result-cache hits are excluded -- these
+  /// counters attribute compute, and a hit costs none.
+  std::array<uint64_t, 6> per_algorithm{};
+  CacheStats result_cache;
+  CacheStats word_list_cache;
+  ThreadPoolStats pool;
+  /// Latency percentiles over all served queries, from a log-scale
+  /// histogram (2x bucket resolution).
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Concurrent serving front door over a MiningEngine: a bounded thread
+/// pool executes queries, the cost planner picks the algorithm per query,
+/// and two sharded LRU caches (full results, per-term word lists) absorb
+/// repeated work. This is the layer the ROADMAP's sharding/batching/async
+/// items build on.
+///
+/// Queries are canonicalized (terms sorted, deduplicated) before planning
+/// and execution, so every spelling of a term set hits the same cache
+/// entry and produces byte-identical results.
+///
+/// NRA and SMJ run against per-query list bundles assembled from the
+/// word-list cache and never mutate the engine; Exact/GM/Simitsis and the
+/// disk-simulation mode route through MiningEngine::Mine, which is
+/// internally synchronized (see the engine's threading contract).
+///
+/// Thread-safety: all public members may be called from any thread.
+/// Shutdown (or destruction) drains queued work; Submit after shutdown
+/// degrades to inline execution on the caller's thread so futures are
+/// always fulfilled.
+class PhraseService {
+ public:
+  /// `engine` must outlive the service. The engine may be shared with
+  /// other direct callers as long as they respect its threading contract.
+  explicit PhraseService(MiningEngine* engine,
+                         PhraseServiceOptions options = {});
+  ~PhraseService();
+
+  PhraseService(const PhraseService&) = delete;
+  PhraseService& operator=(const PhraseService&) = delete;
+
+  /// Enqueues one query; blocks only when the submission queue is full.
+  std::future<ServiceReply> Submit(ServiceRequest request);
+
+  /// Enqueues a batch; futures are in request order.
+  std::vector<std::future<ServiceReply>> SubmitBatch(
+      std::vector<ServiceRequest> requests);
+
+  /// Runs one query synchronously on the calling thread (no queueing).
+  ServiceReply MineSync(const ServiceRequest& request);
+
+  /// Stops intake and drains in-flight work; idempotent.
+  void Shutdown();
+
+  ServiceStats stats() const;
+
+  const MiningEngine& engine() const { return *engine_; }
+  const PhraseServiceOptions& options() const { return options_; }
+
+ private:
+  /// Word-list cache key: term id + list kind (score- vs id-ordered).
+  static uint64_t ScoreListKey(TermId term) {
+    return static_cast<uint64_t>(term) << 1;
+  }
+  static uint64_t IdListKey(TermId term) {
+    return (static_cast<uint64_t>(term) << 1) | 1;
+  }
+
+  ServiceReply Execute(const ServiceRequest& request);
+  MineResult Run(const Query& canonical, Algorithm algorithm,
+                 const MineOptions& options);
+  SharedWordList GetOrBuildScoreList(TermId term);
+  SharedWordList GetOrBuildIdList(TermId term);
+  void RecordQuery(Algorithm algorithm, bool forced, bool executed,
+                   double latency_ms);
+
+  MiningEngine* engine_;
+  PhraseServiceOptions options_;
+  /// Resolved SMJ construction fraction (options_.smj_fraction or the
+  /// engine's fraction at construction).
+  double smj_fraction_;
+  CostPlanner planner_;
+  ShardedLruCache<std::string, std::shared_ptr<const MineResult>>
+      result_cache_;
+  ShardedLruCache<uint64_t, SharedWordList> word_list_cache_;
+
+  mutable std::mutex stats_mu_;
+  uint64_t queries_ = 0;
+  uint64_t planned_ = 0;
+  uint64_t forced_ = 0;
+  std::array<uint64_t, 6> per_algorithm_{};
+  /// Log2 microsecond latency histogram (bucket i covers [2^i, 2^(i+1)) us).
+  std::array<uint64_t, 40> latency_buckets_{};
+
+  ThreadPool pool_;  // Last member: workers must die before the caches.
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_SERVICE_SERVICE_H_

@@ -1,0 +1,90 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace phrasemine {
+
+ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
+  options_.num_threads = std::max<std::size_t>(1, options_.num_threads);
+  options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  workers_.reserve(options_.num_threads);
+  for (std::size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return Enqueue(std::move(task), /*block=*/true);
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  return Enqueue(std::move(task), /*block=*/false);
+}
+
+bool ThreadPool::Enqueue(std::function<void()> task, bool block) {
+  std::unique_lock lock(mu_);
+  if (block) {
+    not_full_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < options_.queue_capacity;
+    });
+  }
+  if (shutdown_ || queue_.size() >= options_.queue_capacity) {
+    ++stats_.rejected;
+    return false;
+  }
+  queue_.push_back(std::move(task));
+  ++stats_.submitted;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shut down and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();
+    {
+      std::scoped_lock lock(mu_);
+      ++stats_.executed;
+    }
+  }
+}
+
+void ThreadPool::Shutdown() {
+  // shutdown_mu_ serializes concurrent Shutdown callers so only one joins.
+  std::scoped_lock shutdown_lock(shutdown_mu_);
+  {
+    std::scoped_lock lock(mu_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,86 @@
+#ifndef PHRASEMINE_SERVICE_THREAD_POOL_H_
+#define PHRASEMINE_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phrasemine {
+
+/// Sizing knobs for ThreadPool.
+struct ThreadPoolOptions {
+  /// Number of worker threads; clamped to at least 1.
+  std::size_t num_threads = 4;
+  /// Maximum queued (not yet running) tasks. Submit blocks when the queue
+  /// is full, giving natural backpressure; TrySubmit fails instead.
+  /// Clamped to at least 1.
+  std::size_t queue_capacity = 256;
+};
+
+/// Counters exposed by ThreadPool::stats.
+struct ThreadPoolStats {
+  uint64_t submitted = 0;  ///< Tasks accepted into the queue.
+  uint64_t executed = 0;   ///< Tasks that finished running.
+  uint64_t rejected = 0;   ///< TrySubmit failures plus post-shutdown submits.
+  std::size_t peak_queue_depth = 0;
+};
+
+/// Fixed-size worker pool with a bounded FIFO submission queue, the
+/// execution substrate of PhraseService. Tasks are arbitrary
+/// std::function<void()>; exceptions must not escape a task (wrap work in
+/// a promise, as PhraseService does).
+///
+/// Shutdown semantics: Shutdown() stops accepting new tasks, lets the
+/// workers drain everything already queued, then joins them. The
+/// destructor calls Shutdown(). Both are idempotent and safe to call
+/// concurrently with submitters.
+class ThreadPool {
+ public:
+  explicit ThreadPool(ThreadPoolOptions options = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task, blocking while the queue is full. Returns false
+  /// (dropping the task) only if the pool is shut down.
+  bool Submit(std::function<void()> task);
+
+  /// Enqueues a task without blocking. Returns false if the queue is full
+  /// or the pool is shut down.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops intake, drains the queue, joins the workers.
+  void Shutdown();
+
+  std::size_t num_threads() const { return options_.num_threads; }
+
+  /// Tasks currently queued (excludes tasks being executed).
+  std::size_t queue_depth() const;
+
+  ThreadPoolStats stats() const;
+
+ private:
+  bool Enqueue(std::function<void()> task, bool block);
+  void WorkerLoop();
+
+  ThreadPoolOptions options_;
+
+  std::mutex shutdown_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  ThreadPoolStats stats_;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_SERVICE_THREAD_POOL_H_

@@ -1,0 +1,159 @@
+// CostPlanner decision table over synthesized statistics, plus integration
+// with a real engine's index statistics.
+
+#include <vector>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "service/planner.h"
+#include "test_util.h"
+
+namespace phrasemine {
+namespace {
+
+TermPlanStats Term(TermId id, uint32_t df, bool built,
+                   std::size_t list_length) {
+  TermPlanStats t;
+  t.term = id;
+  t.df = df;
+  t.list_built = built;
+  t.list_length = list_length;
+  return t;
+}
+
+PlannerInputs BaseInputs() {
+  PlannerInputs inputs;
+  inputs.num_docs = 100000;
+  inputs.avg_doc_phrases = 50.0;
+  inputs.op = QueryOperator::kAnd;
+  inputs.k = 5;
+  return inputs;
+}
+
+TEST(PlannerTest, EmptyQueryFallsBackToGm) {
+  PlannerInputs inputs = BaseInputs();
+  PlanDecision d = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(d.algorithm, Algorithm::kGm);
+  EXPECT_NE(d.reason.find("empty query"), std::string::npos);
+}
+
+TEST(PlannerTest, ZeroDfTermUnderAndShortCircuitsToGm) {
+  PlannerInputs inputs = BaseInputs();
+  inputs.terms = {Term(1, 5000, true, 1000), Term(2, 0, false, 0)};
+  PlanDecision d = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(d.algorithm, Algorithm::kGm);
+  EXPECT_EQ(d.estimated_subcollection, 0u);
+  EXPECT_NE(d.reason.find("empty subcollection"), std::string::npos);
+}
+
+TEST(PlannerTest, ApproximationDisallowedNeverPicksListMethods) {
+  PlannerInputs inputs = BaseInputs();
+  inputs.terms = {Term(1, 20000, true, 30000), Term(2, 20000, true, 30000)};
+  PlannerOptions options;
+  options.allow_approximate = false;
+  PlanDecision d = CostPlanner::PlanFromInputs(inputs, options);
+  EXPECT_EQ(d.algorithm, Algorithm::kGm);
+
+  // Tiny subcollection under the same flag goes to Exact.
+  inputs.terms = {Term(1, 100, true, 200), Term(2, 100, true, 200)};
+  d = CostPlanner::PlanFromInputs(inputs, options);
+  EXPECT_EQ(d.algorithm, Algorithm::kExact);
+}
+
+TEST(PlannerTest, TinySubcollectionGoesExact) {
+  PlannerInputs inputs = BaseInputs();
+  // Backoff estimate: 1e5 * 0.002 * sqrt(0.002) ~ 9 <= threshold of 16.
+  inputs.terms = {Term(1, 200, true, 500), Term(2, 200, true, 500)};
+  PlanDecision d = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(d.algorithm, Algorithm::kExact);
+  EXPECT_LE(d.estimated_subcollection, 16u);
+}
+
+TEST(PlannerTest, LongBuiltListsFavorNra) {
+  PlannerInputs inputs = BaseInputs();
+  // Backoff est |D'| = 1e5 * 0.2 * sqrt(0.2) ~ 8944; GM ~ 447k entries.
+  // Lists: 60k entries at traversal 0.3 and entry cost 2 -> ~36.5k. NRA.
+  inputs.terms = {Term(1, 20000, true, 30000), Term(2, 20000, true, 30000)};
+  PlanDecision d = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(d.algorithm, Algorithm::kNra);
+  ASSERT_EQ(d.estimated_costs.size(), 3u);
+  EXPECT_NE(d.reason.find("NRA"), std::string::npos);
+}
+
+TEST(PlannerTest, ShortBuiltListsFavorSmj) {
+  PlannerInputs inputs = BaseInputs();
+  // Backoff est |D'| = 1e5 * 0.04 * sqrt(0.04) = 800; GM ~ 40k. Lists
+  // total 600 entries: SMJ ~ 650 beats NRA ~ 860 (fixed setup overhead).
+  inputs.terms = {Term(1, 4000, true, 300), Term(2, 4000, true, 300)};
+  PlanDecision d = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(d.algorithm, Algorithm::kSmj);
+}
+
+TEST(PlannerTest, UnbuiltListsChargeBuildCostTowardGm) {
+  PlannerInputs inputs = BaseInputs();
+  inputs.avg_doc_phrases = 50.0;
+  // Unbuilt lists with huge estimated lengths plus amortized build cost
+  // make the list-based methods lose to a plain forward scan.
+  inputs.terms = {Term(1, 20000, false, 200000),
+                  Term(2, 20000, false, 200000)};
+  PlanDecision d = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(d.algorithm, Algorithm::kGm);
+}
+
+TEST(PlannerTest, LargerKRaisesNraCost) {
+  PlannerInputs inputs = BaseInputs();
+  inputs.terms = {Term(1, 20000, true, 30000), Term(2, 20000, true, 30000)};
+  inputs.k = 5;
+  PlanDecision small_k = CostPlanner::PlanFromInputs(inputs, {});
+  inputs.k = 40;
+  PlanDecision large_k = CostPlanner::PlanFromInputs(inputs, {});
+  double nra_small = 0.0, nra_large = 0.0;
+  for (const auto& [a, c] : small_k.estimated_costs) {
+    if (a == Algorithm::kNra) nra_small = c;
+  }
+  for (const auto& [a, c] : large_k.estimated_costs) {
+    if (a == Algorithm::kNra) nra_large = c;
+  }
+  EXPECT_GT(nra_large, nra_small);
+}
+
+TEST(PlannerTest, OrSubcollectionIsCappedSum) {
+  PlannerInputs inputs = BaseInputs();
+  inputs.op = QueryOperator::kOr;
+  inputs.terms = {Term(1, 70000, true, 30000), Term(2, 70000, true, 30000)};
+  PlanDecision d = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(d.estimated_subcollection, inputs.num_docs);  // capped at |D|
+}
+
+TEST(PlannerTest, DecisionIsDeterministic) {
+  PlannerInputs inputs = BaseInputs();
+  inputs.terms = {Term(1, 20000, true, 30000), Term(2, 4000, false, 9000)};
+  PlanDecision a = CostPlanner::PlanFromInputs(inputs, {});
+  PlanDecision b = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.reason, b.reason);
+  EXPECT_EQ(a.estimated_subcollection, b.estimated_subcollection);
+}
+
+TEST(PlannerTest, PlanOverRealEngineFillsStatistics) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  CostPlanner planner(&engine);
+  auto q = engine.ParseQuery("query optimization", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  PlanDecision d = planner.Plan(q.value(), MineOptions{});
+  EXPECT_FALSE(d.reason.empty());
+  ASSERT_EQ(d.terms.size(), 2u);
+  for (const TermPlanStats& t : d.terms) {
+    EXPECT_EQ(t.df, engine.inverted().df(t.term));
+    EXPECT_FALSE(t.list_built);  // Engine lists are lazy and untouched.
+  }
+  // The planner only ever selects serving algorithms.
+  EXPECT_TRUE(d.algorithm == Algorithm::kExact ||
+              d.algorithm == Algorithm::kGm ||
+              d.algorithm == Algorithm::kNra ||
+              d.algorithm == Algorithm::kSmj);
+  EXPECT_FALSE(d.ToString().empty());
+}
+
+}  // namespace
+}  // namespace phrasemine

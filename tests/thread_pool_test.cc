@@ -1,0 +1,84 @@
+// ThreadPool: bounded-queue semantics, drain-on-shutdown, counters.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "service/thread_pool.h"
+
+namespace phrasemine {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool({.num_threads = 4, .queue_capacity = 8});
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+    }
+    pool.Shutdown();  // Drains before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, TrySubmitFailsWhenQueueFull) {
+  std::atomic<bool> release{false};
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 1});
+  // Occupy the single worker...
+  ASSERT_TRUE(pool.Submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  }));
+  // ...then fill the queue. Eventually the slot is taken and TrySubmit
+  // must fail instead of blocking.
+  bool saw_rejection = false;
+  for (int i = 0; i < 1000 && !saw_rejection; ++i) {
+    if (!pool.TrySubmit([] {})) saw_rejection = true;
+  }
+  EXPECT_TRUE(saw_rejection);
+  EXPECT_GT(pool.stats().rejected, 0u);
+  release.store(true);
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool({.num_threads = 2, .queue_capacity = 4});
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  EXPECT_EQ(pool.stats().rejected, 2u);
+}
+
+TEST(ThreadPoolTest, StatsBalanceAfterDrain) {
+  ThreadPool pool({.num_threads = 2, .queue_capacity = 4});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }));
+  }
+  pool.Shutdown();
+  const ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 20u);
+  EXPECT_EQ(stats.executed, 20u);
+  EXPECT_GE(stats.peak_queue_depth, 1u);
+  EXPECT_LE(stats.peak_queue_depth, 4u);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 1});
+  pool.Shutdown();
+  pool.Shutdown();  // Must not hang or crash.
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, ClampsDegenerateOptions) {
+  ThreadPool pool({.num_threads = 0, .queue_capacity = 0});
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace phrasemine
