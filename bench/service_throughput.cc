@@ -1,14 +1,22 @@
 // PhraseService throughput: queries/sec and cache hit rate at 1/2/4/8
 // worker threads against the serial MiningEngine::Mine baseline, on a
 // synthetic workload with realistic repetition (production query streams
-// are heavily skewed, which is what the result cache exploits).
+// are heavily skewed, which is what the result cache exploits). A final
+// mixed read/update phase interleaves Ingest batches with the query
+// stream to price epoch-based cache invalidation. Results are also
+// written to BENCH_service.json so the perf trajectory is tracked across
+// PRs.
 //
 // Knobs: PM_SERVICE_DOCS (corpus size, default 2000),
 //        PM_SERVICE_REQUESTS (workload length, default 1200),
-//        PM_SERVICE_DISTINCT (distinct queries, default 40).
+//        PM_SERVICE_DISTINCT (distinct queries, default 40),
+//        PM_SERVICE_UPDATES (ingest batches in the mixed phase,
+//                            default requests/20).
 
+#include <algorithm>
 #include <cstdio>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -47,6 +55,33 @@ std::vector<ServiceRequest> MakeWorkload(const std::vector<Query>& distinct,
     workload.push_back(ServiceRequest{std::move(q), MineOptions{}, {}});
   }
   return workload;
+}
+
+/// One row of the warm-cache thread sweep, kept for the JSON report.
+struct SweepRow {
+  std::size_t threads = 0;
+  double qps = 0.0;
+  double speedup = 0.0;
+  double hit_rate = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+/// Documents re-materialized as strings so the mixed-phase updater never
+/// reads the engine corpus concurrently with queries.
+std::vector<UpdateDoc> MaterializeUpdateDocs(const MiningEngine& engine,
+                                             std::size_t count) {
+  std::vector<UpdateDoc> docs;
+  const Corpus& corpus = engine.corpus();
+  docs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    UpdateDoc doc;
+    for (TermId t : corpus.doc(static_cast<DocId>(i % corpus.size())).tokens) {
+      doc.tokens.push_back(corpus.vocab().TermText(t));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
 }
 
 int Main() {
@@ -107,6 +142,7 @@ int Main() {
   std::printf("%8s %10s %10s %9s %9s %9s\n", "threads", "total_ms", "q/s",
               "speedup", "hit_rate", "p95_ms");
   double speedup_at_8 = 0.0;
+  std::vector<SweepRow> sweep;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     PhraseServiceOptions options;
     options.pool.num_threads = threads;
@@ -142,8 +178,110 @@ int Main() {
                   static_cast<double>(timed_lookups);
     const double speedup = qps / serial_qps;
     if (threads == 8) speedup_at_8 = speedup;
+    sweep.push_back(SweepRow{threads, qps, speedup, hit_rate,
+                             stats.p50_latency_ms, stats.p95_latency_ms});
     std::printf("%8zu %10.1f %10.0f %8.1fx %8.1f%% %9.3f\n", threads, ms,
                 qps, speedup, 100.0 * hit_rate, stats.p95_latency_ms);
+  }
+
+  // --- Mixed read/update workload (8 threads) ------------------------------
+  // An updater thread ingests document batches while the full query stream
+  // is in flight: every ingest moves the epoch, so the result cache keeps
+  // re-missing -- this prices epoch-based invalidation under churn.
+  const std::size_t num_updates = EnvSize(
+      "PM_SERVICE_UPDATES", std::max<std::size_t>(10, num_requests / 20));
+  SweepRow mixed;
+  uint64_t mixed_epoch = 0;
+  {
+    PhraseServiceOptions options;
+    options.pool.num_threads = 8;
+    options.pool.queue_capacity = 512;
+    PhraseService service(&engine, options);
+    for (const ServiceRequest& request : workload) {
+      (void)service.MineSync(request);  // warm lists + epoch-0 results
+    }
+    const CacheStats warm = service.stats().result_cache;
+    const std::vector<UpdateDoc> update_docs =
+        MaterializeUpdateDocs(engine, num_updates);
+
+    StopWatch watch;
+    std::thread updater([&] {
+      for (std::size_t i = 0; i < num_updates; ++i) {
+        UpdateBatch batch;
+        batch.inserts.push_back(update_docs[i]);
+        (void)service.IngestBatch(batch);
+        std::this_thread::yield();
+      }
+    });
+    std::vector<std::future<ServiceReply>> futures;
+    futures.reserve(workload.size());
+    for (const ServiceRequest& request : workload) {
+      futures.push_back(service.Submit(request));
+    }
+    // Per-reply execution latencies of the timed pass only -- the
+    // service's own histogram is cumulative and would mix in the warm-up
+    // replay's samples.
+    std::vector<double> latencies;
+    latencies.reserve(futures.size());
+    for (auto& future : futures) {
+      latencies.push_back(future.get().latency_ms);
+    }
+    updater.join();
+    const double ms = watch.ElapsedMillis();
+    const ServiceStats stats = service.stats();
+    std::sort(latencies.begin(), latencies.end());
+    mixed.threads = 8;
+    mixed.qps = 1000.0 * static_cast<double>(workload.size()) / ms;
+    mixed.speedup = mixed.qps / serial_qps;
+    // Hit rate of the timed (churning) pass only -- the warm-up replay
+    // would otherwise mask the epoch-invalidation cost this phase prices.
+    const uint64_t timed_hits = stats.result_cache.hits - warm.hits;
+    const uint64_t timed_lookups =
+        (stats.result_cache.hits + stats.result_cache.misses) -
+        (warm.hits + warm.misses);
+    mixed.hit_rate = timed_lookups == 0
+                         ? 0.0
+                         : static_cast<double>(timed_hits) /
+                               static_cast<double>(timed_lookups);
+    mixed.p50_ms = latencies.empty() ? 0.0 : latencies[latencies.size() / 2];
+    mixed.p95_ms = latencies.empty()
+                       ? 0.0
+                       : latencies[std::min(latencies.size() - 1,
+                                            latencies.size() * 95 / 100)];
+    mixed_epoch = stats.epoch;
+    std::printf("\nmixed read/update at 8 threads: %.0f q/s (%.1fx serial) "
+                "with %zu ingests, final epoch %llu, hit_rate %.1f%%\n",
+                mixed.qps, mixed.speedup, num_updates,
+                static_cast<unsigned long long>(mixed_epoch),
+                100.0 * mixed.hit_rate);
+  }
+
+  // --- JSON report ----------------------------------------------------------
+  if (std::FILE* json = std::fopen("BENCH_service.json", "w")) {
+    std::fprintf(json, "{\n  \"serial_qps\": %.1f,\n  \"warm_sweep\": [",
+                 serial_qps);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepRow& row = sweep[i];
+      std::fprintf(json,
+                   "%s\n    {\"threads\": %zu, \"qps\": %.1f, \"speedup\": "
+                   "%.2f, \"hit_rate\": %.4f, \"p50_ms\": %.4f, \"p95_ms\": "
+                   "%.4f}",
+                   i == 0 ? "" : ",", row.threads, row.qps, row.speedup,
+                   row.hit_rate, row.p50_ms, row.p95_ms);
+    }
+    std::fprintf(json,
+                 "\n  ],\n  \"mixed\": {\"threads\": %zu, \"qps\": %.1f, "
+                 "\"speedup\": %.2f, \"hit_rate\": %.4f, \"p50_ms\": %.4f, "
+                 "\"p95_ms\": %.4f, \"updates\": %zu, \"final_epoch\": "
+                 "%llu},\n",
+                 mixed.threads, mixed.qps, mixed.speedup, mixed.hit_rate,
+                 mixed.p50_ms, mixed.p95_ms, num_updates,
+                 static_cast<unsigned long long>(mixed_epoch));
+    std::fprintf(json,
+                 "  \"speedup_at_8\": %.2f,\n  \"meets_target\": %s\n}\n",
+                 speedup_at_8, speedup_at_8 >= 4.0 ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_service.json\n");
   }
 
   std::printf("\nspeedup at 8 threads (warm cache): %.1fx %s\n", speedup_at_8,

@@ -91,5 +91,36 @@ int main() {
   std::printf(
       "\nNote: phrases that only became frequent through the new documents\n"
       "enter the dictionary at the next offline rebuild, per the paper.\n");
+
+  // --- The managed path: ApplyUpdate + epochs + Rebuild ---------------------
+  // Instead of wiring a DeltaIndex by hand, hand the batch to the engine:
+  // it maintains the overlay per epoch, applies it to every mine, and
+  // stamps each result with the guarantee that held.
+  std::printf("\n=== engine-managed live updates ===\n\n");
+  UpdateBatch batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.inserts.push_back(UpdateDoc{
+        {"bank", "merger", "talks", "accelerate", "after", "market", "close"},
+        {}});
+  }
+  const UpdateStats stats = engine.ApplyUpdate(batch);
+  std::printf("epoch %llu: +%zu docs, overlay at %.0f%% of the corpus%s\n",
+              static_cast<unsigned long long>(stats.epoch),
+              stats.batch_inserts, 100.0 * stats.delta_fraction,
+              stats.rebuild_recommended ? " -> rebuild recommended" : "");
+
+  mine_options.delta = nullptr;  // the engine applies its own overlay now
+  MineResult live = engine.Mine(query, Algorithm::kSmj, mine_options);
+  std::printf("mined at epoch %llu under guarantee \"%s\"\n",
+              static_cast<unsigned long long>(live.epoch),
+              UpdateGuaranteeName(live.guarantee));
+
+  // The overlay crossed the default 25%% threshold above; a production
+  // deployment lets PhraseService run this on its thread pool.
+  engine.Rebuild();
+  MineResult rebuilt = engine.Mine(query, Algorithm::kSmj, mine_options);
+  std::printf("after Rebuild(): epoch %llu, guarantee \"%s\", %zu live docs\n",
+              static_cast<unsigned long long>(rebuilt.epoch),
+              UpdateGuaranteeName(rebuilt.guarantee), engine.corpus().size());
   return 0;
 }

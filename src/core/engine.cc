@@ -34,6 +34,38 @@ const char* AlgorithmName(Algorithm algorithm) {
   return "?";
 }
 
+const char* UpdateGuaranteeName(UpdateGuarantee guarantee) {
+  switch (guarantee) {
+    case UpdateGuarantee::kFresh:
+      return "fresh";
+    case UpdateGuarantee::kExactUnderDelta:
+      return "exact-under-delta";
+    case UpdateGuarantee::kApproximateUnderDelta:
+      return "approximate-under-delta";
+    case UpdateGuarantee::kStale:
+      return "stale";
+  }
+  return "?";
+}
+
+UpdateGuarantee GuaranteeFor(Algorithm algorithm, bool delta_applied,
+                             bool smj_full_lists) {
+  if (!delta_applied) return UpdateGuarantee::kFresh;
+  switch (algorithm) {
+    case Algorithm::kSmj:
+      return smj_full_lists ? UpdateGuarantee::kExactUnderDelta
+                            : UpdateGuarantee::kApproximateUnderDelta;
+    case Algorithm::kNra:
+    case Algorithm::kNraDisk:
+      return UpdateGuarantee::kApproximateUnderDelta;
+    case Algorithm::kExact:
+    case Algorithm::kGm:
+    case Algorithm::kSimitsis:
+      return UpdateGuarantee::kStale;
+  }
+  return UpdateGuarantee::kFresh;
+}
+
 MiningEngine MiningEngine::Build(Corpus corpus, Options options) {
   MiningEngine engine;
   engine.options_ = options;
@@ -131,10 +163,17 @@ Result<MiningEngine> MiningEngine::LoadFromDirectory(const std::string& dir,
 
 Result<Query> MiningEngine::ParseQuery(std::string_view text,
                                        QueryOperator op) const {
+  // Shared against ingest-time interning of unseen terms.
+  std::shared_lock vocab_lock(sync_->vocab_mu);
   return Query::Parse(text, op, corpus_.vocab());
 }
 
 const PhrasePostingIndex& MiningEngine::postings() {
+  std::shared_lock lists_lock(sync_->lists_mu);
+  return PostingsLocked();
+}
+
+const PhrasePostingIndex& MiningEngine::PostingsLocked() {
   std::scoped_lock lock(sync_->postings_mu);
   if (postings_ == nullptr) {
     postings_ = std::make_unique<PhrasePostingIndex>(
@@ -144,23 +183,38 @@ const PhrasePostingIndex& MiningEngine::postings() {
 }
 
 void MiningEngine::EnsureWordLists(std::span<const TermId> terms) {
-  std::vector<TermId> missing;
-  {
-    std::shared_lock lock(sync_->lists_mu);
-    for (TermId t : terms) {
-      if (!word_lists_->Has(t)) missing.push_back(t);
+  // Retried when a rebuild swaps the base structures mid-build: lists
+  // built from a previous generation must not be merged into the new one.
+  for (;;) {
+    uint64_t generation;
+    std::vector<TermId> missing;
+    {
+      std::shared_lock lock(sync_->lists_mu);
+      generation = generation_;
+      for (TermId t : terms) {
+        if (!word_lists_->Has(t)) missing.push_back(t);
+      }
+    }
+    if (missing.empty()) return;
+    // Build under the shared lock so concurrent mines keep running but a
+    // rebuild cannot swap the source indexes away mid-build; two threads
+    // racing on the same term both build it, and Merge keeps the first
+    // copy (lists for a term are identical by construction).
+    WordScoreLists built;
+    {
+      std::shared_lock lock(sync_->lists_mu);
+      if (generation_ != generation) continue;
+      built = WordScoreLists::Build(inverted_, forward_full_, dict_, missing);
+    }
+    {
+      std::unique_lock lock(sync_->lists_mu);
+      if (generation_ != generation) continue;
+      const std::size_t before = word_lists_->num_terms();
+      word_lists_->Merge(std::move(built));
+      if (word_lists_->num_terms() != before) InvalidateDerivedLists();
+      return;
     }
   }
-  if (missing.empty()) return;
-  // Build outside the lock so concurrent mines keep running; two threads
-  // racing on the same term both build it, and Merge keeps the first copy
-  // (lists for a term are identical by construction).
-  WordScoreLists built =
-      WordScoreLists::Build(inverted_, forward_full_, dict_, missing);
-  std::unique_lock lock(sync_->lists_mu);
-  const std::size_t before = word_lists_->num_terms();
-  word_lists_->Merge(std::move(built));
-  if (word_lists_->num_terms() != before) InvalidateDerivedLists();
 }
 
 void MiningEngine::EnsureWordListsFor(std::span<const Query> queries) {
@@ -184,56 +238,29 @@ void MiningEngine::SetSmjFraction(double fraction) {
 
 MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
                               const MineOptions& options) {
-  switch (algorithm) {
-    case Algorithm::kExact: {
-      std::scoped_lock lock(sync_->exact_mu);
-      if (exact_ == nullptr) {
-        exact_ = std::make_unique<ExactMiner>(inverted_, forward_full_, dict_);
+  const bool needs_lists = algorithm == Algorithm::kNra ||
+                           algorithm == Algorithm::kNraDisk ||
+                           algorithm == Algorithm::kSmj;
+  // Acquire the shared structure lock for the whole mine, (re)building the
+  // inputs the algorithm needs first. The loop restarts when a concurrent
+  // rebuild swaps the structures between the build step and the lock.
+  std::shared_lock lock(sync_->lists_mu, std::defer_lock);
+  for (;;) {
+    if (needs_lists) EnsureWordLists(query.terms);
+    lock.lock();
+    if (needs_lists) {
+      bool have_all = true;
+      for (TermId t : query.terms) {
+        if (!word_lists_->Has(t)) {
+          have_all = false;
+          break;
+        }
       }
-      return exact_->Mine(query, options);
-    }
-    case Algorithm::kGm: {
-      std::scoped_lock lock(sync_->gm_mu);
-      if (gm_ == nullptr) {
-        gm_ = std::make_unique<GmMiner>(inverted_, forward_compressed_, dict_);
+      if (!have_all) {
+        lock.unlock();
+        continue;
       }
-      return gm_->Mine(query, options);
-    }
-    case Algorithm::kSimitsis: {
-      const PhrasePostingIndex& phrase_postings = postings();
-      std::scoped_lock lock(sync_->simitsis_mu);
-      if (simitsis_ == nullptr) {
-        simitsis_ = std::make_unique<SimitsisMiner>(inverted_, phrase_postings,
-                                                    dict_, corpus_.size());
-      }
-      return simitsis_->Mine(query, options);
-    }
-    case Algorithm::kNra: {
-      EnsureWordLists(query.terms);
-      std::shared_lock lock(sync_->lists_mu);
-      NraMiner miner(*word_lists_, dict_);
-      return miner.Mine(query, options);
-    }
-    case Algorithm::kNraDisk: {
-      EnsureWordLists(query.terms);
-      // disk_mu serializes the whole mine (the SimulatedDisk accumulates
-      // charged I/O); the shared lists lock keeps a concurrent merge from
-      // resetting disk_lists_ mid-mine. Only this path and the exclusive
-      // InvalidateDerivedLists touch disk_lists_, so writing it under the
-      // shared lock plus disk_mu is race-free.
-      std::scoped_lock disk_lock(sync_->disk_mu);
-      std::shared_lock lock(sync_->lists_mu);
-      if (disk_lists_ == nullptr) {
-        disk_lists_ = std::make_unique<DiskResidentLists>(
-            *word_lists_, phrase_file_, options_.disk);
-      }
-      NraMiner miner(disk_lists_.get(), dict_);
-      return miner.Mine(query, options);
-    }
-    case Algorithm::kSmj: {
-      EnsureWordLists(query.terms);
-      std::shared_lock lock(sync_->lists_mu);
-      while (id_lists_ == nullptr) {
+      if (algorithm == Algorithm::kSmj && id_lists_ == nullptr) {
         lock.unlock();
         {
           std::unique_lock build_lock(sync_->lists_mu);
@@ -242,16 +269,267 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
                 WordIdOrderedLists::Build(*word_lists_, smj_fraction_));
           }
         }
-        // Re-acquire shared and re-check: a concurrent merge may have
-        // invalidated the freshly built lists in the gap.
-        lock.lock();
+        continue;  // Revalidate everything with the shared lock back.
       }
-      SmjMiner miner(*id_lists_, dict_);
-      return miner.Mine(query, options);
+    }
+    break;
+  }
+
+  // Fetched under the shared lock, so the overlay is consistent with the
+  // structures this mine reads (a rebuild swap cannot interleave). When
+  // the caller did not bring its own overlay, pending updates are applied
+  // automatically.
+  const EpochDelta snap = delta_snapshot();
+  MineOptions effective = options;
+  const bool caller_delta = options.delta != nullptr;
+  if (!caller_delta && snap.delta != nullptr &&
+      snap.delta->pending_updates() > 0) {
+    effective.delta = snap.delta.get();
+  }
+
+  MineResult result;
+  switch (algorithm) {
+    case Algorithm::kExact: {
+      std::scoped_lock miner_lock(sync_->exact_mu);
+      if (exact_ == nullptr) {
+        exact_ = std::make_unique<ExactMiner>(inverted_, forward_full_, dict_);
+      }
+      result = exact_->Mine(query, effective);
+      break;
+    }
+    case Algorithm::kGm: {
+      std::scoped_lock miner_lock(sync_->gm_mu);
+      if (gm_ == nullptr) {
+        gm_ = std::make_unique<GmMiner>(inverted_, forward_compressed_, dict_);
+      }
+      result = gm_->Mine(query, effective);
+      break;
+    }
+    case Algorithm::kSimitsis: {
+      const PhrasePostingIndex& phrase_postings = PostingsLocked();
+      std::scoped_lock miner_lock(sync_->simitsis_mu);
+      if (simitsis_ == nullptr) {
+        simitsis_ = std::make_unique<SimitsisMiner>(inverted_, phrase_postings,
+                                                    dict_, corpus_.size());
+      }
+      result = simitsis_->Mine(query, effective);
+      break;
+    }
+    case Algorithm::kNra: {
+      NraMiner miner(*word_lists_, dict_);
+      result = miner.Mine(query, effective);
+      break;
+    }
+    case Algorithm::kNraDisk: {
+      // disk_mu serializes the whole mine (the SimulatedDisk accumulates
+      // charged I/O); the shared structure lock keeps a concurrent merge
+      // or rebuild from resetting disk_lists_ mid-mine.
+      std::scoped_lock disk_lock(sync_->disk_mu);
+      if (disk_lists_ == nullptr) {
+        disk_lists_ = std::make_unique<DiskResidentLists>(
+            *word_lists_, phrase_file_, options_.disk);
+      }
+      NraMiner miner(disk_lists_.get(), dict_);
+      result = miner.Mine(query, effective);
+      break;
+    }
+    case Algorithm::kSmj: {
+      if (effective.delta != nullptr) {
+        // Per-query bundle: each stored list overlaid with the phrases
+        // whose co-occurrence with the term became positive purely through
+        // updates -- without them SMJ could not stay exact (Section 4.5.1).
+        WordIdOrderedLists bundle(smj_fraction_);
+        for (TermId t : query.terms) {
+          bundle.Insert(t,
+                        effective.delta->OverlayIdOrdered(t, id_lists_->shared(t)));
+        }
+        SmjMiner miner(bundle, dict_);
+        result = miner.Mine(query, effective);
+      } else {
+        SmjMiner miner(*id_lists_, dict_);
+        result = miner.Mine(query, effective);
+      }
+      break;
     }
   }
-  PM_CHECK_MSG(false, "unknown algorithm");
-  return MineResult{};
+  // Stamp the epoch of the overlay actually applied: the engine's own
+  // snapshot on the auto path. With a caller-supplied delta the engine
+  // cannot know its epoch -- the label stays 0 and the caller (e.g.
+  // PhraseService) stamps the epoch of the snapshot it passed in.
+  if (!caller_delta) result.epoch = snap.epoch;
+  result.guarantee = GuaranteeFor(algorithm, effective.delta != nullptr,
+                                  smj_fraction_ >= 1.0);
+  return result;
+}
+
+// --- Live updates ------------------------------------------------------------
+
+UpdateStats MiningEngine::ApplyUpdate(const UpdateBatch& batch) {
+  std::scoped_lock update_lock(sync_->update_mu);
+  // Copy-on-write: mines keep reading the published overlay while this
+  // batch is absorbed into a private successor. All writers of delta_
+  // hold update_mu, so reading it here without snapshot_mu is safe.
+  // The full copy makes an ingest stream quadratic in overlay size, but
+  // the overlay is bounded by rebuild_threshold (a fraction of the
+  // corpus); a chained-delta representation is the upgrade path if
+  // ingest-heavy workloads ever make this the bottleneck.
+  auto next = delta_ != nullptr ? std::make_unique<DeltaIndex>(*delta_)
+                                : std::make_unique<DeltaIndex>(dict_);
+
+  UpdateStats stats;
+  for (const UpdateDoc& doc : batch.inserts) {
+    Document d;
+    d.tokens.reserve(doc.tokens.size());
+    d.facets.reserve(doc.facets.size());
+    {
+      // Unseen terms are interned so the next rebuild picks them up; they
+      // cannot affect any base-dictionary phrase until then.
+      std::unique_lock vocab_lock(sync_->vocab_mu);
+      for (const std::string& t : doc.tokens) {
+        d.tokens.push_back(corpus_.vocab().Intern(t));
+      }
+      for (const std::string& f : doc.facets) {
+        d.facets.push_back(corpus_.vocab().Intern(f));
+      }
+    }
+    next->AddDocument(d.tokens, d.facets);
+    pending_inserts_.push_back(std::move(d));
+    insert_deleted_.push_back(0);
+    ++stats.batch_inserts;
+  }
+  for (DocId id : batch.deletes) {
+    const Document* doc = LiveDoc(id);
+    if (doc == nullptr) continue;
+    next->RemoveDocument(doc->tokens, doc->facets);
+    if (id < corpus_.size()) {
+      if (base_deleted_.size() < corpus_.size()) {
+        base_deleted_.resize(corpus_.size(), 0);
+      }
+      base_deleted_[id] = 1;
+    } else {
+      insert_deleted_[id - corpus_.size()] = 1;
+    }
+    ++num_deleted_;
+    ++stats.batch_deletes;
+  }
+
+  stats.pending_updates = next->pending_updates();
+  stats.live_docs = corpus_.size() + pending_inserts_.size() - num_deleted_;
+  stats.delta_fraction =
+      stats.live_docs == 0
+          ? (stats.pending_updates > 0 ? 1.0 : 0.0)
+          : static_cast<double>(stats.pending_updates) /
+                static_cast<double>(stats.live_docs);
+  stats.rebuild_recommended = options_.rebuild_threshold > 0 &&
+                              stats.delta_fraction >= options_.rebuild_threshold;
+  {
+    std::scoped_lock snapshot_lock(sync_->snapshot_mu);
+    delta_ = std::move(next);
+    stats.epoch = ++epoch_;
+    last_update_stats_ = stats;
+  }
+  return stats;
+}
+
+const Document* MiningEngine::LiveDoc(DocId id) const {
+  if (id < corpus_.size()) {
+    if (id < base_deleted_.size() && base_deleted_[id]) return nullptr;
+    return &corpus_.doc(id);
+  }
+  const std::size_t i = id - corpus_.size();
+  if (i >= pending_inserts_.size() || insert_deleted_[i]) return nullptr;
+  return &pending_inserts_[i];
+}
+
+void MiningEngine::Rebuild() {
+  // Holding update_mu for the whole rebuild keeps the live-document set
+  // frozen: ingest stalls until the swap, mining does not. Known
+  // limitation: the final exclusive lists_mu acquisition competes with a
+  // stream of shared-holding mines, and a reader-preferring rwlock
+  // implementation can delay the swap (and the ingest stream queued on
+  // update_mu behind it) while query pressure stays high; a
+  // rebuild-pending gate that pauses new mine admissions is the upgrade
+  // path if ingest latency under saturation ever matters.
+  std::scoped_lock update_lock(sync_->update_mu);
+
+  // Materialize the live document set. The vocabulary is carried over so
+  // term ids (and therefore parsed queries) survive the rebuild.
+  Corpus updated;
+  {
+    std::shared_lock vocab_lock(sync_->vocab_mu);
+    updated.vocab() = corpus_.vocab();
+  }
+  for (DocId d = 0; d < corpus_.size(); ++d) {
+    if (d < base_deleted_.size() && base_deleted_[d]) continue;
+    updated.AddDocument(corpus_.doc(d));
+  }
+  for (std::size_t i = 0; i < pending_inserts_.size(); ++i) {
+    if (insert_deleted_[i]) continue;
+    updated.AddDocument(pending_inserts_[i]);
+  }
+
+  std::vector<TermId> warm_terms;
+  double fraction;
+  {
+    std::shared_lock lists_lock(sync_->lists_mu);
+    warm_terms = word_lists_->Terms();
+    fraction = smj_fraction_;
+  }
+
+  // The expensive part runs against a private engine; readers are
+  // untouched until the swap below.
+  MiningEngine fresh = Build(std::move(updated), options_);
+  fresh.EnsureWordLists(warm_terms);
+
+  std::unique_lock lists_lock(sync_->lists_mu);
+  std::unique_lock vocab_lock(sync_->vocab_mu);
+  corpus_ = std::move(fresh.corpus_);
+  dict_ = std::move(fresh.dict_);
+  inverted_ = std::move(fresh.inverted_);
+  forward_full_ = std::move(fresh.forward_full_);
+  forward_compressed_ = std::move(fresh.forward_compressed_);
+  phrase_file_ = std::move(fresh.phrase_file_);
+  word_lists_ = std::move(fresh.word_lists_);
+  smj_fraction_ = fraction;
+  id_lists_.reset();
+  disk_lists_.reset();
+  postings_.reset();
+  exact_.reset();
+  gm_.reset();
+  simitsis_.reset();
+  pending_inserts_.clear();
+  insert_deleted_.clear();
+  base_deleted_.clear();
+  num_deleted_ = 0;
+  {
+    std::scoped_lock snapshot_lock(sync_->snapshot_mu);
+    delta_.reset();
+    ++epoch_;
+    ++generation_;
+    last_update_stats_ = UpdateStats{};
+    last_update_stats_.epoch = epoch_;
+    last_update_stats_.live_docs = corpus_.size();
+  }
+}
+
+uint64_t MiningEngine::epoch() const {
+  std::scoped_lock lock(sync_->snapshot_mu);
+  return epoch_;
+}
+
+uint64_t MiningEngine::list_generation() const {
+  std::scoped_lock lock(sync_->snapshot_mu);
+  return generation_;
+}
+
+EpochDelta MiningEngine::delta_snapshot() const {
+  std::scoped_lock lock(sync_->snapshot_mu);
+  return EpochDelta{epoch_, generation_, delta_};
+}
+
+UpdateStats MiningEngine::update_stats() const {
+  std::scoped_lock lock(sync_->snapshot_mu);
+  return last_update_stats_;
 }
 
 }  // namespace phrasemine

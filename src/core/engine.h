@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/delta_index.h"
 #include "core/disk_lists.h"
 #include "core/exact_miner.h"
 #include "core/gm_miner.h"
@@ -42,6 +43,67 @@ enum class Algorithm {
 /// Renders "Exact"/"GM"/... for reports.
 const char* AlgorithmName(Algorithm algorithm);
 
+/// The guarantee a result mined by `algorithm` carries when a delta overlay
+/// was (`delta_applied`) or was not in effect; see UpdateGuarantee. SMJ's
+/// exactness under a delta holds only over full lists -- with truncated
+/// id-ordered lists (`smj_full_lists` false) base-positive pairs beyond
+/// the prefix are invisible to the overlay and the result is approximate.
+UpdateGuarantee GuaranteeFor(Algorithm algorithm, bool delta_applied,
+                             bool smj_full_lists = true);
+
+/// One document of a live-update batch, in raw string form. Tokens unseen
+/// by the engine's vocabulary are interned on ingest so a later Rebuild()
+/// picks them up; until then they cannot contribute to any base-dictionary
+/// phrase (the paper's "new phrases enter P at the next offline rebuild").
+struct UpdateDoc {
+  std::vector<std::string> tokens;
+  std::vector<std::string> facets;
+};
+
+/// One live-update batch: documents to insert plus DocIds to delete.
+/// Delete ids address the engine's current live numbering: ids below
+/// corpus().size() are build-time documents, ids at or above it address
+/// documents inserted since the last rebuild, in ingest order. Unknown or
+/// already-deleted ids are ignored. A rebuild compacts the numbering.
+struct UpdateBatch {
+  std::vector<UpdateDoc> inserts;
+  std::vector<DocId> deletes;
+};
+
+/// Per-epoch accounting returned by ApplyUpdate (and readable at any time
+/// via MiningEngine::update_stats).
+struct UpdateStats {
+  /// Epoch after the batch was absorbed. The epoch advances by one per
+  /// ApplyUpdate call and per completed Rebuild.
+  uint64_t epoch = 0;
+  /// Documents inserted/deleted by this batch (deletes that addressed
+  /// unknown or already-deleted ids are not counted).
+  std::size_t batch_inserts = 0;
+  std::size_t batch_deletes = 0;
+  /// Updates absorbed into the overlay since the last rebuild.
+  std::size_t pending_updates = 0;
+  /// Documents currently alive (base - deleted + inserted).
+  std::size_t live_docs = 0;
+  /// pending_updates / live_docs: the overlay's relative size, compared
+  /// against MiningEngineOptions::rebuild_threshold.
+  double delta_fraction = 0.0;
+  /// True when delta_fraction crossed the rebuild threshold; the engine
+  /// never rebuilds on its own -- callers (PhraseService does this on its
+  /// thread pool) schedule Rebuild().
+  bool rebuild_recommended = false;
+};
+
+/// An immutable view of the engine's update state: the epoch, the structure
+/// generation (bumped only by Rebuild), and the delta overlay accumulated
+/// since the last rebuild (null when no update was ever applied or right
+/// after a rebuild). The shared_ptr keeps the overlay alive and readable
+/// without locks even if further updates or a rebuild land concurrently.
+struct EpochDelta {
+  uint64_t epoch = 0;
+  uint64_t generation = 0;
+  std::shared_ptr<const DeltaIndex> delta;
+};
+
 /// Build-time knobs for MiningEngine.
 struct MiningEngineOptions {
   /// Phrase-extraction knobs (n-gram cap and min document frequency).
@@ -51,6 +113,11 @@ struct MiningEngineOptions {
   /// Construction fraction used when an SMJ mine is issued before
   /// SetSmjFraction was called.
   double default_smj_fraction = 1.0;
+  /// When the delta overlay exceeds this fraction of the live corpus,
+  /// ApplyUpdate flags rebuild_recommended. <= 0 disables the
+  /// recommendation (updates then accumulate until a caller rebuilds
+  /// explicitly).
+  double rebuild_threshold = 0.25;
 };
 
 /// One-stop facade over the whole library: owns the corpus, builds the
@@ -67,19 +134,35 @@ struct MiningEngineOptions {
 ///   for (const MinedPhrase& p : top.phrases)
 ///     std::cout << engine.PhraseText(p.phrase) << "\n";
 ///
+/// Live updates (Section 4.5.1): ApplyUpdate absorbs document churn into a
+/// copy-on-write DeltaIndex overlay and bumps the epoch; Mine() then
+/// delta-corrects NRA and SMJ scores automatically (SMJ stays exact, NRA
+/// approximate -- MineResult::guarantee says which held). Rebuild()
+/// re-extracts phrases and rebuilds every index over the live document
+/// set, swaps the structures in under the engine's exclusive lock, resets
+/// the overlay and bumps both the epoch and the structure generation.
+/// Vocabulary term ids survive a rebuild (the vocabulary only grows), so
+/// parsed queries stay valid; PhraseIds and DocIds are reassigned --
+/// resolve result phrases via PhraseText promptly or pin the epoch.
+///
 /// Threading contract:
 ///   * Mine(), ParseQuery(), PhraseText() and the const component accessors
 ///     over eagerly built structures (corpus, dict, indexes, phrase file)
-///     may be called concurrently from any number of threads. The lazy
-///     build-on-first-use paths (word lists, id-ordered lists, disk lists,
-///     phrase postings, persistent miners) are guarded internally: word
-///     lists are built outside the lock and merged under it, and readers
-///     hold a shared lock for the duration of a mine so a concurrent merge
-///     can never invalidate lists in use.
+///     may be called concurrently from any number of threads. Mine() holds
+///     a shared structure lock for its whole run, so a concurrent merge or
+///     rebuild can never invalidate structures in use. External component
+///     readers that must not race a rebuild swap should wrap their reads
+///     in WithSharedStructures.
+///   * ApplyUpdate serializes on an update mutex, publishes a fresh
+///     immutable DeltaIndex snapshot, and never blocks readers beyond a
+///     brief snapshot-pointer swap. Rebuild holds the update mutex for its
+///     whole build (ingest stalls, mining does not) and takes the
+///     exclusive structure lock only for the final swap.
 ///   * Exception: word_lists() hands out the lazily merged container
-///     without synchronization. Only read it while no Mine() or
-///     EnsureWordLists() call can be in flight (tests, benchmarks,
-///     single-threaded preprocessing). PhraseService never reads it.
+///     without synchronization. Only read it while no Mine(),
+///     EnsureWordLists() or Rebuild() call can be in flight (tests,
+///     benchmarks, single-threaded preprocessing). PhraseService never
+///     reads it.
 ///   * Algorithms whose miners keep per-call scratch (kExact, kGm,
 ///     kSimitsis) serialize per algorithm; kNraDisk serializes on the
 ///     shared SimulatedDisk. kNra and kSmj run fully in parallel once
@@ -87,7 +170,9 @@ struct MiningEngineOptions {
 ///     the ones PhraseService routes through its own cache.
 ///   * Structural mutations -- SetSmjFraction, SaveToDirectory,
 ///     LoadFromDirectory, moves -- require external exclusive access: no
-///     concurrent Mine() calls may be in flight.
+///     concurrent Mine(), ApplyUpdate() or Rebuild() calls may be in
+///     flight. SaveToDirectory persists the base structures only; call
+///     Rebuild() first if updates are pending.
 class MiningEngine {
  public:
   using Options = MiningEngineOptions;
@@ -113,16 +198,66 @@ class MiningEngine {
   // --- Querying -------------------------------------------------------------
 
   /// Parses a whitespace-separated query against the corpus vocabulary.
+  /// Safe to call concurrently with ApplyUpdate (which may intern new
+  /// terms).
   Result<Query> ParseQuery(std::string_view text, QueryOperator op) const;
 
   /// Runs one of the algorithms. For kNra/kNraDisk/kSmj, the word lists of
   /// the query terms are built on first use (that cost is preprocessing,
-  /// not query time, and is excluded from MineResult timings).
+  /// not query time, and is excluded from MineResult timings). When the
+  /// engine carries a pending update overlay and the caller did not supply
+  /// MineOptions::delta, the overlay is applied automatically; the result
+  /// is stamped with the epoch and the guarantee that held.
   MineResult Mine(const Query& query, Algorithm algorithm,
                   const MineOptions& options = {});
 
-  /// Lexical form of a phrase, served from the fixed-slot phrase list file.
-  std::string PhraseText(PhraseId id) const { return phrase_file_.Text(id); }
+  /// Lexical form of a phrase, served from the fixed-slot phrase list file
+  /// under the shared structure lock (a concurrent rebuild swaps the file).
+  std::string PhraseText(PhraseId id) const {
+    std::shared_lock lock(sync_->lists_mu);
+    return phrase_file_.Text(id);
+  }
+
+  // --- Live updates ----------------------------------------------------------
+
+  /// Absorbs one batch of document inserts/deletes into the delta overlay
+  /// and advances the epoch. Thread-safe against concurrent Mine() calls;
+  /// concurrent ApplyUpdate/Rebuild calls serialize. On return the new
+  /// epoch is visible to every subsequently started mine.
+  UpdateStats ApplyUpdate(const UpdateBatch& batch);
+
+  /// Full offline rebuild over the live document set: re-extracts phrases,
+  /// rebuilds every index, re-materializes the word lists that were built
+  /// before, swaps everything in, clears the overlay and advances the
+  /// epoch and the structure generation. Blocks ingest (ApplyUpdate) for
+  /// its duration; concurrent mines keep running against the old
+  /// structures until the final swap.
+  void Rebuild();
+
+  /// Current epoch: 0 at build time, +1 per ApplyUpdate and per Rebuild.
+  uint64_t epoch() const;
+
+  /// Structure generation: bumped only by Rebuild. Cache layers keying
+  /// derived structures (word lists) by generation invalidate exactly when
+  /// the base indexes change.
+  uint64_t list_generation() const;
+
+  /// Immutable snapshot of the update state for lock-free delta-corrected
+  /// mining; see EpochDelta.
+  EpochDelta delta_snapshot() const;
+
+  /// Accounting as of the last ApplyUpdate/Rebuild.
+  UpdateStats update_stats() const;
+
+  /// Runs `fn` under the shared structure lock, so a concurrent Rebuild
+  /// cannot swap the indexes mid-read. Component accessors used from
+  /// concurrent contexts (the service planner and word-list builders)
+  /// route through this.
+  template <typename Fn>
+  auto WithSharedStructures(Fn&& fn) const {
+    std::shared_lock lock(sync_->lists_mu);
+    return fn();
+  }
 
   // --- Preprocessing control --------------------------------------------------
 
@@ -135,7 +270,10 @@ class MiningEngine {
   /// Rebuilds the SMJ id-ordered lists at this construction fraction
   /// (Section 4.4.1: a construction-time decision).
   void SetSmjFraction(double fraction);
-  double smj_fraction() const { return smj_fraction_; }
+  double smj_fraction() const {
+    std::shared_lock lock(sync_->lists_mu);  // Rebuild() rewrites it
+    return smj_fraction_;
+  }
 
   // --- Component access (benchmarks, tests) ----------------------------------
 
@@ -149,15 +287,26 @@ class MiningEngine {
   /// threading contract before reading this concurrently.
   const WordScoreLists& word_lists() const { return *word_lists_; }
 
-  /// Phrase posting index, built lazily (only the Simitsis baseline uses it).
+  /// Phrase posting index, built lazily (only the Simitsis baseline uses
+  /// it). Not rebuild-safe: the reference is invalidated by Rebuild().
   const PhrasePostingIndex& postings();
 
  private:
   /// Lock bundle kept behind a pointer so the engine stays movable.
+  /// Acquisition order (never reversed): update_mu -> lists_mu ->
+  /// {snapshot_mu, vocab_mu, postings_mu, disk_mu, per-miner mutexes}.
   struct Sync {
-    /// Guards word_lists_, id_lists_, disk_lists_ and smj_fraction_:
-    /// shared for mining reads, exclusive for merges and rebuilds.
+    /// Serializes ApplyUpdate and Rebuild against each other.
+    std::mutex update_mu;
+    /// Guards word_lists_, id_lists_, disk_lists_, smj_fraction_ and -- on
+    /// a rebuild swap -- every base structure: shared for mining reads,
+    /// exclusive for merges, fraction changes and rebuild swaps.
     std::shared_mutex lists_mu;
+    /// Guards epoch_, generation_, delta_ and last_update_stats_.
+    mutable std::mutex snapshot_mu;
+    /// Guards the vocabulary: shared for ParseQuery lookups, exclusive for
+    /// ingest-time interning of unseen terms.
+    mutable std::shared_mutex vocab_mu;
     /// Guards lazy construction of postings_.
     std::mutex postings_mu;
     /// Serializes kNraDisk mines (the SimulatedDisk accumulates I/O).
@@ -173,6 +322,14 @@ class MiningEngine {
   /// Invalidates structures derived from word_lists_ after it changes.
   /// Caller must hold lists_mu exclusively.
   void InvalidateDerivedLists();
+
+  /// Lazy postings construction; caller must hold lists_mu (shared is
+  /// enough -- postings_mu serializes the build itself).
+  const PhrasePostingIndex& PostingsLocked();
+
+  /// Live-document lookup for delete-by-id; caller must hold update_mu.
+  /// Returns nullptr for out-of-range or already-deleted ids.
+  const Document* LiveDoc(DocId id) const;
 
   Options options_;
   Corpus corpus_;
@@ -192,6 +349,16 @@ class MiningEngine {
   std::unique_ptr<ExactMiner> exact_;
   std::unique_ptr<GmMiner> gm_;
   std::unique_ptr<SimitsisMiner> simitsis_;
+
+  // --- Update state (see Sync for the guarding mutexes) ----------------------
+  uint64_t epoch_ = 0;                           // snapshot_mu
+  uint64_t generation_ = 0;                      // snapshot_mu + lists_mu(excl)
+  std::shared_ptr<const DeltaIndex> delta_;      // snapshot_mu
+  UpdateStats last_update_stats_;                // snapshot_mu
+  std::vector<Document> pending_inserts_;        // update_mu
+  std::vector<uint8_t> insert_deleted_;          // update_mu
+  std::vector<uint8_t> base_deleted_;            // update_mu; lazily sized
+  std::size_t num_deleted_ = 0;                  // update_mu
 
   std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
 };

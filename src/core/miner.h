@@ -14,6 +14,27 @@ namespace phrasemine {
 
 class DeltaIndex;  // core/delta_index.h
 
+/// What a result is worth relative to corpus updates absorbed so far
+/// (Section 4.5.1). Stamped into MineResult by MiningEngine/PhraseService.
+enum class UpdateGuarantee {
+  /// No update overlay was in effect: the result reflects the base corpus
+  /// under the algorithm's own exact/approximate contract.
+  kFresh,
+  /// A delta overlay was applied and the scores are exact with respect to
+  /// the updated corpus (SMJ over full lists).
+  kExactUnderDelta,
+  /// A delta overlay was applied but the pruning bounds are heuristic, so
+  /// the top-k is approximate with respect to the updated corpus (NRA: the
+  /// adjusted scores need not respect the stored list order).
+  kApproximateUnderDelta,
+  /// Updates were pending but the algorithm cannot consult the overlay
+  /// (the count-based miners Exact/GM/Simitsis mine the base corpus).
+  kStale,
+};
+
+/// Renders "fresh"/"exact-under-delta"/... for reports.
+const char* UpdateGuaranteeName(UpdateGuarantee guarantee);
+
 /// One ranked result phrase.
 struct MinedPhrase {
   PhraseId phrase = kInvalidPhraseId;
@@ -47,6 +68,12 @@ struct MineResult {
   /// Number of documents in the materialized sub-collection, when the
   /// algorithm materializes one (exact/GM/Simitsis); 0 otherwise.
   std::size_t subcollection_size = 0;
+
+  /// Engine epoch this result was mined at (0 before any update was ever
+  /// applied, or when the miner was driven directly without an engine).
+  uint64_t epoch = 0;
+  /// Which correctness guarantee held under the update overlay, if any.
+  UpdateGuarantee guarantee = UpdateGuarantee::kFresh;
 };
 
 /// Per-query knobs shared by all algorithms.

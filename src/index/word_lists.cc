@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <utility>
 
 #include "common/check.h"
@@ -195,6 +196,18 @@ SharedWordList WordIdOrderedLists::IdOrderPrefix(
               return a.phrase < b.phrase;
             });
   return std::make_shared<const std::vector<ListEntry>>(std::move(list));
+}
+
+SharedWordList WordIdOrderedLists::MergeById(std::span<const ListEntry> base,
+                                             std::span<const ListEntry> extras) {
+  std::vector<ListEntry> merged;
+  merged.reserve(base.size() + extras.size());
+  std::merge(base.begin(), base.end(), extras.begin(), extras.end(),
+             std::back_inserter(merged),
+             [](const ListEntry& a, const ListEntry& b) {
+               return a.phrase < b.phrase;
+             });
+  return std::make_shared<const std::vector<ListEntry>>(std::move(merged));
 }
 
 std::span<const ListEntry> WordIdOrderedLists::list(TermId term) const {

@@ -150,6 +150,13 @@ class WordIdOrderedLists {
   /// WordScoreLists::Partial).
   static SharedWordList IdOrderPrefix(std::span<const ListEntry> prefix);
 
+  /// Merges two id-ordered entry runs into one id-ordered list. Used to
+  /// overlay DeltaIndex::ExtraIdOrderedEntries onto a stored list for the
+  /// per-query SMJ bundles mined under live updates; the inputs must be
+  /// sorted by phrase id and share no phrase.
+  static SharedWordList MergeById(std::span<const ListEntry> base,
+                                  std::span<const ListEntry> extras);
+
   bool Has(TermId term) const { return lists_.contains(term); }
 
   /// Id-ordered list for a term; empty span if absent.

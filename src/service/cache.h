@@ -47,12 +47,15 @@ Query CanonicalizeQuery(const Query& query);
 /// `smj_fraction` is the construction fraction of the id-ordered lists the
 /// mine will run on -- it determines kSmj output (MineOptions::list_fraction
 /// is ignored there) and must be part of the key; pass the default for
-/// algorithms that do not read it. Queries carrying a delta overlay must
-/// not be cached (the overlay is external mutable state); PhraseService
-/// skips the cache for those.
+/// algorithms that do not read it. `epoch` is the engine update epoch the
+/// result is valid for: stamping it into the key makes an Ingest
+/// atomically unreachable-invalidate every stale entry without a global
+/// flush (old-epoch entries age out of the LRU). Queries carrying a
+/// caller-supplied delta overlay must not be cached (that overlay is
+/// external mutable state); PhraseService skips the cache for those.
 std::string ResultCacheKey(const Query& canonical_query, Algorithm algorithm,
                            const MineOptions& options,
-                           double smj_fraction = -1.0);
+                           double smj_fraction = -1.0, uint64_t epoch = 0);
 
 /// A fixed-capacity LRU cache split into independently locked shards, so
 /// concurrent queries on different keys rarely contend. Capacity is

@@ -63,29 +63,51 @@ CostPlanner::CostPlanner(const MiningEngine* engine, PlannerOptions options,
 
 PlanDecision CostPlanner::Plan(const Query& query,
                                const MineOptions& options) const {
-  PlannerInputs inputs;
-  inputs.num_docs = engine_->corpus().size();
-  inputs.avg_doc_phrases = avg_doc_phrases_;
-  inputs.op = query.op;
-  inputs.k = options.k;
-  inputs.terms.reserve(query.terms.size());
-  for (TermId t : query.terms) {
-    TermPlanStats stats;
-    stats.term = t;
-    stats.df = engine_->inverted().df(t);
-    if (std::optional<std::size_t> len = probe_(t)) {
-      stats.list_built = true;
-      stats.list_length = *len;
-    } else {
-      // A term's list holds the distinct phrases co-occurring with it,
-      // bounded by the total phrase occurrences across docs(term).
-      stats.list_built = false;
-      stats.list_length = static_cast<std::size_t>(std::min<double>(
-          static_cast<double>(engine_->dict().size()),
-          static_cast<double>(stats.df) * inputs.avg_doc_phrases));
+  return Plan(query, options, engine_->delta_snapshot());
+}
+
+PlanDecision CostPlanner::Plan(const Query& query, const MineOptions& options,
+                               const EpochDelta& snap) const {
+  // The overlay corrects the document-frequency inputs, so selectivity
+  // estimates stay honest as updates accumulate between rebuilds. The
+  // stats gathering runs under the engine's shared structure lock so a
+  // concurrent rebuild cannot swap the indexes mid-read.
+  const DeltaIndex* delta =
+      snap.delta != nullptr && snap.delta->pending_updates() > 0
+          ? snap.delta.get()
+          : nullptr;
+  PlannerInputs inputs = engine_->WithSharedStructures([&] {
+    PlannerInputs gathered;
+    const int64_t docs_delta = delta != nullptr ? delta->DocsDelta() : 0;
+    const auto base_docs = static_cast<int64_t>(engine_->corpus().size());
+    gathered.num_docs = static_cast<std::size_t>(
+        std::max<int64_t>(base_docs + docs_delta, 0));
+    gathered.avg_doc_phrases = avg_doc_phrases_;
+    gathered.op = query.op;
+    gathered.k = options.k;
+    gathered.updates_pending = delta != nullptr;
+    gathered.terms.reserve(query.terms.size());
+    for (TermId t : query.terms) {
+      TermPlanStats stats;
+      stats.term = t;
+      int64_t df = engine_->inverted().df(t);
+      if (delta != nullptr) df += delta->TermDfDelta(t);
+      stats.df = static_cast<uint32_t>(std::max<int64_t>(df, 0));
+      if (std::optional<std::size_t> len = probe_(t)) {
+        stats.list_built = true;
+        stats.list_length = *len;
+      } else {
+        // A term's list holds the distinct phrases co-occurring with it,
+        // bounded by the total phrase occurrences across docs(term).
+        stats.list_built = false;
+        stats.list_length = static_cast<std::size_t>(std::min<double>(
+            static_cast<double>(engine_->dict().size()),
+            static_cast<double>(stats.df) * gathered.avg_doc_phrases));
+      }
+      gathered.terms.push_back(stats);
     }
-    inputs.terms.push_back(stats);
-  }
+    return gathered;
+  });
   return PlanFromInputs(inputs, options_);
 }
 
@@ -136,6 +158,15 @@ PlanDecision CostPlanner::PlanFromInputs(const PlannerInputs& inputs,
     return decision;
   }
   if (inputs.op == QueryOperator::kAnd && has_zero_df) {
+    if (inputs.updates_pending && options.allow_approximate) {
+      // The (delta-corrected) df hit zero through updates; GM would mine
+      // the base corpus and could serve a stale non-empty answer. SMJ
+      // over the delta-corrected lists yields the true (empty) result.
+      decision.algorithm = Algorithm::kSmj;
+      decision.reason =
+          "zero-df term under AND with pending updates: delta-corrected SMJ";
+      return decision;
+    }
     decision.algorithm = Algorithm::kGm;
     decision.reason = "empty subcollection (zero-df term under AND)";
     return decision;
@@ -151,8 +182,9 @@ PlanDecision CostPlanner::PlanFromInputs(const PlannerInputs& inputs,
     }
     return decision;
   }
-  if (decision.estimated_subcollection <=
-      options.exact_subcollection_threshold) {
+  if (!inputs.updates_pending &&
+      decision.estimated_subcollection <=
+          options.exact_subcollection_threshold) {
     decision.algorithm = Algorithm::kExact;
     decision.reason = "tiny subcollection: exact forward scan is cheapest";
     return decision;
@@ -186,22 +218,27 @@ PlanDecision CostPlanner::PlanFromInputs(const PlannerInputs& inputs,
                               or_factor +
                           build_charge;
 
-  decision.estimated_costs = {{Algorithm::kGm, cost_gm},
-                              {Algorithm::kNra, cost_nra},
-                              {Algorithm::kSmj, cost_smj}};
-  decision.algorithm = Algorithm::kGm;
-  double best = cost_gm;
-  if (cost_nra < best) {
-    decision.algorithm = Algorithm::kNra;
-    best = cost_nra;
+  // GM mines the base corpus; with an unrebuilt overlay it would serve
+  // stale answers, so the argmin is then restricted to NRA/SMJ.
+  if (!inputs.updates_pending) {
+    decision.estimated_costs.emplace_back(Algorithm::kGm, cost_gm);
   }
-  if (cost_smj < best) {
-    decision.algorithm = Algorithm::kSmj;
-    best = cost_smj;
+  decision.estimated_costs.emplace_back(Algorithm::kNra, cost_nra);
+  decision.estimated_costs.emplace_back(Algorithm::kSmj, cost_smj);
+  decision.algorithm = decision.estimated_costs.front().first;
+  double best = decision.estimated_costs.front().second;
+  for (const auto& [algorithm, cost] : decision.estimated_costs) {
+    if (cost < best) {
+      decision.algorithm = algorithm;
+      best = cost;
+    }
   }
   decision.reason = std::string("cost: ") +
                     AlgorithmName(decision.algorithm) + " cheapest (" +
                     FormatCost(best) + ")";
+  if (inputs.updates_pending) {
+    decision.reason += ", pending updates restrict to delta-corrected methods";
+  }
   return decision;
 }
 

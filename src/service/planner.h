@@ -90,6 +90,13 @@ struct PlannerInputs {
   double avg_doc_phrases = 0.0;
   QueryOperator op = QueryOperator::kAnd;
   std::size_t k = 0;
+  /// True when the engine carries an unrebuilt update overlay. The
+  /// count-based methods (Exact/GM/Simitsis) mine the base corpus and
+  /// would serve stale answers, so the planner then restricts its choice
+  /// to the delta-correctable list methods (NRA/SMJ) -- unless
+  /// allow_approximate is off, which is an explicit operator promise of
+  /// base-corpus exactness.
+  bool updates_pending = false;
   std::vector<TermPlanStats> terms;
 };
 
@@ -97,17 +104,27 @@ struct PlannerInputs {
 /// so callers of PhraseService never have to know the paper's
 /// NRA-vs-SMJ-vs-forward-scan trade-offs. Decision procedure:
 ///   1. An AND query with a zero-df term has an empty sub-collection:
-///      GM terminates immediately, pick it.
+///      GM terminates immediately, pick it (SMJ when updates are pending,
+///      so the emptiness reflects the *live* corpus).
 ///   2. allow_approximate == false: Exact for tiny sub-collections, GM
-///      otherwise (both are exact methods).
-///   3. Sub-collection estimate <= exact_subcollection_threshold: Exact.
-///   4. Otherwise: argmin of the modeled cost over {GM, NRA, SMJ}.
+///      otherwise (both are exact methods; an explicit base-corpus
+///      promise, even while updates are pending).
+///   3. Sub-collection estimate <= exact_subcollection_threshold and no
+///      updates pending: Exact.
+///   4. Otherwise: argmin of the modeled cost over {GM, NRA, SMJ}; with
+///      updates pending GM is excluded (it would mine the base corpus).
 /// kSimitsis and kNraDisk are never chosen -- they exist for the paper's
 /// comparison and disk-simulation studies and must be forced explicitly.
 ///
-/// Thread-safety: Plan() is const and touches only immutable engine
-/// components (inverted index, dictionary) plus the injected list probe;
-/// it is safe from any number of service threads concurrently.
+/// Under live updates the per-term and corpus document frequencies are
+/// corrected by the engine's delta overlay before costing, so plans do not
+/// degrade as the overlay grows between rebuilds (the overlay cannot shift
+/// list lengths, which only change at a rebuild).
+///
+/// Thread-safety: Plan() is const, gathers engine statistics under the
+/// engine's shared structure lock (so a concurrent rebuild cannot swap
+/// indexes mid-read) and calls the injected list probe; it is safe from
+/// any number of service threads concurrently.
 class CostPlanner {
  public:
   /// Reports the score-list length for a term when one is already built,
@@ -122,6 +139,11 @@ class CostPlanner {
   /// Plans one query. `query` should be canonicalized (sorted unique
   /// terms) so equal term sets produce identical decisions.
   PlanDecision Plan(const Query& query, const MineOptions& options) const;
+
+  /// Same, against a caller-held update snapshot, so one request plans,
+  /// mines and cache-keys against a single consistent epoch.
+  PlanDecision Plan(const Query& query, const MineOptions& options,
+                    const EpochDelta& snap) const;
 
   /// The pure cost model, exposed for decision-table tests.
   static PlanDecision PlanFromInputs(const PlannerInputs& inputs,

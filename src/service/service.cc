@@ -56,6 +56,14 @@ std::string ServiceStats::ToString() const {
                 static_cast<unsigned long long>(forced), p50_latency_ms,
                 p95_latency_ms);
   std::string out = buf;
+  std::snprintf(buf, sizeof(buf),
+                "\n  updates: epoch=%llu ingests=%llu rebuilds=%llu "
+                "pending=%zu delta=%.1f%%",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(ingests),
+                static_cast<unsigned long long>(rebuilds),
+                update.pending_updates, 100.0 * update.delta_fraction);
+  out += buf;
   out += "\n  per-algorithm:";
   for (std::size_t i = 0; i < per_algorithm.size(); ++i) {
     if (per_algorithm[i] == 0) continue;
@@ -88,7 +96,9 @@ PhraseService::PhraseService(MiningEngine* engine,
                // probe conservatively reports "not built".
                [this](TermId term) -> std::optional<std::size_t> {
                  if (!options_.enable_word_list_cache) return std::nullopt;
-                 if (auto list = word_list_cache_.Peek(ScoreListKey(term))) {
+                 const uint64_t generation = engine_->list_generation();
+                 if (auto list =
+                         word_list_cache_.Peek(ScoreListKey(term, generation))) {
                    return (*list)->size();
                  }
                  return std::nullopt;
@@ -145,6 +155,12 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
   ServiceReply reply;
   const Query canonical = CanonicalizeQuery(request.query);
 
+  // One update snapshot per request: the epoch keys the result cache, the
+  // generation keys the word lists, and the overlay delta-corrects the
+  // mine. Fetched before planning so a racing Ingest can only move this
+  // request to a *newer* epoch, never an older one.
+  const EpochDelta snap = engine_->delta_snapshot();
+
   Algorithm algorithm;
   if (request.algorithm.has_value()) {
     algorithm = *request.algorithm;
@@ -153,12 +169,13 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
     reply.plan.k = request.options.k;
     reply.plan.reason = "forced by caller";
   } else {
-    reply.plan = planner_.Plan(canonical, request.options);
+    reply.plan = planner_.Plan(canonical, request.options, snap);
     algorithm = reply.plan.algorithm;
   }
 
-  // Delta overlays are external mutable state; results under them are not
-  // cacheable.
+  // Caller-supplied delta overlays are external mutable state and not
+  // cacheable; the engine's own overlay is immutable per epoch, so its
+  // results cache fine under the epoch-stamped key.
   const bool cacheable =
       options_.enable_result_cache && request.options.delta == nullptr;
   std::string key;
@@ -172,9 +189,11 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
                          ? smj_fraction_
                          : engine_->smj_fraction();
     }
-    key = ResultCacheKey(canonical, algorithm, request.options, smj_fraction);
+    key = ResultCacheKey(canonical, algorithm, request.options, smj_fraction,
+                         snap.epoch);
     if (auto hit = result_cache_.Get(key)) {
       reply.result = **hit;
+      reply.epoch = reply.result.epoch;
       reply.result_cache_hit = true;
       reply.latency_ms = watch.ElapsedMillis();
       RecordQuery(algorithm, request.algorithm.has_value(),
@@ -183,7 +202,16 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
     }
   }
 
-  reply.result = Run(canonical, algorithm, request.options);
+  reply.result = Run(canonical, algorithm, request.options, snap);
+  // Run stamps epoch and guarantee (bundle mines from the snapshot, engine
+  // mines inside the engine); max() keeps the label truthful if an
+  // engine-routed mine raced onto a newer epoch. A caller-supplied overlay
+  // is external state the engine knows nothing about -- its results keep
+  // epoch 0, matching the engine's own contract.
+  if (request.options.delta == nullptr) {
+    reply.result.epoch = std::max(reply.result.epoch, snap.epoch);
+  }
+  reply.epoch = reply.result.epoch;
   if (cacheable) {
     auto shared = std::make_shared<const MineResult>(reply.result);
     result_cache_.Put(key, shared, ResultCharge(key, *shared));
@@ -195,45 +223,111 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
 }
 
 MineResult PhraseService::Run(const Query& canonical, Algorithm algorithm,
-                              const MineOptions& options) {
-  if (options_.enable_word_list_cache) {
+                              const MineOptions& options, EpochDelta snap) {
+  if (options_.enable_word_list_cache &&
+      (algorithm == Algorithm::kNra || algorithm == Algorithm::kSmj)) {
     // The list-based serving algorithms mine per-query bundles assembled
-    // from the sharded cache: no engine mutation, no global lock.
-    if (algorithm == Algorithm::kNra) {
-      WordScoreLists bundle;
-      for (TermId t : canonical.terms) {
-        bundle.Insert(t, GetOrBuildScoreList(t));
+    // from the sharded cache: no engine mutation, no global lock. Under a
+    // pending overlay the miners delta-correct each entry at read time,
+    // so cached lists stay valid across delta epochs. The loop restarts
+    // with a fresh snapshot when a background rebuild swaps the structure
+    // generation mid-assembly (GetOrBuild* then refuses to build, so a
+    // new-generation list can never be cached under the old key).
+    //
+    // The miners receive engine_->dict() by reference but never read it
+    // during Mine (scores come entirely from the bundle + overlay; the
+    // overlay snapshots its base dfs at ingest). If a list miner ever
+    // starts dereferencing the dictionary mid-mine, this lock-free path
+    // must move under WithSharedStructures or pin the dictionary.
+    for (;;) {
+      MineOptions effective = options;
+      if (effective.delta == nullptr && snap.delta != nullptr &&
+          snap.delta->pending_updates() > 0) {
+        effective.delta = snap.delta.get();
       }
-      NraMiner miner(bundle, engine_->dict());
-      return miner.Mine(canonical, options);
-    }
-    if (algorithm == Algorithm::kSmj) {
-      WordIdOrderedLists bundle(smj_fraction_);
-      for (TermId t : canonical.terms) {
-        bundle.Insert(t, GetOrBuildIdList(t));
+      bool stale = false;
+      MineResult result;
+      if (algorithm == Algorithm::kNra) {
+        WordScoreLists bundle;
+        for (TermId t : canonical.terms) {
+          SharedWordList list = GetOrBuildScoreList(t, snap.generation);
+          if (list == nullptr) {
+            stale = true;
+            break;
+          }
+          bundle.Insert(t, std::move(list));
+        }
+        if (!stale) {
+          NraMiner miner(bundle, engine_->dict());
+          result = miner.Mine(canonical, effective);
+        }
+      } else {
+        WordIdOrderedLists bundle(smj_fraction_);
+        for (TermId t : canonical.terms) {
+          SharedWordList base = GetOrBuildIdList(t, snap.generation);
+          if (base == nullptr) {
+            stale = true;
+            break;
+          }
+          if (effective.delta != nullptr) {
+            // Overlay phrases whose co-occurrence with t became positive
+            // purely through updates; without them SMJ loses its
+            // exactness guarantee under inserts (Section 4.5.1).
+            base = effective.delta->OverlayIdOrdered(t, std::move(base));
+          }
+          bundle.Insert(t, std::move(base));
+        }
+        if (!stale) {
+          SmjMiner miner(bundle, engine_->dict());
+          result = miner.Mine(canonical, effective);
+        }
       }
-      SmjMiner miner(bundle, engine_->dict());
-      return miner.Mine(canonical, options);
+      if (!stale) {
+        if (options.delta == nullptr) result.epoch = snap.epoch;
+        result.guarantee = GuaranteeFor(algorithm, effective.delta != nullptr,
+                                        smj_fraction_ >= 1.0);
+        return result;
+      }
+      snap = engine_->delta_snapshot();
     }
   }
-  return engine_->Mine(canonical, algorithm, options);
+  MineOptions effective = options;
+  if (effective.delta == nullptr && snap.delta != nullptr &&
+      snap.delta->pending_updates() > 0) {
+    effective.delta = snap.delta.get();
+  }
+  return engine_->Mine(canonical, algorithm, effective);
 }
 
-SharedWordList PhraseService::GetOrBuildScoreList(TermId term) {
-  const uint64_t key = ScoreListKey(term);
+SharedWordList PhraseService::GetOrBuildScoreList(TermId term,
+                                                  uint64_t generation) {
+  const uint64_t key = ScoreListKey(term, generation);
   if (auto cached = word_list_cache_.Get(key)) return *cached;
   // Two threads racing on the same cold term both build; the lists are
   // identical by construction, so the second Put is a harmless refresh.
-  SharedWordList list = WordScoreLists::BuildOne(
-      engine_->inverted(), engine_->forward(), engine_->dict(), term);
+  // The shared structure lock keeps a concurrent rebuild from swapping
+  // the source indexes mid-build, and the generation check under that
+  // lock keeps a list built from post-rebuild indexes from being cached
+  // under the pre-rebuild key (nullptr tells the caller to refresh its
+  // snapshot and retry).
+  SharedWordList list =
+      engine_->WithSharedStructures([&]() -> SharedWordList {
+        if (engine_->list_generation() != generation) return nullptr;
+        return WordScoreLists::BuildOne(engine_->inverted(),
+                                        engine_->forward(), engine_->dict(),
+                                        term);
+      });
+  if (list == nullptr) return nullptr;
   word_list_cache_.Put(key, list, list->size() * kListEntryBytes + 64);
   return list;
 }
 
-SharedWordList PhraseService::GetOrBuildIdList(TermId term) {
-  const uint64_t key = IdListKey(term);
+SharedWordList PhraseService::GetOrBuildIdList(TermId term,
+                                               uint64_t generation) {
+  const uint64_t key = IdListKey(term, generation);
   if (auto cached = word_list_cache_.Get(key)) return *cached;
-  SharedWordList score = GetOrBuildScoreList(term);
+  SharedWordList score = GetOrBuildScoreList(term, generation);
+  if (score == nullptr) return nullptr;  // stale generation: caller retries
   const double fraction = std::clamp(smj_fraction_, 0.0, 1.0);
   const std::size_t prefix_len = static_cast<std::size_t>(
       std::ceil(fraction * static_cast<double>(score->size())));
@@ -241,6 +335,38 @@ SharedWordList PhraseService::GetOrBuildIdList(TermId term) {
       std::span<const ListEntry>(*score).subspan(0, prefix_len));
   word_list_cache_.Put(key, id_list, id_list->size() * kListEntryBytes + 64);
   return id_list;
+}
+
+UpdateStats PhraseService::Ingest(UpdateDoc doc) {
+  UpdateBatch batch;
+  batch.inserts.push_back(std::move(doc));
+  return IngestBatch(batch);
+}
+
+UpdateStats PhraseService::IngestBatch(const UpdateBatch& batch) {
+  const UpdateStats stats = engine_->ApplyUpdate(batch);
+  {
+    std::scoped_lock lock(stats_mu_);
+    ++ingests_;
+  }
+  if (stats.rebuild_recommended && options_.enable_auto_rebuild) {
+    MaybeScheduleRebuild();
+  }
+  return stats;
+}
+
+void PhraseService::MaybeScheduleRebuild() {
+  if (rebuild_inflight_.exchange(true)) return;
+  auto rebuild = [this] {
+    engine_->Rebuild();
+    {
+      std::scoped_lock lock(stats_mu_);
+      ++rebuilds_;
+    }
+    rebuild_inflight_.store(false);
+  };
+  // Pool shut down: rebuild inline so the recommendation is not lost.
+  if (!pool_.Submit(rebuild)) rebuild();
 }
 
 void PhraseService::RecordQuery(Algorithm algorithm, bool forced,
@@ -266,10 +392,14 @@ ServiceStats PhraseService::stats() const {
     stats.queries = queries_;
     stats.planned = planned_;
     stats.forced = forced_;
+    stats.ingests = ingests_;
+    stats.rebuilds = rebuilds_;
     stats.per_algorithm = per_algorithm_;
     stats.p50_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.50);
     stats.p95_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.95);
   }
+  stats.epoch = engine_->epoch();
+  stats.update = engine_->update_stats();
   stats.result_cache = result_cache_.stats();
   stats.word_list_cache = word_list_cache_.stats();
   stats.pool = pool_.stats();

@@ -2,6 +2,7 @@
 #define PHRASEMINE_SERVICE_SERVICE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -41,6 +42,11 @@ struct PhraseServiceOptions {
   /// service kSmj results identical to serial engine mines regardless of
   /// enable_word_list_cache.
   std::optional<double> smj_fraction;
+  /// When an Ingest crosses the engine's rebuild threshold, schedule a
+  /// full MiningEngine::Rebuild on this service's thread pool (one at a
+  /// time; queries keep flowing while it runs). Disable to manage
+  /// rebuilds externally.
+  bool enable_auto_rebuild = true;
 };
 
 /// One unit of work for the service.
@@ -57,6 +63,10 @@ struct ServiceReply {
   /// How the algorithm was chosen (reason == "forced by caller" when the
   /// request pinned one).
   PlanDecision plan;
+  /// Engine epoch the result is valid for (mirrors result.epoch). After an
+  /// Ingest returns epoch E, every subsequently submitted query replies
+  /// with epoch >= E -- stale cache entries are unreachable by key.
+  uint64_t epoch = 0;
   bool result_cache_hit = false;
   /// Execution latency measured from the moment a worker (or MineSync
   /// caller) starts the query; time spent queued in the thread pool is
@@ -80,6 +90,13 @@ struct ServiceStats {
   /// histogram (2x bucket resolution).
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  /// Live-update counters: current engine epoch, Ingest/IngestBatch calls
+  /// served, background rebuilds completed, and the engine's per-epoch
+  /// accounting as of the last update.
+  uint64_t epoch = 0;
+  uint64_t ingests = 0;
+  uint64_t rebuilds = 0;
+  UpdateStats update;
 
   std::string ToString() const;
 };
@@ -98,6 +115,17 @@ struct ServiceStats {
 /// word-list cache and never mutate the engine; Exact/GM/Simitsis and the
 /// disk-simulation mode route through MiningEngine::Mine, which is
 /// internally synchronized (see the engine's threading contract).
+///
+/// Live updates: Ingest/IngestBatch apply document churn to the engine
+/// synchronously (the delta overlay and new epoch are visible before the
+/// call returns), so no query submitted afterwards can be served from a
+/// pre-update epoch. Invalidation is by construction, not by flush:
+/// result-cache keys carry the epoch and word-list keys carry the
+/// structure generation, making stale entries unreachable while hot lists
+/// stay shared (word lists remain valid across delta epochs because the
+/// miners correct scores at read time; only a rebuild re-keys them). When
+/// an ingest crosses the rebuild threshold and enable_auto_rebuild is on,
+/// a full rebuild runs on this pool in the background.
 ///
 /// Thread-safety: all public members may be called from any thread.
 /// Shutdown (or destruction) drains queued work; Submit after shutdown
@@ -124,6 +152,16 @@ class PhraseService {
   /// Runs one query synchronously on the calling thread (no queueing).
   ServiceReply MineSync(const ServiceRequest& request);
 
+  // --- Live updates ----------------------------------------------------------
+
+  /// Inserts one document. Synchronous: on return the update is absorbed
+  /// and the returned stats carry the new epoch.
+  UpdateStats Ingest(UpdateDoc doc);
+
+  /// Applies one batch of inserts/deletes; same synchronous contract.
+  /// May schedule a background rebuild (see enable_auto_rebuild).
+  UpdateStats IngestBatch(const UpdateBatch& batch);
+
   /// Stops intake and drains in-flight work; idempotent.
   void Shutdown();
 
@@ -133,19 +171,26 @@ class PhraseService {
   const PhraseServiceOptions& options() const { return options_; }
 
  private:
-  /// Word-list cache key: term id + list kind (score- vs id-ordered).
-  static uint64_t ScoreListKey(TermId term) {
-    return static_cast<uint64_t>(term) << 1;
+  /// Word-list cache key: structure generation + term id + list kind
+  /// (score- vs id-ordered). Lists survive delta epochs (miners correct
+  /// scores at read time) but not a rebuild, which bumps the generation
+  /// and thereby strands every old-generation entry.
+  static uint64_t ScoreListKey(TermId term, uint64_t generation) {
+    return (generation << 33) | (static_cast<uint64_t>(term) << 1);
   }
-  static uint64_t IdListKey(TermId term) {
-    return (static_cast<uint64_t>(term) << 1) | 1;
+  static uint64_t IdListKey(TermId term, uint64_t generation) {
+    return (generation << 33) | (static_cast<uint64_t>(term) << 1) | 1;
   }
 
   ServiceReply Execute(const ServiceRequest& request);
+  /// `snap` is taken by value: Run refreshes it (and retries the bundle
+  /// assembly) when a background rebuild changes the structure generation
+  /// mid-request.
   MineResult Run(const Query& canonical, Algorithm algorithm,
-                 const MineOptions& options);
-  SharedWordList GetOrBuildScoreList(TermId term);
-  SharedWordList GetOrBuildIdList(TermId term);
+                 const MineOptions& options, EpochDelta snap);
+  SharedWordList GetOrBuildScoreList(TermId term, uint64_t generation);
+  SharedWordList GetOrBuildIdList(TermId term, uint64_t generation);
+  void MaybeScheduleRebuild();
   void RecordQuery(Algorithm algorithm, bool forced, bool executed,
                    double latency_ms);
 
@@ -163,9 +208,15 @@ class PhraseService {
   uint64_t queries_ = 0;
   uint64_t planned_ = 0;
   uint64_t forced_ = 0;
+  uint64_t ingests_ = 0;
+  uint64_t rebuilds_ = 0;
   std::array<uint64_t, 6> per_algorithm_{};
   /// Log2 microsecond latency histogram (bucket i covers [2^i, 2^(i+1)) us).
   std::array<uint64_t, 40> latency_buckets_{};
+
+  /// One background rebuild at a time; set when scheduled, cleared by the
+  /// pool task when the rebuild finishes.
+  std::atomic<bool> rebuild_inflight_{false};
 
   ThreadPool pool_;  // Last member: workers must die before the caches.
 };

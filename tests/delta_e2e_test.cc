@@ -1,0 +1,352 @@
+// End-to-end differential test of the live-update path (Section 4.5.1):
+// randomized insert/delete batches are absorbed through
+// MiningEngine::ApplyUpdate, and after every batch the delta-corrected
+// miners are compared against an engine rebuilt from scratch over the live
+// document set. SMJ must match the rebuild *exactly* (same phrase set,
+// bit-identical scores); NRA's recall against the rebuild is measured and
+// bounded. Everything is driven by a seeded RNG, so there are no flaky
+// thresholds -- the asserted bounds are far below the deterministic
+// observed values.
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/delta_index.h"
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "text/corpus.h"
+
+namespace phrasemine {
+namespace {
+
+MiningEngine::Options TestOptions() {
+  MiningEngine::Options options;
+  // min_df = 1 makes the base dictionary contain *every* n-gram of the
+  // base corpus, so a rebuild over duplicated documents can never surface
+  // a phrase the overlay does not know about -- the precondition for exact
+  // equality (new-content inserts are covered separately below).
+  options.extractor.min_df = 1;
+  options.extractor.max_phrase_len = 3;
+  return options;
+}
+
+std::vector<std::string> RandomDoc(Rng& rng, std::size_t vocab_size) {
+  const std::size_t len = 8 + rng.NextBelow(7);
+  std::vector<std::string> tokens;
+  tokens.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    tokens.push_back("w" + std::to_string(rng.NextBelow(vocab_size)));
+  }
+  return tokens;
+}
+
+Corpus MakeCorpus(const std::vector<std::vector<std::string>>& docs) {
+  Corpus corpus;
+  for (const auto& doc : docs) corpus.AddTokenized(doc);
+  return corpus;
+}
+
+/// Result keyed by phrase token-id sequence (term ids are shared between
+/// the engines via a copied vocabulary), valued by interestingness.
+std::map<std::vector<TermId>, double> ResultByTokens(const MiningEngine& engine,
+                                                     const MineResult& result) {
+  std::map<std::vector<TermId>, double> out;
+  for (const MinedPhrase& p : result.phrases) {
+    out.emplace(engine.dict().info(p.phrase).tokens, p.interestingness);
+  }
+  return out;
+}
+
+/// Fresh engine over the live documents, sharing the base vocabulary so
+/// term ids (and parsed queries) carry over.
+MiningEngine RebuildReference(
+    const MiningEngine& base,
+    const std::vector<std::optional<std::vector<std::string>>>& live) {
+  Corpus corpus;
+  corpus.vocab() = base.corpus().vocab();
+  for (const auto& doc : live) {
+    if (doc.has_value()) corpus.AddTokenized(*doc);
+  }
+  return MiningEngine::Build(std::move(corpus), TestOptions());
+}
+
+/// Shared harness: runs `num_batches` randomized update batches against a
+/// base engine, comparing delta-corrected SMJ/NRA to a fresh rebuild after
+/// each. `duplicate_only` restricts inserts to copies of live documents
+/// (the exact-equality regime); otherwise inserts carry new random content
+/// and the comparison is restricted to base-dictionary phrases.
+void RunDifferential(uint64_t seed, int num_batches, bool duplicate_only,
+                     double min_nra_recall) {
+  constexpr std::size_t kVocab = 25;
+  constexpr std::size_t kBaseDocs = 80;
+  Rng rng(seed);
+
+  std::vector<std::vector<std::string>> base_docs;
+  for (std::size_t i = 0; i < kBaseDocs; ++i) {
+    base_docs.push_back(RandomDoc(rng, kVocab));
+  }
+  MiningEngine engine = MiningEngine::Build(MakeCorpus(base_docs),
+                                            TestOptions());
+
+  // Mirror of the engine's live-document numbering: base docs first, then
+  // inserts in ingest order; deleted slots are nullopt.
+  std::vector<std::optional<std::vector<std::string>>> live(
+      base_docs.begin(), base_docs.end());
+
+  int smj_exact_batches = 0;
+  double nra_recall_sum = 0.0;
+  std::size_t nra_recall_samples = 0;
+
+  for (int batch_no = 0; batch_no < num_batches; ++batch_no) {
+    // --- Compose and apply a random batch --------------------------------
+    UpdateBatch batch;
+    const std::size_t num_inserts = rng.NextBelow(4);
+    for (std::size_t i = 0; i < num_inserts; ++i) {
+      UpdateDoc doc;
+      if (duplicate_only) {
+        for (;;) {
+          const std::size_t id = rng.NextBelow(live.size());
+          if (live[id].has_value()) {
+            doc.tokens = *live[id];
+            break;
+          }
+        }
+      } else {
+        doc.tokens = RandomDoc(rng, kVocab);
+      }
+      live.emplace_back(doc.tokens);
+      batch.inserts.push_back(std::move(doc));
+    }
+    std::size_t num_live = 0;
+    for (const auto& d : live) num_live += d.has_value() ? 1 : 0;
+    const std::size_t num_deletes = num_live > 20 ? rng.NextBelow(3) : 0;
+    for (std::size_t i = 0; i < num_deletes; ++i) {
+      for (;;) {
+        const auto id = static_cast<DocId>(rng.NextBelow(live.size()));
+        if (live[id].has_value()) {
+          live[id].reset();
+          batch.deletes.push_back(id);
+          break;
+        }
+      }
+    }
+    if (batch.inserts.empty() && batch.deletes.empty()) {
+      UpdateDoc doc;
+      if (duplicate_only) {
+        for (;;) {
+          const std::size_t id = rng.NextBelow(live.size());
+          if (live[id].has_value()) {
+            doc.tokens = *live[id];
+            break;
+          }
+        }
+      } else {
+        doc.tokens = RandomDoc(rng, kVocab);
+      }
+      live.emplace_back(doc.tokens);
+      batch.inserts.push_back(std::move(doc));
+    }
+    const UpdateStats stats = engine.ApplyUpdate(batch);
+    EXPECT_EQ(stats.epoch, static_cast<uint64_t>(batch_no + 1));
+
+    // --- Rebuild reference and compare -----------------------------------
+    MiningEngine fresh = RebuildReference(engine, live);
+
+    Query query;
+    query.op = rng.NextBool(0.5) ? QueryOperator::kAnd : QueryOperator::kOr;
+    const std::size_t num_terms = 1 + rng.NextBelow(2);
+    for (std::size_t i = 0; i < num_terms; ++i) {
+      const std::string text = "w" + std::to_string(rng.NextBelow(kVocab));
+      const TermId t = engine.corpus().vocab().Lookup(text);
+      if (t != kInvalidTermId) query.terms.push_back(t);
+    }
+    if (query.terms.empty()) continue;
+    std::sort(query.terms.begin(), query.terms.end());
+    query.terms.erase(std::unique(query.terms.begin(), query.terms.end()),
+                      query.terms.end());
+
+    MineOptions all;
+    all.k = 100000;  // everything with a positive score
+    const MineResult delta_smj = engine.Mine(query, Algorithm::kSmj, all);
+    EXPECT_EQ(delta_smj.guarantee, UpdateGuarantee::kExactUnderDelta);
+    EXPECT_EQ(delta_smj.epoch, stats.epoch);
+    const MineResult fresh_smj = fresh.Mine(query, Algorithm::kSmj, all);
+    EXPECT_EQ(fresh_smj.guarantee, UpdateGuarantee::kFresh);
+
+    const auto delta_map = ResultByTokens(engine, delta_smj);
+    const auto fresh_map = ResultByTokens(fresh, fresh_smj);
+    bool exact = true;
+    if (duplicate_only) {
+      // Exact regime: identical phrase sets, bit-identical scores.
+      EXPECT_EQ(delta_map.size(), fresh_map.size())
+          << "batch " << batch_no << ": phrase sets diverged";
+      exact = delta_map.size() == fresh_map.size();
+      for (const auto& [tokens, score] : delta_map) {
+        auto it = fresh_map.find(tokens);
+        if (it == fresh_map.end()) {
+          ADD_FAILURE() << "batch " << batch_no
+                        << ": delta-SMJ phrase missing from rebuild";
+          exact = false;
+          continue;
+        }
+        EXPECT_DOUBLE_EQ(score, it->second) << "batch " << batch_no;
+        if (score != it->second) exact = false;
+      }
+    } else {
+      // New-content regime: every delta-side phrase must score exactly as
+      // in the rebuild, and anything the overlay missed must be a phrase
+      // that did not exist in the base dictionary (the documented
+      // out-of-scope case: it enters P at the next rebuild).
+      for (const auto& [tokens, score] : delta_map) {
+        auto it = fresh_map.find(tokens);
+        ASSERT_NE(it, fresh_map.end())
+            << "batch " << batch_no << ": delta-SMJ phrase not in rebuild";
+        EXPECT_DOUBLE_EQ(score, it->second) << "batch " << batch_no;
+        if (score != it->second) exact = false;
+      }
+      for (const auto& [tokens, score] : fresh_map) {
+        if (delta_map.contains(tokens)) continue;
+        EXPECT_EQ(engine.dict().Find(tokens), kInvalidPhraseId)
+            << "batch " << batch_no
+            << ": base-dictionary phrase missing from delta-SMJ";
+      }
+    }
+    if (exact) ++smj_exact_batches;
+
+    // --- NRA recall vs the rebuild ---------------------------------------
+    // Tie-robust quality recall: an NRA result counts as a hit when its
+    // *true* (rebuilt) score reaches the reference k-th score. Plain set
+    // overlap would punish nothing but tie-permutation (phrase ids -- the
+    // tie-break -- are reassigned by the rebuild).
+    MineOptions topk;
+    topk.k = 10;
+    const MineResult delta_nra = engine.Mine(query, Algorithm::kNra, topk);
+    EXPECT_EQ(delta_nra.guarantee, UpdateGuarantee::kApproximateUnderDelta);
+    const MineResult fresh_ref = fresh.Mine(query, Algorithm::kSmj, topk);
+    if (!fresh_ref.phrases.empty()) {
+      const double kth_score = fresh_ref.phrases.back().interestingness;
+      std::size_t hits = 0;
+      for (const MinedPhrase& p : delta_nra.phrases) {
+        auto it = fresh_map.find(engine.dict().info(p.phrase).tokens);
+        if (it != fresh_map.end() && it->second >= kth_score) ++hits;
+      }
+      nra_recall_sum += static_cast<double>(hits) /
+                        static_cast<double>(fresh_ref.phrases.size());
+      ++nra_recall_samples;
+    }
+  }
+
+  if (duplicate_only) {
+    EXPECT_EQ(smj_exact_batches, num_batches)
+        << "SMJ-with-delta must match a fresh rebuild on every batch";
+  }
+  ASSERT_GT(nra_recall_samples, 0u);
+  const double avg_recall =
+      nra_recall_sum / static_cast<double>(nra_recall_samples);
+  EXPECT_GE(avg_recall, min_nra_recall)
+      << "NRA-with-delta average recall over " << nra_recall_samples
+      << " batches";
+}
+
+TEST(DeltaE2eTest, SmjMatchesRebuildExactlyOver110Batches) {
+  RunDifferential(/*seed=*/42, /*num_batches=*/110, /*duplicate_only=*/true,
+                  /*min_nra_recall=*/0.70);
+}
+
+TEST(DeltaE2eTest, NewContentInsertsStayExactOnBaseDictionary) {
+  RunDifferential(/*seed=*/7, /*num_batches=*/40, /*duplicate_only=*/false,
+                  /*min_nra_recall=*/0.60);
+}
+
+TEST(DeltaE2eTest, TruncatedSmjIsLabeledApproximateUnderDelta) {
+  // SMJ's exactness under a delta only holds over full id-ordered lists:
+  // a truncated prefix hides base-positive pairs from the overlay, so the
+  // stamped guarantee must downgrade to approximate.
+  Rng rng(123);
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 30; ++i) docs.push_back(RandomDoc(rng, 15));
+  MiningEngine engine = MiningEngine::Build(MakeCorpus(docs), TestOptions());
+  UpdateBatch batch;
+  UpdateDoc doc;
+  doc.tokens = docs[0];
+  batch.inserts.push_back(std::move(doc));
+  engine.ApplyUpdate(batch);
+
+  Query query;
+  query.terms = {engine.corpus().vocab().Lookup("w1")};
+  query.op = QueryOperator::kAnd;
+  ASSERT_NE(query.terms[0], kInvalidTermId);
+
+  EXPECT_EQ(engine.Mine(query, Algorithm::kSmj, {}).guarantee,
+            UpdateGuarantee::kExactUnderDelta);
+  engine.SetSmjFraction(0.5);
+  EXPECT_EQ(engine.Mine(query, Algorithm::kSmj, {}).guarantee,
+            UpdateGuarantee::kApproximateUnderDelta);
+}
+
+TEST(DeltaE2eTest, RebuildPromotesNewPhrasesAndPreservesQueries) {
+  Rng rng(99);
+  std::vector<std::vector<std::string>> base_docs;
+  for (int i = 0; i < 40; ++i) base_docs.push_back(RandomDoc(rng, 20));
+  MiningEngine::Options options;
+  options.extractor.min_df = 2;
+  options.extractor.max_phrase_len = 3;
+  MiningEngine engine = MiningEngine::Build(MakeCorpus(base_docs), options);
+  ASSERT_EQ(engine.epoch(), 0u);
+
+  // A burst of documents around a brand-new bigram "flux capacitor".
+  UpdateBatch batch;
+  for (int i = 0; i < 6; ++i) {
+    UpdateDoc doc;
+    doc.tokens = {"flux", "capacitor", "w1", "w2"};
+    batch.inserts.push_back(std::move(doc));
+  }
+  const UpdateStats stats = engine.ApplyUpdate(batch);
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_EQ(stats.batch_inserts, 6u);
+  EXPECT_EQ(stats.pending_updates, 6u);
+  // 6 pending updates over 46 live docs is below the default 0.25
+  // threshold; the engine leaves the rebuild decision to the caller.
+  EXPECT_FALSE(stats.rebuild_recommended);
+  EXPECT_EQ(stats.live_docs, 46u);
+
+  // New words were interned at ingest but the frozen dictionary cannot
+  // hold the new phrase yet.
+  const TermId flux = engine.corpus().vocab().Lookup("flux");
+  ASSERT_NE(flux, kInvalidTermId);
+  const TermId capacitor = engine.corpus().vocab().Lookup("capacitor");
+  EXPECT_EQ(engine.dict().Find(std::vector<TermId>{flux, capacitor}),
+            kInvalidPhraseId);
+
+  // A query parsed before the rebuild must survive it (term ids are
+  // preserved), and w1's scores must reflect the inserts afterwards.
+  Query pre = engine.ParseQuery("w1", QueryOperator::kAnd).value();
+  const uint64_t generation_before = engine.list_generation();
+  engine.Rebuild();
+  EXPECT_EQ(engine.epoch(), 2u);
+  EXPECT_EQ(engine.list_generation(), generation_before + 1);
+  EXPECT_EQ(engine.corpus().size(), 46u);
+  EXPECT_EQ(engine.update_stats().pending_updates, 0u);
+
+  // The new phrase entered P at the rebuild (df 6 >= min_df 2)...
+  const PhraseId promoted =
+      engine.dict().Find(std::vector<TermId>{flux, capacitor});
+  ASSERT_NE(promoted, kInvalidPhraseId);
+  EXPECT_EQ(engine.dict().df(promoted), 6u);
+  // ...and is minable through the old query handle.
+  const MineResult result = engine.Mine(pre, Algorithm::kSmj, {.k = 100});
+  EXPECT_EQ(result.guarantee, UpdateGuarantee::kFresh);
+  EXPECT_EQ(result.epoch, 2u);
+  bool found = false;
+  for (const MinedPhrase& p : result.phrases) {
+    if (p.phrase == promoted) found = true;
+  }
+  EXPECT_TRUE(found) << "promoted phrase should co-occur with w1";
+}
+
+}  // namespace
+}  // namespace phrasemine

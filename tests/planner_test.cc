@@ -135,6 +135,39 @@ TEST(PlannerTest, DecisionIsDeterministic) {
   EXPECT_EQ(a.estimated_subcollection, b.estimated_subcollection);
 }
 
+TEST(PlannerTest, PendingUpdatesExcludeStaleMethods) {
+  // The count-based methods mine the base corpus; while an unrebuilt
+  // overlay is pending the planner must route to NRA/SMJ so the answer
+  // reflects the live corpus.
+  PlannerInputs inputs = BaseInputs();
+  inputs.updates_pending = true;
+  // Tiny subcollection: would be Exact without pending updates.
+  inputs.terms = {Term(1, 3, true, 10), Term(2, 3, true, 10)};
+  PlanDecision tiny = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_TRUE(tiny.algorithm == Algorithm::kNra ||
+              tiny.algorithm == Algorithm::kSmj)
+      << AlgorithmName(tiny.algorithm);
+  // Huge subcollection: GM must not appear in the candidate costs.
+  inputs.terms = {Term(1, 70000, true, 30000), Term(2, 70000, true, 30000)};
+  PlanDecision big = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_TRUE(big.algorithm == Algorithm::kNra ||
+              big.algorithm == Algorithm::kSmj);
+  for (const auto& [algorithm, cost] : big.estimated_costs) {
+    EXPECT_NE(algorithm, Algorithm::kGm);
+  }
+  // Zero-df under AND: emptiness must be proven against the live corpus.
+  inputs.terms = {Term(1, 5000, true, 1000), Term(2, 0, false, 0)};
+  PlanDecision zero = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(zero.algorithm, Algorithm::kSmj);
+  // allow_approximate == false is an explicit base-corpus promise and
+  // overrides the restriction.
+  PlannerOptions exact_only;
+  exact_only.allow_approximate = false;
+  inputs.terms = {Term(1, 20000, true, 30000)};
+  PlanDecision promised = CostPlanner::PlanFromInputs(inputs, exact_only);
+  EXPECT_EQ(promised.algorithm, Algorithm::kGm);
+}
+
 TEST(PlannerTest, PlanOverRealEngineFillsStatistics) {
   MiningEngine engine = testing::MakeTinyEngine();
   CostPlanner planner(&engine);
