@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs every paper-figure bench binary for one tiny iteration so the
+# reproduction benches cannot silently bit-rot: each must build, run to
+# completion and exit 0 on a miniature workload. Output is discarded --
+# this checks liveness, not numbers (the throughput benches with real
+# targets, bench_service_throughput and bench_shard_scaling, run as their
+# own CI steps).
+#
+# Usage: scripts/bench_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+
+# Miniature corpora/workloads: every knob the benches read.
+export PM_REUTERS_DOCS=250
+export PM_PUBMED_DOCS=250
+export PM_REUTERS_QUERIES=4
+export PM_PUBMED_QUERIES=4
+export PM_SCALING_BASE_DOCS=250
+
+benches=(
+  fig05_06_quality
+  fig07_08_smj_vs_gm
+  fig09_10_nra_breakdown
+  fig11_traversal
+  fig12_13_nra_vs_gm
+  table4_examples
+  table5_index_sizes
+  table6_interestingness
+  table7_summary
+  ablation_batch_size
+  ablation_crossover
+  ablation_incremental
+  ablation_or_order
+)
+
+for b in "${benches[@]}"; do
+  bin="$BUILD_DIR/bench_$b"
+  if [ ! -x "$bin" ]; then
+    echo "FAIL: $bin missing or not executable" >&2
+    exit 1
+  fi
+  echo "== bench_$b"
+  if ! "$bin" > /dev/null; then
+    echo "FAIL: bench_$b exited non-zero" >&2
+    exit 1
+  fi
+done
+
+echo "bench smoke OK (${#benches[@]} paper-figure binaries ran)"

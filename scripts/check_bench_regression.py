@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_*.json against the previous
+CI run's artifact and fail on a throughput regression beyond the threshold.
+
+Usage:
+    check_bench_regression.py --old prev/BENCH_service.json \
+        --new build/BENCH_service.json [--threshold 0.25]
+
+The headline metric is auto-detected from the file shape:
+  * BENCH_service.json -> warm-cache q/s of the widest thread sweep row
+    (the 8-thread warm serving number the service optimizes for).
+  * BENCH_shard.json   -> uncached Exact q/s at 4 shards.
+
+A missing or unparsable baseline skips the gate (exit 0) -- the first run
+of a repository has nothing to compare against; the freshly uploaded
+artifact becomes the next run's baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def headline(data):
+    """Returns (metric_name, value) for a parsed bench JSON."""
+    if "warm_sweep" in data:
+        rows = data["warm_sweep"]
+        if not rows:
+            return None
+        row = max(rows, key=lambda r: r.get("threads", 0))
+        return ("warm-cache q/s at %d threads" % row["threads"], row["qps"])
+    if "sweep" in data:
+        for row in data["sweep"]:
+            if row.get("shards") == 4:
+                return ("uncached Exact q/s at 4 shards", row["exact_qps"])
+        return None
+    return None
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"note: cannot read {path}: {e}")
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--old", required=True, help="previous run's JSON")
+    parser.add_argument("--new", required=True, help="this run's JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional drop (default 0.25)")
+    args = parser.parse_args()
+
+    new_data = load(args.new)
+    if new_data is None:
+        print(f"FAIL: {args.new} missing -- the bench did not produce output")
+        return 1
+    new_metric = headline(new_data)
+    if new_metric is None:
+        print(f"FAIL: {args.new} has no recognizable headline metric")
+        return 1
+
+    old_data = load(args.old)
+    if old_data is None:
+        print(f"no baseline at {args.old}; skipping gate "
+              "(this run's artifact becomes the baseline)")
+        return 0
+    old_metric = headline(old_data)
+    if old_metric is None:
+        print(f"baseline {args.old} has no recognizable metric; skipping gate")
+        return 0
+
+    name, new_value = new_metric
+    _, old_value = old_metric
+    if old_value <= 0:
+        print(f"baseline {name} is {old_value}; skipping gate")
+        return 0
+
+    change = (new_value - old_value) / old_value
+    floor = old_value * (1.0 - args.threshold)
+    print(f"{name}: previous {old_value:.1f} -> current {new_value:.1f} "
+          f"({change:+.1%}, floor {floor:.1f} at -{args.threshold:.0%})")
+    if new_value < floor:
+        print(f"FAIL: regression beyond {args.threshold:.0%}")
+        return 1
+    print("OK: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <mutex>
 #include <shared_mutex>
 #include <utility>
@@ -13,6 +14,26 @@ namespace {
 /// Snapshot format version; bump on any layout change.
 constexpr uint32_t kSnapshotMagic = 0x504D534E;  // "PMSN"
 constexpr uint32_t kSnapshotVersion = 1;
+
+/// Clones a fixed phrase set (identical ids, parents and token
+/// sequences -- extraction registers parents before children, so the
+/// sequential AddPhrase replay is valid) and recounts document
+/// frequencies set-wise over `corpus`. Phrases absent from the corpus
+/// keep df 0.
+PhraseDictionary CloneSetWithCorpusDfs(const PhraseDictionary& set,
+                                       const Corpus& corpus) {
+  PhraseDictionary dict;
+  for (PhraseId p = 0; p < set.size(); ++p) {
+    const PhraseInfo& info = set.info(p);
+    dict.AddPhrase(info.tokens, info.parent, 0);
+  }
+  for (DocId d = 0; d < corpus.size(); ++d) {
+    for (PhraseId p : CollectDocPhrases(corpus.doc(d).tokens, dict)) {
+      dict.set_df(p, dict.df(p) + 1);
+    }
+  }
+  return dict;
+}
 
 }  // namespace
 
@@ -70,8 +91,13 @@ MiningEngine MiningEngine::Build(Corpus corpus, Options options) {
   MiningEngine engine;
   engine.options_ = options;
   engine.corpus_ = std::move(corpus);
-  PhraseExtractor extractor(options.extractor);
-  engine.dict_ = extractor.Extract(engine.corpus_);
+  if (options.fixed_phrase_set != nullptr) {
+    engine.dict_ =
+        CloneSetWithCorpusDfs(*options.fixed_phrase_set, engine.corpus_);
+  } else {
+    PhraseExtractor extractor(options.extractor);
+    engine.dict_ = extractor.Extract(engine.corpus_);
+  }
   engine.inverted_ = InvertedIndex::Build(engine.corpus_);
   engine.forward_full_ =
       ForwardIndex::Build(engine.corpus_, engine.dict_, ForwardStorage::kFull);
@@ -429,6 +455,27 @@ UpdateStats MiningEngine::ApplyUpdate(const UpdateBatch& batch) {
     last_update_stats_ = stats;
   }
   return stats;
+}
+
+void MiningEngine::InternTerms(std::span<const std::string> terms) {
+  std::unique_lock vocab_lock(sync_->vocab_mu);
+  for (const std::string& t : terms) corpus_.vocab().Intern(t);
+}
+
+void MiningEngine::AdvanceEpoch(uint64_t min_epoch) {
+  std::scoped_lock snapshot_lock(sync_->snapshot_mu);
+  epoch_ = std::max(epoch_, min_epoch);
+}
+
+Corpus MiningEngine::CloneBaseCorpus() const {
+  std::shared_lock lists_lock(sync_->lists_mu);
+  std::shared_lock vocab_lock(sync_->vocab_mu);
+  Corpus copy;
+  copy.vocab() = corpus_.vocab();
+  for (DocId d = 0; d < corpus_.size(); ++d) {
+    copy.AddDocument(corpus_.doc(d));
+  }
+  return copy;
 }
 
 const Document* MiningEngine::LiveDoc(DocId id) const {

@@ -108,6 +108,16 @@ struct EpochDelta {
 struct MiningEngineOptions {
   /// Phrase-extraction knobs (n-gram cap and min document frequency).
   PhraseExtractorOptions extractor;
+  /// When set, the engine does not extract its own phrase set: it clones
+  /// this one (same PhraseIds, parents, token sequences) and recounts the
+  /// document frequencies over its own corpus. Rebuild() keeps honoring
+  /// it, so the phrase set stays frozen across rebuilds and new phrases
+  /// enter only when the owner installs a fresh set. This is how
+  /// ShardedEngine gives every shard one global dictionary with
+  /// per-shard dfs -- the property that makes PhraseIds (and therefore
+  /// the scatter-gather merge join) global. Phrases that never occur in
+  /// this corpus simply keep df 0.
+  std::shared_ptr<const PhraseDictionary> fixed_phrase_set;
   /// Disk-simulation parameters used by Algorithm::kNraDisk.
   DiskOptions disk;
   /// Construction fraction used when an SMJ mine is issued before
@@ -226,6 +236,28 @@ class MiningEngine {
   /// epoch is visible to every subsequently started mine.
   UpdateStats ApplyUpdate(const UpdateBatch& batch);
 
+  /// Raises the epoch to at least `min_epoch` without changing any state
+  /// (no-op when already past it). ShardedEngine uses this after a
+  /// dictionary refresh so the replacement engines' epochs continue
+  /// monotonically from their predecessors' -- epoch-keyed caches must
+  /// never see an epoch repeat with different contents.
+  void AdvanceEpoch(uint64_t min_epoch);
+
+  /// Deep copy of the base corpus (documents + vocabulary) under the
+  /// structure and vocabulary locks, safe against concurrent rebuilds and
+  /// ingest-time interning. Pending (un-rebuilt) inserts are not
+  /// included; rebuild first if they matter.
+  Corpus CloneBaseCorpus() const;
+
+  /// Interns terms into the vocabulary without touching any document or
+  /// index (idempotent; safe against concurrent ParseQuery/ApplyUpdate).
+  /// ShardedEngine broadcasts every ingested document's terms through this
+  /// before routing the document to its owning shard, which keeps all
+  /// shard vocabularies identical -- identical intern order from identical
+  /// starting vocabularies yields identical term ids -- so one parsed
+  /// Query stays valid against every shard.
+  void InternTerms(std::span<const std::string> terms);
+
   /// Full offline rebuild over the live document set: re-extracts phrases,
   /// rebuilds every index, re-materializes the word lists that were built
   /// before, swaps everything in, clears the overlay and advances the
@@ -277,6 +309,9 @@ class MiningEngine {
 
   // --- Component access (benchmarks, tests) ----------------------------------
 
+  /// The build-time options (ShardedEngine inherits them when resharding
+  /// an already-built engine's corpus).
+  const Options& options() const { return options_; }
   const Corpus& corpus() const { return corpus_; }
   const PhraseDictionary& dict() const { return dict_; }
   const InvertedIndex& inverted() const { return inverted_; }

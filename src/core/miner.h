@@ -71,8 +71,17 @@ struct MineResult {
 
   /// Engine epoch this result was mined at (0 before any update was ever
   /// applied, or when the miner was driven directly without an engine).
+  /// For results merged by ShardedEngine this is the sum of the per-shard
+  /// epochs (monotone under updates); the full vector is in shard_epochs.
   uint64_t epoch = 0;
+  /// Composite epoch vector: the epoch of every shard this result was
+  /// mined against, in shard order. Empty for single-engine mines. Two
+  /// results are freshness-comparable only if their vectors compare
+  /// element-wise; the scalar `epoch` sum exists for monotone ordering
+  /// and must not be used as a cache identity on its own.
+  std::vector<uint64_t> shard_epochs;
   /// Which correctness guarantee held under the update overlay, if any.
+  /// A merged result carries the worst guarantee across its shards.
   UpdateGuarantee guarantee = UpdateGuarantee::kFresh;
 };
 

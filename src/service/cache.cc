@@ -29,7 +29,7 @@ Query CanonicalizeQuery(const Query& query) {
 
 std::string ResultCacheKey(const Query& canonical_query, Algorithm algorithm,
                            const MineOptions& options, double smj_fraction,
-                           uint64_t epoch) {
+                           uint64_t epoch, std::span<const uint64_t> shard_epochs) {
   char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "g%llu|a%d|o%d|k%zu|f%.17g|s%.17g|b%zu|e%d|m%d|t:",
@@ -43,6 +43,14 @@ std::string ResultCacheKey(const Query& canonical_query, Algorithm algorithm,
   for (TermId t : canonical_query.terms) {
     std::snprintf(buf, sizeof(buf), "%u,", t);
     key += buf;
+  }
+  if (!shard_epochs.empty()) {
+    key += "|v:";
+    for (uint64_t e : shard_epochs) {
+      std::snprintf(buf, sizeof(buf), "%llu,",
+                    static_cast<unsigned long long>(e));
+      key += buf;
+    }
   }
   return key;
 }

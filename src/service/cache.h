@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -53,9 +54,14 @@ Query CanonicalizeQuery(const Query& query);
 /// flush (old-epoch entries age out of the LRU). Queries carrying a
 /// caller-supplied delta overlay must not be cached (that overlay is
 /// external mutable state); PhraseService skips the cache for those.
+/// `shard_epochs` is the composite epoch vector of a ShardedEngine mine:
+/// the full vector enters the key (two different vectors can share one
+/// epoch sum, so the scalar alone would alias distinct freshness states);
+/// leave it empty for single-engine results.
 std::string ResultCacheKey(const Query& canonical_query, Algorithm algorithm,
                            const MineOptions& options,
-                           double smj_fraction = -1.0, uint64_t epoch = 0);
+                           double smj_fraction = -1.0, uint64_t epoch = 0,
+                           std::span<const uint64_t> shard_epochs = {});
 
 /// A fixed-capacity LRU cache split into independently locked shards, so
 /// concurrent queries on different keys rarely contend. Capacity is

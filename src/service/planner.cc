@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/check.h"
+
 namespace phrasemine {
 
 namespace {
@@ -68,6 +70,27 @@ PlanDecision CostPlanner::Plan(const Query& query,
 
 PlanDecision CostPlanner::Plan(const Query& query, const MineOptions& options,
                                const EpochDelta& snap) const {
+  return PlanFromInputs(GatherInputs(query, options, snap), options_);
+}
+
+PlannerInputs CostPlanner::GatherInputs(const Query& query,
+                                        const MineOptions& options) const {
+  return GatherInputs(query, options, engine_->delta_snapshot());
+}
+
+PlannerInputs CostPlanner::GatherInputs(const Query& query,
+                                        const MineOptions& options,
+                                        const EpochDelta& snap) const {
+  return GatherInputs(*engine_, query, options, snap, avg_doc_phrases_,
+                      probe_);
+}
+
+PlannerInputs CostPlanner::GatherInputs(const MiningEngine& engine,
+                                        const Query& query,
+                                        const MineOptions& options,
+                                        const EpochDelta& snap,
+                                        double avg_doc_phrases,
+                                        const ListProbe& probe) {
   // The overlay corrects the document-frequency inputs, so selectivity
   // estimates stay honest as updates accumulate between rebuilds. The
   // stats gathering runs under the engine's shared structure lock so a
@@ -76,13 +99,13 @@ PlanDecision CostPlanner::Plan(const Query& query, const MineOptions& options,
       snap.delta != nullptr && snap.delta->pending_updates() > 0
           ? snap.delta.get()
           : nullptr;
-  PlannerInputs inputs = engine_->WithSharedStructures([&] {
+  PlannerInputs inputs = engine.WithSharedStructures([&] {
     PlannerInputs gathered;
     const int64_t docs_delta = delta != nullptr ? delta->DocsDelta() : 0;
-    const auto base_docs = static_cast<int64_t>(engine_->corpus().size());
+    const auto base_docs = static_cast<int64_t>(engine.corpus().size());
     gathered.num_docs = static_cast<std::size_t>(
         std::max<int64_t>(base_docs + docs_delta, 0));
-    gathered.avg_doc_phrases = avg_doc_phrases_;
+    gathered.avg_doc_phrases = avg_doc_phrases;
     gathered.op = query.op;
     gathered.k = options.k;
     gathered.updates_pending = delta != nullptr;
@@ -90,10 +113,18 @@ PlanDecision CostPlanner::Plan(const Query& query, const MineOptions& options,
     for (TermId t : query.terms) {
       TermPlanStats stats;
       stats.term = t;
-      int64_t df = engine_->inverted().df(t);
+      int64_t df = engine.inverted().df(t);
       if (delta != nullptr) df += delta->TermDfDelta(t);
       stats.df = static_cast<uint32_t>(std::max<int64_t>(df, 0));
-      if (std::optional<std::size_t> len = probe_(t)) {
+      std::optional<std::size_t> len;
+      if (probe) {
+        len = probe(t);
+      } else if (engine.word_lists().Has(t)) {
+        // Probe-free fallback: the engine's own lazy lists, safe to read
+        // here because this lambda runs under the structure lock.
+        len = engine.word_lists().list(t).size();
+      }
+      if (len.has_value()) {
         stats.list_built = true;
         stats.list_length = *len;
       } else {
@@ -101,15 +132,121 @@ PlanDecision CostPlanner::Plan(const Query& query, const MineOptions& options,
         // bounded by the total phrase occurrences across docs(term).
         stats.list_built = false;
         stats.list_length = static_cast<std::size_t>(std::min<double>(
-            static_cast<double>(engine_->dict().size()),
+            static_cast<double>(engine.dict().size()),
             static_cast<double>(stats.df) * gathered.avg_doc_phrases));
       }
       gathered.terms.push_back(stats);
     }
     return gathered;
   });
-  return PlanFromInputs(inputs, options_);
+  return inputs;
 }
+
+namespace {
+
+/// Sub-collection estimate plus the zero-df flag the decision procedure
+/// branches on.
+struct SubcollectionEstimate {
+  double est = 0.0;
+  bool has_zero_df = false;
+};
+
+/// Sub-collection estimate (Eq. 2). AND uses exponential-backoff
+/// selectivity (exponents 1, 1/2, 1/4, ... over ascending selectivities):
+/// query terms are topically correlated, so plain independence
+/// multiplication collapses every multi-term estimate toward zero and
+/// would mis-route everything to Exact.
+SubcollectionEstimate EstimateSubcollection(const PlannerInputs& inputs) {
+  SubcollectionEstimate out;
+  const double n = static_cast<double>(inputs.num_docs);
+  if (inputs.op == QueryOperator::kAnd) {
+    std::vector<double> selectivities;
+    selectivities.reserve(inputs.terms.size());
+    for (const TermPlanStats& t : inputs.terms) {
+      if (t.df == 0) out.has_zero_df = true;
+      selectivities.push_back(n == 0.0 ? 0.0
+                                       : static_cast<double>(t.df) / n);
+    }
+    std::sort(selectivities.begin(), selectivities.end());
+    out.est = n;
+    double exponent = 1.0;
+    for (double s : selectivities) {
+      out.est *= std::pow(s, exponent);
+      exponent *= 0.5;
+    }
+    if (out.has_zero_df) out.est = 0.0;
+    if (!out.has_zero_df && !inputs.terms.empty() && out.est < 1.0) {
+      out.est = 1.0;
+    }
+  } else {
+    for (const TermPlanStats& t : inputs.terms) {
+      out.est += static_cast<double>(t.df);
+    }
+    out.est = std::min(out.est, n);
+  }
+  return out;
+}
+
+/// Modeled cost of every candidate algorithm ({GM,} NRA, SMJ; GM is
+/// excluded while updates are pending -- it would mine the base corpus).
+std::vector<std::pair<Algorithm, double>> EstimateCosts(
+    const PlannerInputs& inputs, const PlannerOptions& options, double est) {
+  double total_list_entries = 0.0;
+  double build_charge = 0.0;
+  for (const TermPlanStats& t : inputs.terms) {
+    total_list_entries += static_cast<double>(t.list_length);
+    if (!t.list_built) {
+      // Building scans the forward lists of docs(term).
+      build_charge += static_cast<double>(t.df) * inputs.avg_doc_phrases *
+                      options.build_amortization;
+    }
+  }
+  const double or_factor =
+      inputs.op == QueryOperator::kOr ? options.or_overhead : 1.0;
+  const double traversal =
+      std::min(1.0, options.nra_traversal_fraction +
+                        options.nra_k_penalty * static_cast<double>(inputs.k));
+
+  const double cost_gm =
+      est * inputs.avg_doc_phrases * options.gm_entry_cost;
+  const double cost_nra = options.nra_fixed_cost +
+                          total_list_entries * traversal *
+                              options.nra_entry_cost * or_factor +
+                          build_charge;
+  const double cost_smj = options.smj_fixed_cost +
+                          total_list_entries * options.smj_entry_cost *
+                              or_factor +
+                          build_charge;
+
+  std::vector<std::pair<Algorithm, double>> costs;
+  if (!inputs.updates_pending) costs.emplace_back(Algorithm::kGm, cost_gm);
+  costs.emplace_back(Algorithm::kNra, cost_nra);
+  costs.emplace_back(Algorithm::kSmj, cost_smj);
+  return costs;
+}
+
+/// Shared tail of every cost-based decision: argmin over
+/// decision->estimated_costs (which must be non-empty), a
+/// "<prefix><Algo> cheapest (<cost>)" reason, and the pending-updates
+/// note. Keeps the single-engine and sharded plan output in lockstep.
+void FinishCostDecision(PlanDecision* decision, bool updates_pending,
+                        const std::string& reason_prefix) {
+  decision->algorithm = decision->estimated_costs.front().first;
+  double best = decision->estimated_costs.front().second;
+  for (const auto& [algorithm, cost] : decision->estimated_costs) {
+    if (cost < best) {
+      decision->algorithm = algorithm;
+      best = cost;
+    }
+  }
+  decision->reason = reason_prefix + AlgorithmName(decision->algorithm) +
+                     " cheapest (" + FormatCost(best) + ")";
+  if (updates_pending) {
+    decision->reason += ", pending updates restrict to delta-corrected methods";
+  }
+}
+
+}  // namespace
 
 PlanDecision CostPlanner::PlanFromInputs(const PlannerInputs& inputs,
                                          const PlannerOptions& options) {
@@ -118,37 +255,9 @@ PlanDecision CostPlanner::PlanFromInputs(const PlannerInputs& inputs,
   decision.k = inputs.k;
   decision.terms = inputs.terms;
 
-  // --- Sub-collection estimate (Eq. 2) -------------------------------------
-  // AND uses exponential-backoff selectivity (exponents 1, 1/2, 1/4, ...
-  // over ascending selectivities): query terms are topically correlated,
-  // so plain independence multiplication collapses every multi-term
-  // estimate toward zero and would mis-route everything to Exact.
-  const double n = static_cast<double>(inputs.num_docs);
-  double est = 0.0;
-  bool has_zero_df = false;
-  if (inputs.op == QueryOperator::kAnd) {
-    std::vector<double> selectivities;
-    selectivities.reserve(inputs.terms.size());
-    for (const TermPlanStats& t : inputs.terms) {
-      if (t.df == 0) has_zero_df = true;
-      selectivities.push_back(n == 0.0 ? 0.0
-                                       : static_cast<double>(t.df) / n);
-    }
-    std::sort(selectivities.begin(), selectivities.end());
-    est = n;
-    double exponent = 1.0;
-    for (double s : selectivities) {
-      est *= std::pow(s, exponent);
-      exponent *= 0.5;
-    }
-    if (has_zero_df) est = 0.0;
-    if (!has_zero_df && !inputs.terms.empty() && est < 1.0) est = 1.0;
-  } else {
-    for (const TermPlanStats& t : inputs.terms) {
-      est += static_cast<double>(t.df);
-    }
-    est = std::min(est, n);
-  }
+  const SubcollectionEstimate subcollection = EstimateSubcollection(inputs);
+  const double est = subcollection.est;
+  const bool has_zero_df = subcollection.has_zero_df;
   decision.estimated_subcollection = static_cast<std::size_t>(std::llround(est));
 
   // --- Degenerate and exact-only cases -------------------------------------
@@ -191,54 +300,84 @@ PlanDecision CostPlanner::PlanFromInputs(const PlannerInputs& inputs,
   }
 
   // --- Cost model over {GM, NRA, SMJ} --------------------------------------
-  double total_list_entries = 0.0;
-  double build_charge = 0.0;
-  for (const TermPlanStats& t : inputs.terms) {
-    total_list_entries += static_cast<double>(t.list_length);
-    if (!t.list_built) {
-      // Building scans the forward lists of docs(term).
-      build_charge += static_cast<double>(t.df) * inputs.avg_doc_phrases *
-                      options.build_amortization;
-    }
-  }
-  const double or_factor =
-      inputs.op == QueryOperator::kOr ? options.or_overhead : 1.0;
-  const double traversal =
-      std::min(1.0, options.nra_traversal_fraction +
-                        options.nra_k_penalty * static_cast<double>(inputs.k));
-
-  const double cost_gm =
-      est * inputs.avg_doc_phrases * options.gm_entry_cost;
-  const double cost_nra = options.nra_fixed_cost +
-                          total_list_entries * traversal *
-                              options.nra_entry_cost * or_factor +
-                          build_charge;
-  const double cost_smj = options.smj_fixed_cost +
-                          total_list_entries * options.smj_entry_cost *
-                              or_factor +
-                          build_charge;
-
   // GM mines the base corpus; with an unrebuilt overlay it would serve
   // stale answers, so the argmin is then restricted to NRA/SMJ.
-  if (!inputs.updates_pending) {
-    decision.estimated_costs.emplace_back(Algorithm::kGm, cost_gm);
+  decision.estimated_costs = EstimateCosts(inputs, options, est);
+  FinishCostDecision(&decision, inputs.updates_pending, "cost: ");
+  return decision;
+}
+
+PlanDecision CostPlanner::PlanAcrossShards(
+    std::span<const PlannerInputs> shards, const PlannerOptions& options) {
+  PM_CHECK_MSG(!shards.empty(), "PlanAcrossShards requires at least one shard");
+
+  // Aggregate to global inputs over the disjoint partition: dfs, doc
+  // counts and list lengths sum; avg_doc_phrases is doc-weighted; a list
+  // counts as built only when every shard has it.
+  PlannerInputs aggregate = shards.front();
+  aggregate.num_docs = 0;
+  aggregate.avg_doc_phrases = 0.0;
+  aggregate.updates_pending = false;
+  for (TermPlanStats& t : aggregate.terms) {
+    t.df = 0;
+    t.list_length = 0;
+    t.list_built = true;
   }
-  decision.estimated_costs.emplace_back(Algorithm::kNra, cost_nra);
-  decision.estimated_costs.emplace_back(Algorithm::kSmj, cost_smj);
-  decision.algorithm = decision.estimated_costs.front().first;
-  double best = decision.estimated_costs.front().second;
-  for (const auto& [algorithm, cost] : decision.estimated_costs) {
-    if (cost < best) {
-      decision.algorithm = algorithm;
-      best = cost;
+  for (const PlannerInputs& shard : shards) {
+    PM_CHECK_MSG(shard.terms.size() == aggregate.terms.size(),
+                 "shard inputs must describe the same query");
+    aggregate.num_docs += shard.num_docs;
+    aggregate.avg_doc_phrases +=
+        shard.avg_doc_phrases * static_cast<double>(shard.num_docs);
+    aggregate.updates_pending |= shard.updates_pending;
+    for (std::size_t i = 0; i < aggregate.terms.size(); ++i) {
+      aggregate.terms[i].df += shard.terms[i].df;
+      aggregate.terms[i].list_length += shard.terms[i].list_length;
+      aggregate.terms[i].list_built &= shard.terms[i].list_built;
     }
   }
-  decision.reason = std::string("cost: ") +
-                    AlgorithmName(decision.algorithm) + " cheapest (" +
-                    FormatCost(best) + ")";
-  if (inputs.updates_pending) {
-    decision.reason += ", pending updates restrict to delta-corrected methods";
+  if (aggregate.num_docs > 0) {
+    aggregate.avg_doc_phrases /= static_cast<double>(aggregate.num_docs);
   }
+
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "sharded(%zu): ", shards.size());
+
+  PlanDecision decision = PlanFromInputs(aggregate, options);
+  if (decision.estimated_costs.empty()) {
+    // A decision-procedure short-circuit (empty query, zero global df,
+    // approximation disallowed, tiny sub-collection) depends only on the
+    // aggregated inputs; keep it.
+    decision.reason = prefix + decision.reason;
+    return decision;
+  }
+
+  // Cost-based choice: shards mine in parallel, so each algorithm's
+  // modeled latency is the *slowest* shard's cost (makespan), not the
+  // aggregate -- a skewed shard can flip the decision.
+  std::vector<std::pair<Algorithm, double>> merged;
+  for (const PlannerInputs& shard : shards) {
+    const SubcollectionEstimate est = EstimateSubcollection(shard);
+    // The aggregate decides GM's eligibility: one shard with pending
+    // updates makes the merged result stale wherever GM would run.
+    PlannerInputs costed = shard;
+    costed.updates_pending = aggregate.updates_pending;
+    for (const auto& [algorithm, cost] :
+         EstimateCosts(costed, options, est.est)) {
+      auto it = std::find_if(merged.begin(), merged.end(),
+                             [a = algorithm](const auto& entry) {
+                               return entry.first == a;
+                             });
+      if (it == merged.end()) {
+        merged.emplace_back(algorithm, cost);
+      } else {
+        it->second = std::max(it->second, cost);
+      }
+    }
+  }
+  decision.estimated_costs = std::move(merged);
+  FinishCostDecision(&decision, aggregate.updates_pending,
+                     std::string(prefix) + "makespan cost: ");
   return decision;
 }
 

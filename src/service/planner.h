@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -145,9 +146,41 @@ class CostPlanner {
   PlanDecision Plan(const Query& query, const MineOptions& options,
                     const EpochDelta& snap) const;
 
+  /// Gathers this engine's cost-model inputs for one query (per-term
+  /// delta-corrected dfs, list availability, corpus scalars) without
+  /// deciding anything. The sharded engine collects one of these per
+  /// shard (under its fleet lock) and feeds them to PlanAcrossShards.
+  PlannerInputs GatherInputs(const Query& query,
+                             const MineOptions& options) const;
+  PlannerInputs GatherInputs(const Query& query, const MineOptions& options,
+                             const EpochDelta& snap) const;
+
+  /// The planner-free gathering primitive: reads `engine`'s statistics
+  /// under its shared structure lock against the caller's snapshot.
+  /// `avg_doc_phrases` is sum_p df(p) / |D| (callers cache it; it only
+  /// changes when the indexes rebuild). A null `probe` reads the
+  /// engine's own lazily built word lists (safe: the probe runs under
+  /// the structure lock).
+  static PlannerInputs GatherInputs(const MiningEngine& engine,
+                                    const Query& query,
+                                    const MineOptions& options,
+                                    const EpochDelta& snap,
+                                    double avg_doc_phrases,
+                                    const ListProbe& probe = nullptr);
+
   /// The pure cost model, exposed for decision-table tests.
   static PlanDecision PlanFromInputs(const PlannerInputs& inputs,
                                      const PlannerOptions& options);
+
+  /// Plans one query across a shard fleet: the decision-procedure
+  /// short-circuits (empty query, zero global df under AND, approximation
+  /// disallowed, tiny sub-collection) run on the *aggregated* inputs --
+  /// per-term dfs and doc counts summed over the disjoint partition --
+  /// while the cost of each candidate algorithm is the *maximum* of its
+  /// per-shard costs: shards mine in parallel, so the modeled latency of
+  /// a scatter is its slowest shard (makespan), not the sum.
+  static PlanDecision PlanAcrossShards(std::span<const PlannerInputs> shards,
+                                       const PlannerOptions& options);
 
   const PlannerOptions& options() const { return options_; }
 

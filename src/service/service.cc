@@ -13,10 +13,15 @@ namespace phrasemine {
 
 namespace {
 
-/// Approximate bytes a cached MineResult pins in memory.
-std::size_t ResultCharge(const std::string& key, const MineResult& result) {
-  return key.size() + sizeof(MineResult) +
-         result.phrases.size() * sizeof(MinedPhrase) + 64;
+/// Approximate bytes a cached result pins in memory.
+std::size_t ResultCharge(const std::string& key,
+                         const PhraseService::CachedResult& cached) {
+  std::size_t bytes = key.size() + sizeof(PhraseService::CachedResult) +
+                      cached.result.phrases.size() * sizeof(MinedPhrase) +
+                      cached.result.shard_epochs.size() * sizeof(uint64_t) +
+                      64;
+  for (const std::string& text : cached.texts) bytes += text.size() + 16;
+  return bytes;
 }
 
 /// Log2 bucket index of a latency sample.
@@ -106,6 +111,30 @@ PhraseService::PhraseService(MiningEngine* engine,
       result_cache_(options.result_cache_shards, options.result_cache_bytes),
       word_list_cache_(options.word_list_cache_shards,
                        options.word_list_cache_bytes),
+      pool_(options.pool) {
+  if (options_.num_shards > 0) {
+    // The num_shards config switch: reshard the engine's base corpus into
+    // an internal ShardedEngine (one corpus copy + shard index build) and
+    // serve every query through the scatter-gather path.
+    ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = options_.num_shards;
+    sharded_options.engine = engine_->options();
+    owned_sharded_ = std::make_unique<ShardedEngine>(ShardedEngine::Build(
+        engine_->CloneBaseCorpus(), std::move(sharded_options)));
+    sharded_ = owned_sharded_.get();
+  }
+}
+
+PhraseService::PhraseService(ShardedEngine* sharded,
+                             PhraseServiceOptions options)
+    : engine_(&sharded->shard(0)),
+      options_(options),
+      sharded_(sharded),
+      smj_fraction_(1.0),  // sharded SMJ always merges full lists
+      planner_(engine_, options.planner),
+      result_cache_(options.result_cache_shards, options.result_cache_bytes),
+      word_list_cache_(options.word_list_cache_shards,
+                       options.word_list_cache_bytes),
       pool_(options.pool) {}
 
 PhraseService::~PhraseService() { Shutdown(); }
@@ -151,6 +180,7 @@ ServiceReply PhraseService::MineSync(const ServiceRequest& request) {
 }
 
 ServiceReply PhraseService::Execute(const ServiceRequest& request) {
+  if (sharded_ != nullptr) return ExecuteSharded(request);
   StopWatch watch;
   ServiceReply reply;
   const Query canonical = CanonicalizeQuery(request.query);
@@ -192,7 +222,7 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
     key = ResultCacheKey(canonical, algorithm, request.options, smj_fraction,
                          snap.epoch);
     if (auto hit = result_cache_.Get(key)) {
-      reply.result = **hit;
+      reply.result = (*hit)->result;
       reply.epoch = reply.result.epoch;
       reply.result_cache_hit = true;
       reply.latency_ms = watch.ElapsedMillis();
@@ -213,7 +243,81 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
   }
   reply.epoch = reply.result.epoch;
   if (cacheable) {
-    auto shared = std::make_shared<const MineResult>(reply.result);
+    auto shared =
+        std::make_shared<const CachedResult>(CachedResult{reply.result, {}});
+    result_cache_.Put(key, shared, ResultCharge(key, *shared));
+  }
+  reply.latency_ms = watch.ElapsedMillis();
+  RecordQuery(algorithm, request.algorithm.has_value(), /*executed=*/true,
+              reply.latency_ms);
+  return reply;
+}
+
+ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
+  StopWatch watch;
+  ServiceReply reply;
+  const Query canonical = CanonicalizeQuery(request.query);
+  // Caller-supplied overlays are a single-engine concept; the sharded
+  // engine applies its own per-shard overlays internally (and would
+  // refuse an external one). Drop it and say so rather than aborting.
+  MineOptions effective = request.options;
+  const bool caller_delta = effective.delta != nullptr;
+  effective.delta = nullptr;
+
+  // The composite epoch vector plays the role the scalar snapshot epoch
+  // plays on the single-engine path: fetched before planning, it keys the
+  // result cache so an ingest to any shard strands that shard's stale
+  // entries by unreachability. A mine racing onto a newer shard epoch only
+  // moves the reply forward in freshness, same as the engine-routed path.
+  const std::vector<uint64_t> epochs = sharded_->epochs();
+
+  Algorithm algorithm;
+  if (request.algorithm.has_value()) {
+    algorithm = *request.algorithm;
+    reply.plan.algorithm = algorithm;
+    reply.plan.op = canonical.op;
+    reply.plan.k = effective.k;
+    reply.plan.reason = "forced by caller";
+  } else {
+    // Per-shard inputs are gathered by the sharded engine under its
+    // fleet lock -- the service must never cache per-shard planners,
+    // which would dangle across a dictionary refresh.
+    reply.plan = CostPlanner::PlanAcrossShards(
+        sharded_->GatherPlannerInputs(canonical, effective),
+        options_.planner);
+    algorithm = reply.plan.algorithm;
+  }
+  if (caller_delta) {
+    reply.plan.reason +=
+        " (caller delta ignored: sharded engines apply per-shard overlays)";
+  }
+
+  const bool cacheable = options_.enable_result_cache && !caller_delta;
+  std::string key;
+  if (cacheable) {
+    // Sharded SMJ always merges full lists, so its fraction is fixed 1.
+    key = ResultCacheKey(canonical, algorithm, effective,
+                         algorithm == Algorithm::kSmj ? 1.0 : -1.0,
+                         /*epoch=*/0, epochs);
+    if (auto hit = result_cache_.Get(key)) {
+      reply.result = (*hit)->result;
+      reply.phrase_texts = (*hit)->texts;
+      reply.epoch = reply.result.epoch;
+      reply.result_cache_hit = true;
+      reply.latency_ms = watch.ElapsedMillis();
+      RecordQuery(algorithm, request.algorithm.has_value(),
+                  /*executed=*/false, reply.latency_ms);
+      return reply;
+    }
+  }
+
+  ShardedMineResult mined = sharded_->Mine(canonical, algorithm, effective);
+  reply.result = std::move(mined.result);
+  reply.phrase_texts = std::move(mined.texts);
+  reply.epoch = reply.result.epoch;
+  if (cacheable) {
+    auto shared = std::make_shared<const CachedResult>(
+        CachedResult{reply.result, reply.phrase_texts});
     result_cache_.Put(key, shared, ResultCharge(key, *shared));
   }
   reply.latency_ms = watch.ElapsedMillis();
@@ -344,6 +448,17 @@ UpdateStats PhraseService::Ingest(UpdateDoc doc) {
 }
 
 UpdateStats PhraseService::IngestBatch(const UpdateBatch& batch) {
+  if (sharded_ != nullptr) {
+    ShardedUpdateStats stats = sharded_->ApplyUpdate(batch);
+    {
+      std::scoped_lock lock(stats_mu_);
+      ++ingests_;
+    }
+    if (stats.total.rebuild_recommended && options_.enable_auto_rebuild) {
+      MaybeScheduleRebuild(std::move(stats.rebuild_recommended));
+    }
+    return stats.total;
+  }
   const UpdateStats stats = engine_->ApplyUpdate(batch);
   {
     std::scoped_lock lock(stats_mu_);
@@ -355,11 +470,21 @@ UpdateStats PhraseService::IngestBatch(const UpdateBatch& batch) {
   return stats;
 }
 
-void PhraseService::MaybeScheduleRebuild() {
+void PhraseService::MaybeScheduleRebuild(std::vector<uint8_t> shard_flags) {
   if (rebuild_inflight_.exchange(true)) return;
-  auto rebuild = [this] {
-    engine_->Rebuild();
-    {
+  auto rebuild = [this, flags = std::move(shard_flags)] {
+    if (sharded_ != nullptr) {
+      // Only the shards that crossed their threshold rebuild; each one
+      // counts as one completed rebuild (that is the blast-radius story:
+      // queries lose at most one shard's freshness at a time).
+      for (std::size_t s = 0; s < flags.size(); ++s) {
+        if (!flags[s]) continue;
+        sharded_->RebuildShard(s);
+        std::scoped_lock lock(stats_mu_);
+        ++rebuilds_;
+      }
+    } else {
+      engine_->Rebuild();
       std::scoped_lock lock(stats_mu_);
       ++rebuilds_;
     }
@@ -398,8 +523,13 @@ ServiceStats PhraseService::stats() const {
     stats.p50_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.50);
     stats.p95_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.95);
   }
-  stats.epoch = engine_->epoch();
-  stats.update = engine_->update_stats();
+  if (sharded_ != nullptr) {
+    stats.epoch = sharded_->epoch();
+    stats.update = sharded_->update_stats();
+  } else {
+    stats.epoch = engine_->epoch();
+    stats.update = engine_->update_stats();
+  }
   stats.result_cache = result_cache_.stats();
   stats.word_list_cache = word_list_cache_.stats();
   stats.pool = pool_.stats();

@@ -18,6 +18,7 @@
 #include "service/cache.h"
 #include "service/planner.h"
 #include "service/thread_pool.h"
+#include "shard/sharded_engine.h"
 
 namespace phrasemine {
 
@@ -45,8 +46,17 @@ struct PhraseServiceOptions {
   /// When an Ingest crosses the engine's rebuild threshold, schedule a
   /// full MiningEngine::Rebuild on this service's thread pool (one at a
   /// time; queries keep flowing while it runs). Disable to manage
-  /// rebuilds externally.
+  /// rebuilds externally. On the sharded path only the shards that
+  /// crossed their own threshold rebuild (shard-by-shard blast radius).
   bool enable_auto_rebuild = true;
+  /// Config switch for the sharded engine: > 0 makes a service
+  /// constructed over a monolithic MiningEngine build an internal
+  /// ShardedEngine from a copy of the engine's base corpus (inheriting
+  /// the engine's build options) and route every query through the
+  /// scatter-gather path. Costs one corpus copy plus the shard index
+  /// build at construction; services that already hold a ShardedEngine
+  /// should use the ShardedEngine* constructor instead and leave this 0.
+  std::size_t num_shards = 0;
 };
 
 /// One unit of work for the service.
@@ -60,12 +70,20 @@ struct ServiceRequest {
 /// What the service hands back per query.
 struct ServiceReply {
   MineResult result;
+  /// Sharded path only: the ranked phrases' texts, aligned with
+  /// result.phrases. Shard-local PhraseIds are not comparable across
+  /// shards, so merged results carry texts as the phrase identity
+  /// (result.phrases[i].phrase is just i). Empty on the single-engine
+  /// path, where MiningEngine::PhraseText resolves ids as before.
+  std::vector<std::string> phrase_texts;
   /// How the algorithm was chosen (reason == "forced by caller" when the
   /// request pinned one).
   PlanDecision plan;
-  /// Engine epoch the result is valid for (mirrors result.epoch). After an
-  /// Ingest returns epoch E, every subsequently submitted query replies
-  /// with epoch >= E -- stale cache entries are unreachable by key.
+  /// Engine epoch the result is valid for (mirrors result.epoch; the sum
+  /// of shard epochs on the sharded path, with the full composite vector
+  /// in result.shard_epochs). After an Ingest returns epoch E, every
+  /// subsequently submitted query replies with epoch >= E -- stale cache
+  /// entries are unreachable by key.
   uint64_t epoch = 0;
   bool result_cache_hit = false;
   /// Execution latency measured from the moment a worker (or MineSync
@@ -133,9 +151,28 @@ struct ServiceStats {
 /// always fulfilled.
 class PhraseService {
  public:
+  /// One cached service result: the merged MineResult plus (sharded path)
+  /// the phrase texts that stand in for cross-shard ids.
+  struct CachedResult {
+    MineResult result;
+    std::vector<std::string> texts;
+  };
+
   /// `engine` must outlive the service. The engine may be shared with
   /// other direct callers as long as they respect its threading contract.
+  /// With options.num_shards > 0 the service additionally builds an
+  /// internal ShardedEngine from the engine's base corpus and serves every
+  /// query through it (see PhraseServiceOptions::num_shards).
   explicit PhraseService(MiningEngine* engine,
+                         PhraseServiceOptions options = {});
+
+  /// Serves through a caller-owned ShardedEngine (must outlive the
+  /// service): queries scatter-gather across its shards, ingest routes to
+  /// owning shards, the result cache keys carry the composite epoch
+  /// vector, and auto-rebuild rebuilds only the shards that crossed their
+  /// threshold. The service word-list cache is idle on this path (each
+  /// shard engine caches its own lazily built lists).
+  explicit PhraseService(ShardedEngine* sharded,
                          PhraseServiceOptions options = {});
   ~PhraseService();
 
@@ -167,7 +204,18 @@ class PhraseService {
 
   ServiceStats stats() const;
 
-  const MiningEngine& engine() const { return *engine_; }
+  /// The backing single engine; on the sharded path this is shard 0,
+  /// resolved at call time through ShardedEngine::shard's contract: a
+  /// ShardedEngine::RefreshDictionary destroys and replaces the fleet,
+  /// so neither call this concurrently with one nor hold the reference
+  /// across one (use Submit/MineSync -- the refresh-safe surface -- for
+  /// anything that must overlap a refresh).
+  const MiningEngine& engine() const {
+    return sharded_ != nullptr ? sharded_->shard(0) : *engine_;
+  }
+  /// The sharded engine serving this instance, or nullptr on the
+  /// single-engine path.
+  const ShardedEngine* sharded() const { return sharded_; }
   const PhraseServiceOptions& options() const { return options_; }
 
  private:
@@ -183,6 +231,7 @@ class PhraseService {
   }
 
   ServiceReply Execute(const ServiceRequest& request);
+  ServiceReply ExecuteSharded(const ServiceRequest& request);
   /// `snap` is taken by value: Run refreshes it (and retries the bundle
   /// assembly) when a background rebuild changes the structure generation
   /// mid-request.
@@ -190,17 +239,24 @@ class PhraseService {
                  const MineOptions& options, EpochDelta snap);
   SharedWordList GetOrBuildScoreList(TermId term, uint64_t generation);
   SharedWordList GetOrBuildIdList(TermId term, uint64_t generation);
-  void MaybeScheduleRebuild();
+  /// `shard_flags` is the per-shard rebuild recommendation vector on the
+  /// sharded path (only flagged shards rebuild); empty rebuilds the
+  /// single engine.
+  void MaybeScheduleRebuild(std::vector<uint8_t> shard_flags = {});
   void RecordQuery(Algorithm algorithm, bool forced, bool executed,
                    double latency_ms);
 
   MiningEngine* engine_;
   PhraseServiceOptions options_;
+  /// Sharded serving target: the owned reshard (num_shards switch), the
+  /// caller's ShardedEngine, or null for the single-engine path.
+  std::unique_ptr<ShardedEngine> owned_sharded_;
+  ShardedEngine* sharded_ = nullptr;
   /// Resolved SMJ construction fraction (options_.smj_fraction or the
   /// engine's fraction at construction).
   double smj_fraction_;
   CostPlanner planner_;
-  ShardedLruCache<std::string, std::shared_ptr<const MineResult>>
+  ShardedLruCache<std::string, std::shared_ptr<const CachedResult>>
       result_cache_;
   ShardedLruCache<uint64_t, SharedWordList> word_list_cache_;
 

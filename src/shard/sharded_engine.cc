@@ -1,0 +1,922 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/delta_index.h"
+#include "core/interestingness.h"
+#include "core/scoring.h"
+#include "index/word_lists.h"
+#include "phrase/phrase_extractor.h"
+
+namespace phrasemine {
+
+namespace {
+
+/// How a sharded mine scatters and gathers. Exact and SMJ enumerate every
+/// support their monolithic counterpart would read (exhaustive), so the
+/// merge is exact; the other algorithms discover candidates with a bounded
+/// per-shard top-k' and the gather refines exact global supports for the
+/// union only.
+enum class MergeMode {
+  kCountExhaustive,  ///< kExact: full sub-collection forward scan.
+  kCountTopK,        ///< kGm/kSimitsis: local mine, then count refinement.
+  kListExhaustive,   ///< kSmj: full per-term list union.
+  kListTopK,         ///< kNra/kNraDisk: local mine, then list refinement.
+};
+
+MergeMode ModeFor(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kExact:
+      return MergeMode::kCountExhaustive;
+    case Algorithm::kGm:
+    case Algorithm::kSimitsis:
+      return MergeMode::kCountTopK;
+    case Algorithm::kSmj:
+      return MergeMode::kListExhaustive;
+    case Algorithm::kNra:
+    case Algorithm::kNraDisk:
+      return MergeMode::kListTopK;
+  }
+  return MergeMode::kCountTopK;
+}
+
+bool IsCountMode(MergeMode mode) {
+  return mode == MergeMode::kCountExhaustive || mode == MergeMode::kCountTopK;
+}
+
+bool IsTopKMode(MergeMode mode) {
+  return mode == MergeMode::kCountTopK || mode == MergeMode::kListTopK;
+}
+
+/// Severity order for merging per-shard guarantees (worst wins).
+int GuaranteeRank(UpdateGuarantee g) {
+  switch (g) {
+    case UpdateGuarantee::kFresh:
+      return 0;
+    case UpdateGuarantee::kExactUnderDelta:
+      return 1;
+    case UpdateGuarantee::kApproximateUnderDelta:
+      return 2;
+    case UpdateGuarantee::kStale:
+      return 3;
+  }
+  return 3;
+}
+
+/// One candidate's supports within one shard (scatter output). The phrase
+/// id is global -- every shard clones the same frozen phrase set -- which
+/// is what lets the gather join candidates with integer keys.
+struct ShardCandidate {
+  PhraseId phrase = kInvalidPhraseId;
+  uint32_t df = 0;
+  uint32_t freq_subset = 0;           // count modes
+  std::vector<uint32_t> codf;         // list modes, aligned with query terms
+};
+
+/// Everything one shard contributes in the scatter round.
+struct ShardScatter {
+  std::vector<ShardCandidate> candidates;
+  std::size_t subcollection = 0;      // count modes: |D'_s|
+  std::size_t num_docs = 0;           // shard corpus size |D_s|
+  uint64_t epoch = 0;
+  UpdateGuarantee guarantee = UpdateGuarantee::kFresh;
+  uint64_t entries_read = 0;
+  double disk_ms = 0.0;
+  /// k'-th local score on the top-k' paths when the shard's result was
+  /// truncated at k' (i.e. more could exist below); 0 when it reported
+  /// everything it found.
+  double local_floor = 0.0;
+};
+
+/// Supports one shard computed for union candidates in the fill round.
+struct PartialSupport {
+  uint32_t df = 0;
+  uint32_t freq_subset = 0;
+  std::vector<uint32_t> codf;
+};
+
+/// One merged candidate with summed global supports.
+struct GlobalCandidate {
+  PhraseId phrase = kInvalidPhraseId;
+  uint64_t df = 0;
+  uint64_t freq_subset = 0;
+  std::vector<uint64_t> codf;
+};
+
+int64_t ClampCount(int64_t value, int64_t hi) {
+  return std::clamp<int64_t>(value, 0, hi);
+}
+
+/// The overlay actually in effect for a snapshot (null when none).
+const DeltaIndex* PendingDelta(const EpochDelta& snap) {
+  return snap.delta != nullptr && snap.delta->pending_updates() > 0
+             ? snap.delta.get()
+             : nullptr;
+}
+
+/// The delta-corrected document frequency of a phrase.
+uint32_t AdjustedDf(uint32_t base_df, PhraseId p, const DeltaIndex* delta) {
+  int64_t df = static_cast<int64_t>(base_df);
+  if (delta != nullptr) df += delta->DfDelta(p);
+  return static_cast<uint32_t>(std::max<int64_t>(df, 0));
+}
+
+/// Recovers the integer co-occurrence count behind a stored list
+/// probability (prob = count / base_df, so the product rounds back
+/// exactly -- the same recovery DeltaIndex::AdjustedProb uses) and
+/// applies the co-occurrence delta.
+uint32_t AdjustedCodf(double base_prob, uint32_t base_df, TermId term,
+                      PhraseId p, const DeltaIndex* delta, uint32_t df_adj) {
+  int64_t codf =
+      std::llround(base_prob * static_cast<double>(base_df));
+  if (delta != nullptr) codf += delta->CoDelta(term, p);
+  return static_cast<uint32_t>(
+      ClampCount(codf, static_cast<int64_t>(df_adj)));
+}
+
+// Every scatter/fill helper below validates the shard's structure
+// generation against the caller's snapshot under the shared structure
+// lock and reports false on mismatch: the caller then retries the whole
+// mine with fresh snapshots, so one merged result never mixes pre- and
+// post-rebuild supports. Plain ingests don't perturb a running mine --
+// the overlay is the snapshot's immutable DeltaIndex, not the live one.
+
+/// Exhaustive count scatter: mirrors ExactMiner over the shard's base
+/// structures (count-based methods cannot consult the overlay, so under
+/// pending updates the shard result -- like the monolithic one -- is
+/// stale and stamped as such).
+bool CountScatter(MiningEngine& engine, const Query& query,
+                  Algorithm algorithm, const EpochDelta& snap,
+                  ShardScatter* out) {
+  *out = ShardScatter{};
+  out->epoch = snap.epoch;
+  out->guarantee = GuaranteeFor(algorithm, PendingDelta(snap) != nullptr);
+  return engine.WithSharedStructures([&]() -> bool {
+    if (engine.list_generation() != snap.generation) return false;
+    const std::vector<DocId> subset =
+        EvalSubCollection(query, engine.inverted());
+    out->subcollection = subset.size();
+    out->num_docs = engine.forward().num_docs();
+    // Dense scratch counters, the ExactMiner pattern; thread-local so a
+    // pool worker pays the dictionary-sized allocation once, not per
+    // query. Touched entries are reset on exit, keeping the array
+    // all-zero between uses (grow-only across engines).
+    thread_local std::vector<uint32_t> counts;
+    if (counts.size() < engine.dict().size()) {
+      counts.resize(engine.dict().size(), 0);
+    }
+    std::vector<PhraseId> touched;
+    for (DocId d : subset) {
+      for (PhraseId p : engine.forward().Phrases(d, engine.dict())) {
+        if (counts[p] == 0) touched.push_back(p);
+        ++counts[p];
+        ++out->entries_read;
+      }
+    }
+    out->candidates.reserve(touched.size());
+    for (PhraseId p : touched) {
+      out->candidates.push_back(
+          ShardCandidate{p, engine.dict().df(p), counts[p], {}});
+      counts[p] = 0;
+    }
+    return true;
+  });
+}
+
+/// Exhaustive list scatter: unions every per-term (phrase, prob) entry of
+/// the shard's full word lists -- delta-overlaid, so the shard stays exact
+/// under pending updates exactly the way monolithic SMJ does. A phrase
+/// qualifies as a candidate with a single positive term (OR semantics);
+/// the gather applies the global AND filter, which is what catches
+/// phrases whose terms co-occur only across shards.
+bool ListScatter(MiningEngine& engine, const Query& query,
+                 Algorithm algorithm, const EpochDelta& snap,
+                 ShardScatter* out) {
+  const std::size_t r = query.terms.size();
+  engine.EnsureWordLists(query.terms);
+  const DeltaIndex* delta = PendingDelta(snap);
+  *out = ShardScatter{};
+  out->epoch = snap.epoch;
+  out->guarantee =
+      GuaranteeFor(algorithm, delta != nullptr, /*smj_full_lists=*/true);
+  return engine.WithSharedStructures([&]() -> bool {
+    if (engine.list_generation() != snap.generation) return false;
+    for (TermId t : query.terms) {
+      if (!engine.word_lists().Has(t)) return false;
+    }
+    out->num_docs = engine.forward().num_docs();
+    std::unordered_map<PhraseId, std::size_t> slot;
+    auto fold = [&](std::size_t term_index, const ListEntry& entry) {
+      const TermId t = query.terms[term_index];
+      const uint32_t base_df = engine.dict().df(entry.phrase);
+      const uint32_t df_adj = AdjustedDf(base_df, entry.phrase, delta);
+      const uint32_t codf = AdjustedCodf(entry.prob, base_df, t,
+                                         entry.phrase, delta, df_adj);
+      ++out->entries_read;
+      if (codf == 0) return;
+      auto [it, inserted] = slot.try_emplace(entry.phrase,
+                                             out->candidates.size());
+      if (inserted) {
+        ShardCandidate cand;
+        cand.phrase = entry.phrase;
+        cand.df = df_adj;
+        cand.codf.assign(r, 0);
+        out->candidates.push_back(std::move(cand));
+      }
+      out->candidates[it->second].codf[term_index] = codf;
+    };
+    for (std::size_t i = 0; i < r; ++i) {
+      const SharedWordList base =
+          engine.word_lists().shared(query.terms[i]);
+      for (const ListEntry& entry : *base) fold(i, entry);
+      if (delta != nullptr) {
+        // Pairs whose co-occurrence became positive purely through
+        // updates are absent from the stored list; enumerate them the
+        // same way the monolithic SMJ bundle assembly does.
+        const SharedWordList id_base = WordIdOrderedLists::IdOrderPrefix(
+            std::span<const ListEntry>(*base));
+        for (const ListEntry& extra : delta->ExtraIdOrderedEntries(
+                 query.terms[i], std::span<const ListEntry>(*id_base))) {
+          fold(i, extra);
+        }
+      }
+    }
+    return true;
+  });
+}
+
+/// Top-k' discovery scatter: runs the shard's own miner and reports the
+/// result phrases as candidates, supports to be refined in the fill
+/// round (against the caller's snapshot -- the local mine may race onto
+/// a newer overlay, which only affects which identities it discovers).
+bool TopKScatter(MiningEngine& engine, const Query& query,
+                 Algorithm algorithm, const MineOptions& options,
+                 std::size_t k_prime, const EpochDelta& snap,
+                 ShardScatter* out) {
+  MineOptions local = options;
+  local.k = k_prime;
+  const MineResult mined = engine.Mine(query, algorithm, local);
+  *out = ShardScatter{};
+  out->epoch = snap.epoch;
+  out->guarantee = GuaranteeFor(algorithm, PendingDelta(snap) != nullptr,
+                                /*smj_full_lists=*/true);
+  out->entries_read = mined.entries_read;
+  out->disk_ms = mined.disk_ms;
+  out->subcollection = mined.subcollection_size;
+  if (mined.phrases.size() >= k_prime && !mined.phrases.empty()) {
+    out->local_floor = mined.phrases.back().interestingness;
+  }
+  engine.WithSharedStructures([&] {
+    out->num_docs = engine.forward().num_docs();
+    out->candidates.reserve(mined.phrases.size());
+    for (const MinedPhrase& mp : mined.phrases) {
+      // A dictionary refresh between the mine and this read could hand
+      // back ids from the previous set; an out-of-range one must not
+      // crash (the fill round's generation check rejects the attempt).
+      if (mp.phrase >= engine.dict().size()) continue;
+      out->candidates.push_back(ShardCandidate{mp.phrase, 0, 0, {}});
+    }
+  });
+  return true;
+}
+
+/// Count-mode fill: document frequency for every needed candidate, plus
+/// (when `need_freq`) its sub-collection frequency via one forward scan --
+/// the supports the gather sums into the global Eq. 1 inputs.
+bool CountFill(MiningEngine& engine, const Query& query,
+               std::span<const GlobalCandidate> cands,
+               std::span<const uint8_t> need, bool need_freq,
+               const EpochDelta& snap, std::size_t* subcollection,
+               std::vector<PartialSupport>* out) {
+  out->assign(cands.size(), PartialSupport{});
+  return engine.WithSharedStructures([&]() -> bool {
+    if (engine.list_generation() != snap.generation) return false;
+    std::unordered_map<PhraseId, std::size_t> slot;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (!need[i]) continue;
+      const PhraseId p = cands[i].phrase;
+      if (p >= engine.dict().size()) continue;
+      (*out)[i].df = engine.dict().df(p);
+      if (need_freq) slot.emplace(p, i);
+    }
+    if (need_freq) {
+      const std::vector<DocId> subset =
+          EvalSubCollection(query, engine.inverted());
+      *subcollection = subset.size();
+      for (DocId d : subset) {
+        for (PhraseId p : engine.forward().Phrases(d, engine.dict())) {
+          auto it = slot.find(p);
+          if (it != slot.end()) ++(*out)[it->second].freq_subset;
+        }
+      }
+    }
+    return true;
+  });
+}
+
+/// List-mode fill: delta-corrected df and per-term co-occurrence counts
+/// for every needed candidate, via one pass over each term's word list.
+bool ListFill(MiningEngine& engine, const Query& query,
+              std::span<const GlobalCandidate> cands,
+              std::span<const uint8_t> need, bool need_codf,
+              const EpochDelta& snap, std::vector<PartialSupport>* out) {
+  const std::size_t r = query.terms.size();
+  if (need_codf) engine.EnsureWordLists(query.terms);
+  const DeltaIndex* delta = PendingDelta(snap);
+  out->assign(cands.size(), PartialSupport{});
+  return engine.WithSharedStructures([&]() -> bool {
+    if (engine.list_generation() != snap.generation) return false;
+    if (need_codf) {
+      for (TermId t : query.terms) {
+        if (!engine.word_lists().Has(t)) return false;
+      }
+    }
+    std::unordered_map<PhraseId, std::size_t> slot;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (!need[i]) continue;
+      const PhraseId p = cands[i].phrase;
+      if (p >= engine.dict().size()) continue;
+      (*out)[i].df = AdjustedDf(engine.dict().df(p), p, delta);
+      if (need_codf) {
+        (*out)[i].codf.assign(r, 0);
+        slot.emplace(p, i);
+      }
+    }
+    if (!need_codf) return true;
+    std::vector<uint8_t> in_base(cands.size());
+    for (std::size_t j = 0; j < r; ++j) {
+      const TermId t = query.terms[j];
+      std::fill(in_base.begin(), in_base.end(), 0);
+      for (const ListEntry& entry : engine.word_lists().list(t)) {
+        auto it = slot.find(entry.phrase);
+        if (it == slot.end()) continue;
+        const std::size_t i = it->second;
+        in_base[i] = 1;
+        const uint32_t base_df = engine.dict().df(entry.phrase);
+        (*out)[i].codf[j] = AdjustedCodf(entry.prob, base_df, t,
+                                         entry.phrase, delta, (*out)[i].df);
+      }
+      if (delta == nullptr) continue;
+      // Candidates absent from the base list may still have a positive
+      // co-occurrence purely through updates.
+      for (const auto& [p, i] : slot) {
+        if (in_base[i]) continue;
+        (*out)[i].codf[j] = static_cast<uint32_t>(ClampCount(
+            delta->CoDelta(t, p), static_cast<int64_t>((*out)[i].df)));
+      }
+    }
+    return true;
+  });
+}
+
+/// Cost-model input cached per shard: sum_p df(p) / |D_s|.
+double AvgDocPhrases(const MiningEngine& engine) {
+  return engine.WithSharedStructures([&] {
+    uint64_t total_df = 0;
+    for (PhraseId p = 0; p < engine.dict().size(); ++p) {
+      total_df += engine.dict().df(p);
+    }
+    const std::size_t num_docs = engine.corpus().size();
+    return num_docs == 0 ? 0.0
+                         : static_cast<double>(total_df) /
+                               static_cast<double>(num_docs);
+  });
+}
+
+}  // namespace
+
+ShardedEngine ShardedEngine::Build(Corpus corpus, Options options) {
+  if (options.num_shards == 0) options.num_shards = 1;
+  ShardedEngine sharded;
+  sharded.options_ = std::move(options);
+  const std::size_t n = sharded.options_.num_shards;
+
+  // The global phrase set: exactly the dictionary a monolithic engine
+  // would extract from this corpus. Every shard clones it (global ids)
+  // and recounts dfs over its own slice.
+  PhraseExtractor extractor(sharded.options_.engine.extractor);
+  sharded.global_set_ =
+      std::make_shared<const PhraseDictionary>(extractor.Extract(corpus));
+  MiningEngineOptions shard_options = sharded.options_.engine;
+  shard_options.fixed_phrase_set = sharded.global_set_;
+
+  // Partition the documents; every shard corpus carries a full copy of the
+  // source vocabulary so term ids stay global.
+  std::vector<Corpus> parts(n);
+  for (Corpus& part : parts) part.vocab() = corpus.vocab();
+  sharded.shard_globals_.resize(n);
+  sharded.locate_.reserve(corpus.size());
+  sharded.dead_.assign(corpus.size(), 0);
+  for (DocId g = 0; g < corpus.size(); ++g) {
+    const auto s = static_cast<uint32_t>(sharded.ShardOf(g));
+    sharded.locate_.push_back(
+        {s, static_cast<DocId>(sharded.shard_globals_[s].size())});
+    sharded.shard_globals_[s].push_back(g);
+    parts[s].AddDocument(corpus.doc(g));
+  }
+
+  ThreadPoolOptions pool_options;
+  pool_options.num_threads =
+      sharded.options_.mine_threads != 0 ? sharded.options_.mine_threads : n;
+  pool_options.queue_capacity = std::max<std::size_t>(4 * n, 64);
+  sharded.pool_ = std::make_unique<ThreadPool>(pool_options);
+
+  sharded.shards_.resize(n);
+  sharded.shard_avg_doc_phrases_.resize(n);
+  sharded.ParallelOverShards([&](std::size_t s) {
+    sharded.shards_[s] = std::make_unique<MiningEngine>(
+        MiningEngine::Build(std::move(parts[s]), shard_options));
+    sharded.shard_avg_doc_phrases_[s] = AvgDocPhrases(*sharded.shards_[s]);
+  });
+  sharded.rebuild_recommended_.assign(n, 0);
+  return sharded;
+}
+
+std::size_t ShardedEngine::ShardOf(DocId global) const {
+  const std::size_t n = options_.num_shards;
+  if (options_.partitioner) return options_.partitioner(global, n) % n;
+  // SplitMix64 finalizer: hash partitioning keeps shard sizes balanced
+  // regardless of any ordering structure in the incoming corpus.
+  uint64_t z = static_cast<uint64_t>(global) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return (z ^ (z >> 31)) % n;
+}
+
+void ShardedEngine::ParallelOverShards(
+    const std::function<void(std::size_t)>& fn) {
+  const std::size_t n = shards_.size() != 0 ? shards_.size()
+                                            : shard_globals_.size();
+  if (n <= 1) {
+    for (std::size_t s = 0; s < n; ++s) fn(s);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        [&fn, s] { fn(s); });
+    futures.push_back(task->get_future());
+    // TrySubmit so a saturated pool degrades to inline execution on the
+    // caller's thread instead of risking submitter pile-ups under heavy
+    // concurrent fan-out.
+    if (!pool_->TrySubmit([task] { (*task)(); })) (*task)();
+  }
+  for (std::future<void>& f : futures) f.get();
+}
+
+Result<Query> ShardedEngine::ParseQuery(std::string_view text,
+                                        QueryOperator op) const {
+  std::shared_lock fleet_lock(*shards_mu_);
+  return shards_[0]->ParseQuery(text, op);
+}
+
+std::string ShardedEngine::PhraseText(PhraseId id) const {
+  std::shared_lock fleet_lock(*shards_mu_);
+  return shards_[0]->PhraseText(id);
+}
+
+std::vector<PlannerInputs> ShardedEngine::GatherPlannerInputs(
+    const Query& query, const MineOptions& options) const {
+  std::shared_lock fleet_lock(*shards_mu_);
+  std::vector<PlannerInputs> out;
+  out.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out.push_back(CostPlanner::GatherInputs(
+        *shards_[s], query, options, shards_[s]->delta_snapshot(),
+        shard_avg_doc_phrases_[s]));
+  }
+  return out;
+}
+
+ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
+                                      const MineOptions& options) {
+  PM_CHECK_MSG(options.delta == nullptr,
+               "ShardedEngine applies per-shard overlays internally");
+  StopWatch watch;
+  std::shared_lock fleet_lock(*shards_mu_);
+  const std::size_t n = shards_.size();
+  const std::size_t r = query.terms.size();
+  const MergeMode mode = ModeFor(algorithm);
+  const std::size_t k_prime =
+      options.k * options_.merge_headroom + options_.merge_slack;
+
+  // Retried from fresh snapshots whenever a shard's structure generation
+  // moved between rounds (a rebuild landed mid-mine): one merged result
+  // never mixes pre- and post-rebuild supports. Plain ingests don't
+  // trigger retries -- every round reads the snapshot's immutable
+  // overlay, not the live one.
+  for (;;) {
+    std::vector<EpochDelta> snaps(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      snaps[s] = shards_[s]->delta_snapshot();
+    }
+
+    // --- Scatter -------------------------------------------------------------
+    std::vector<ShardScatter> scatter(n);
+    std::atomic<bool> stale{false};
+    ParallelOverShards([&](std::size_t s) {
+      bool ok = true;
+      switch (mode) {
+        case MergeMode::kCountExhaustive:
+          ok = CountScatter(*shards_[s], query, algorithm, snaps[s],
+                            &scatter[s]);
+          break;
+        case MergeMode::kListExhaustive:
+          ok = ListScatter(*shards_[s], query, algorithm, snaps[s],
+                           &scatter[s]);
+          break;
+        case MergeMode::kCountTopK:
+        case MergeMode::kListTopK:
+          ok = TopKScatter(*shards_[s], query, algorithm, options, k_prime,
+                           snaps[s], &scatter[s]);
+          break;
+      }
+      if (!ok) stale.store(true, std::memory_order_relaxed);
+    });
+    if (stale.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();  // let the rebuild finish before retrying
+      continue;
+    }
+
+    // --- Union (join by global PhraseId) -------------------------------------
+    // Ids index the frozen global set, so a dense slot table beats
+    // hashing (candidate unions reach thousands of entries on OR
+    // queries). Thread-local grow-only scratch: touched entries are
+    // reset below, so between uses the table is all-kNoSlot and a query
+    // pays no dictionary-sized allocation.
+    const std::size_t set_size = global_set_->size();
+    constexpr uint32_t kNoSlot = UINT32_MAX;
+    thread_local std::vector<uint32_t> slot_of;
+    if (slot_of.size() < set_size) slot_of.resize(set_size, kNoSlot);
+    std::vector<GlobalCandidate> cands;
+    for (const ShardScatter& shard : scatter) {
+      for (const ShardCandidate& sc : shard.candidates) {
+        // Ids beyond the set can only come from a stale pre-refresh mine;
+        // drop them (the shard would re-report under the new set anyway).
+        if (sc.phrase >= set_size) continue;
+        if (slot_of[sc.phrase] == kNoSlot) {
+          slot_of[sc.phrase] = static_cast<uint32_t>(cands.size());
+          GlobalCandidate gc;
+          gc.phrase = sc.phrase;
+          gc.codf.assign(r, 0);
+          cands.push_back(std::move(gc));
+        }
+      }
+    }
+    // Only the exhaustive merges need the reported matrix (it restricts
+    // the fill to unreported shards); top-k' modes fill everything.
+    std::vector<std::vector<uint8_t>> reported;
+    if (!IsTopKMode(mode)) {
+      reported.assign(n, std::vector<uint8_t>(cands.size(), 0));
+      // Exhaustive scatter already carries each reporting shard's
+      // supports.
+      for (std::size_t s = 0; s < n; ++s) {
+        for (const ShardCandidate& sc : scatter[s].candidates) {
+          if (sc.phrase >= set_size) continue;
+          const std::size_t slot = slot_of[sc.phrase];
+          reported[s][slot] = 1;
+          cands[slot].df += sc.df;
+          cands[slot].freq_subset += sc.freq_subset;
+          for (std::size_t j = 0; j < sc.codf.size(); ++j) {
+            cands[slot].codf[j] += sc.codf[j];
+          }
+        }
+      }
+    }
+    // Restore the scratch table's all-kNoSlot invariant (also on the
+    // stale-retry paths below, which re-enter this block).
+    for (const GlobalCandidate& gc : cands) slot_of[gc.phrase] = kNoSlot;
+
+    // --- Fill ----------------------------------------------------------------
+    // Top-k' scatter discovered identities only: every shard computes
+    // full supports for the whole union. Exhaustive scatter is complete
+    // except for the df of phrases a shard holds but did not touch for
+    // this query (freq or every codf zero there), which still belongs in
+    // the global denominator.
+    std::vector<std::vector<PartialSupport>> fill(n);
+    std::vector<std::size_t> fill_subcollection(n, 0);
+    if (!cands.empty()) {
+      ParallelOverShards([&](std::size_t s) {
+        std::vector<uint8_t> need(cands.size());
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+          need[i] = IsTopKMode(mode) ? 1 : !reported[s][i];
+        }
+        bool ok;
+        if (IsCountMode(mode)) {
+          ok = CountFill(*shards_[s], query, cands, need,
+                         /*need_freq=*/IsTopKMode(mode), snaps[s],
+                         &fill_subcollection[s], &fill[s]);
+        } else {
+          ok = ListFill(*shards_[s], query, cands, need,
+                        /*need_codf=*/IsTopKMode(mode), snaps[s], &fill[s]);
+        }
+        if (!ok) stale.store(true, std::memory_order_relaxed);
+      });
+      if (stale.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+          const PartialSupport& ps = fill[s][i];
+          cands[i].df += ps.df;
+          cands[i].freq_subset += ps.freq_subset;
+          for (std::size_t j = 0; j < ps.codf.size(); ++j) {
+            cands[i].codf[j] += ps.codf[j];
+          }
+        }
+      }
+    }
+
+    // --- Gather: global scores from summed supports --------------------------
+    std::size_t total_docs = 0;
+    std::size_t total_subcollection = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      total_docs += scatter[s].num_docs;
+      total_subcollection +=
+          IsTopKMode(mode) && IsCountMode(mode) ? fill_subcollection[s]
+                                                : scatter[s].subcollection;
+    }
+
+    struct Ranked {
+      std::size_t slot;
+      double score;
+      double interestingness;
+    };
+    std::vector<Ranked> ranked;
+    ranked.reserve(cands.size());
+    std::vector<double> probs(r);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const GlobalCandidate& gc = cands[i];
+      double score;
+      double interestingness;
+      if (IsCountMode(mode)) {
+        if (gc.freq_subset == 0) continue;
+        score = EvaluateInterestingness(
+            options.measure, static_cast<uint32_t>(gc.freq_subset),
+            static_cast<uint32_t>(gc.df), total_subcollection, total_docs);
+        interestingness = score;
+      } else {
+        bool all_present = true;
+        for (std::size_t j = 0; j < r; ++j) {
+          if (gc.codf[j] == 0) all_present = false;
+          // The monolithic list stores count / df in double; the same
+          // division over the summed integers reproduces it bitwise.
+          probs[j] = gc.df == 0 ? 0.0
+                                : static_cast<double>(gc.codf[j]) /
+                                      static_cast<double>(gc.df);
+        }
+        if (query.op == QueryOperator::kAnd) {
+          if (!all_present) continue;
+          score = AndScore(probs);
+          if (score == kMinusInfinity) continue;
+        } else {
+          score = OrScore(probs, options.or_order);
+          if (score <= 0.0) continue;
+        }
+        interestingness = ScoreToInterestingness(score, query.op);
+      }
+      ranked.push_back(Ranked{i, score, interestingness});
+    }
+    // Ties order by smaller global PhraseId -- the monolithic collector's
+    // tie-break, now meaningful fleet-wide thanks to the shared set.
+    std::sort(ranked.begin(), ranked.end(),
+              [&](const Ranked& a, const Ranked& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return cands[a.slot].phrase < cands[b.slot].phrase;
+              });
+    if (ranked.size() > options.k) ranked.resize(options.k);
+
+    // --- Assemble ------------------------------------------------------------
+    ShardedMineResult out;
+    out.candidates = cands.size();
+    out.exact_merge = !IsTopKMode(mode);
+    out.result.phrases.reserve(ranked.size());
+    out.texts.reserve(ranked.size());
+    shards_[0]->WithSharedStructures([&] {
+      for (std::size_t i = 0; i < ranked.size(); ++i) {
+        const PhraseId id = cands[ranked[i].slot].phrase;
+        out.result.phrases.push_back(
+            MinedPhrase{id, ranked[i].score, ranked[i].interestingness});
+        out.texts.push_back(id < shards_[0]->phrase_file().num_phrases()
+                                ? shards_[0]->phrase_file().Text(id)
+                                : std::string("<unresolved phrase>"));
+      }
+    });
+    out.result.peak_candidates = cands.size();
+    out.result.subcollection_size =
+        IsCountMode(mode) ? total_subcollection : 0;
+    out.result.shard_epochs.reserve(n);
+    for (const ShardScatter& s : scatter) {
+      out.result.shard_epochs.push_back(s.epoch);
+      out.result.epoch += s.epoch;
+      out.result.entries_read += s.entries_read;
+      out.result.disk_ms = std::max(out.result.disk_ms, s.disk_ms);
+      if (GuaranteeRank(s.guarantee) > GuaranteeRank(out.result.guarantee)) {
+        out.result.guarantee = s.guarantee;
+      }
+      out.candidate_floor = std::max(out.candidate_floor, s.local_floor);
+    }
+    out.result.compute_ms = watch.ElapsedMillis();
+    return out;
+  }
+}
+
+ShardedUpdateStats ShardedEngine::ApplyUpdate(const UpdateBatch& batch) {
+  std::scoped_lock lock(*update_mu_);
+  const std::size_t n = shards_.size();
+
+  // Broadcast every ingested term to every shard first: identical intern
+  // order from identical vocabularies keeps term ids global, so queries
+  // parsed against any shard stay portable (see MiningEngine::InternTerms).
+  // One InternTerms call per shard for the whole batch -- per-document
+  // round-trips would take each shard's vocab lock O(inserts) times.
+  if (!batch.inserts.empty()) {
+    std::vector<std::string> batch_terms;
+    for (const UpdateDoc& doc : batch.inserts) {
+      batch_terms.insert(batch_terms.end(), doc.tokens.begin(),
+                         doc.tokens.end());
+      batch_terms.insert(batch_terms.end(), doc.facets.begin(),
+                         doc.facets.end());
+    }
+    for (const std::unique_ptr<MiningEngine>& shard : shards_) {
+      shard->InternTerms(batch_terms);
+    }
+  }
+
+  // Route inserts to their owning shard and translate global delete ids
+  // to shard-local ones.
+  std::vector<UpdateBatch> per_shard(n);
+  for (const UpdateDoc& doc : batch.inserts) {
+    const auto g = static_cast<DocId>(locate_.size());
+    const auto s = static_cast<uint32_t>(ShardOf(g));
+    locate_.push_back({s, static_cast<DocId>(shard_globals_[s].size())});
+    shard_globals_[s].push_back(g);
+    dead_.push_back(0);
+    per_shard[s].inserts.push_back(doc);
+  }
+  for (DocId g : batch.deletes) {
+    if (g >= locate_.size() || dead_[g]) continue;
+    dead_[g] = 1;
+    ++num_dead_;
+    per_shard[locate_[g].shard].deletes.push_back(locate_[g].local);
+  }
+
+  ShardedUpdateStats out;
+  out.epochs.resize(n);
+  out.rebuild_recommended.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!per_shard[s].inserts.empty() || !per_shard[s].deletes.empty()) {
+      const UpdateStats stats = shards_[s]->ApplyUpdate(per_shard[s]);
+      out.total.batch_inserts += stats.batch_inserts;
+      out.total.batch_deletes += stats.batch_deletes;
+      rebuild_recommended_[s] = stats.rebuild_recommended ? 1 : 0;
+    }
+    out.epochs[s] = shards_[s]->epoch();
+    out.total.epoch += out.epochs[s];
+    out.total.pending_updates += shards_[s]->update_stats().pending_updates;
+    out.rebuild_recommended[s] = rebuild_recommended_[s];
+  }
+  out.total.live_docs = locate_.size() - num_dead_;
+  out.total.delta_fraction =
+      out.total.live_docs == 0
+          ? (out.total.pending_updates > 0 ? 1.0 : 0.0)
+          : static_cast<double>(out.total.pending_updates) /
+                static_cast<double>(out.total.live_docs);
+  for (uint8_t flag : rebuild_recommended_) {
+    if (flag) out.total.rebuild_recommended = true;
+  }
+  return out;
+}
+
+void ShardedEngine::Rebuild() {
+  // One shard at a time, releasing the update mutex between shards:
+  // ingest interleaves and queries only ever lose one shard's freshness.
+  for (std::size_t s = 0; s < shards_.size(); ++s) RebuildShard(s);
+}
+
+void ShardedEngine::RebuildShard(std::size_t shard) {
+  std::scoped_lock lock(*update_mu_);
+  RebuildShardLocked(shard);
+}
+
+void ShardedEngine::RebuildShardLocked(std::size_t shard) {
+  shards_[shard]->Rebuild();
+  shard_avg_doc_phrases_[shard] = AvgDocPhrases(*shards_[shard]);
+  rebuild_recommended_[shard] = 0;
+  // The shard compacted its numbering to the live documents in order;
+  // mirror that in the global->local mapping.
+  std::vector<DocId>& globals = shard_globals_[shard];
+  std::vector<DocId> live;
+  live.reserve(globals.size());
+  for (DocId g : globals) {
+    if (dead_[g]) continue;
+    locate_[g].local = static_cast<DocId>(live.size());
+    live.push_back(g);
+  }
+  globals = std::move(live);
+}
+
+void ShardedEngine::RefreshDictionary() {
+  // Ingest stalls for the whole refresh; queries keep running against the
+  // old fleet until the final swap.
+  std::scoped_lock update_lock(*update_mu_);
+  const std::size_t n = shards_.size();
+
+  // 1. Absorb every shard's pending updates into its base structures so
+  //    the base corpus below IS the live document set.
+  for (std::size_t s = 0; s < n; ++s) RebuildShardLocked(s);
+
+  // 2. Snapshot every shard's live corpus (one locked clone each, reused
+  //    for both the extraction union and the offline rebuild) and
+  //    re-extract the global phrase set over the union.
+  std::vector<Corpus> parts(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    parts[s] = shards_[s]->CloneBaseCorpus();
+  }
+  Corpus all;
+  all.vocab() = parts[0].vocab();
+  for (const Corpus& part : parts) {
+    for (DocId d = 0; d < part.size(); ++d) all.AddDocument(part.doc(d));
+  }
+  PhraseExtractor extractor(options_.engine.extractor);
+  auto fresh_set =
+      std::make_shared<const PhraseDictionary>(extractor.Extract(all));
+
+  // 3. Rebuild every shard against the new set, offline. Epochs continue
+  //    monotonically past the predecessors' so epoch-keyed result caches
+  //    can never resurrect a pre-refresh entry.
+  MiningEngineOptions shard_options = options_.engine;
+  shard_options.fixed_phrase_set = fresh_set;
+  std::vector<std::unique_ptr<MiningEngine>> fresh(n);
+  std::vector<double> fresh_avg(n, 0.0);
+  ParallelOverShards([&](std::size_t s) {
+    fresh[s] = std::make_unique<MiningEngine>(
+        MiningEngine::Build(std::move(parts[s]), shard_options));
+    fresh[s]->AdvanceEpoch(shards_[s]->epoch() + 1);
+    fresh_avg[s] = AvgDocPhrases(*fresh[s]);
+  });
+
+  // 4. Swap the fleet atomically; in-flight mines finish on the old one.
+  {
+    std::unique_lock fleet_lock(*shards_mu_);
+    shards_ = std::move(fresh);
+    shard_avg_doc_phrases_ = std::move(fresh_avg);
+    global_set_ = std::move(fresh_set);
+  }
+  std::fill(rebuild_recommended_.begin(), rebuild_recommended_.end(), 0);
+}
+
+std::vector<uint64_t> ShardedEngine::epochs() const {
+  std::shared_lock fleet_lock(*shards_mu_);
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<MiningEngine>& shard : shards_) {
+    out.push_back(shard->epoch());
+  }
+  return out;
+}
+
+uint64_t ShardedEngine::epoch() const {
+  std::shared_lock fleet_lock(*shards_mu_);
+  uint64_t total = 0;
+  for (const std::unique_ptr<MiningEngine>& shard : shards_) {
+    total += shard->epoch();
+  }
+  return total;
+}
+
+UpdateStats ShardedEngine::update_stats() const {
+  std::scoped_lock lock(*update_mu_);
+  std::shared_lock fleet_lock(*shards_mu_);
+  UpdateStats out;
+  for (const std::unique_ptr<MiningEngine>& shard : shards_) {
+    const UpdateStats stats = shard->update_stats();
+    out.pending_updates += stats.pending_updates;
+    out.epoch += shard->epoch();
+    if (stats.rebuild_recommended) out.rebuild_recommended = true;
+  }
+  out.live_docs = locate_.size() - num_dead_;
+  out.delta_fraction =
+      out.live_docs == 0
+          ? (out.pending_updates > 0 ? 1.0 : 0.0)
+          : static_cast<double>(out.pending_updates) /
+                static_cast<double>(out.live_docs);
+  return out;
+}
+
+std::size_t ShardedEngine::num_docs() const {
+  std::scoped_lock lock(*update_mu_);
+  return locate_.size();
+}
+
+}  // namespace phrasemine

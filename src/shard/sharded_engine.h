@@ -1,0 +1,276 @@
+#ifndef PHRASEMINE_SHARD_SHARDED_ENGINE_H_
+#define PHRASEMINE_SHARD_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/miner.h"
+#include "core/query.h"
+#include "phrase/phrase_dictionary.h"
+#include "service/planner.h"
+#include "service/thread_pool.h"
+#include "text/corpus.h"
+
+namespace phrasemine {
+
+/// Sizing and policy knobs for ShardedEngine.
+struct ShardedEngineOptions {
+  /// Number of corpus partitions (clamped to at least 1). Each shard is a
+  /// full single-shard MiningEngine over its slice of the documents.
+  std::size_t num_shards = 4;
+  /// Per-shard engine knobs. The extractor settings define the *global*
+  /// phrase set: it is extracted once over the whole corpus (exactly what
+  /// a monolithic engine would extract) and installed into every shard as
+  /// a fixed phrase set with per-shard document frequencies -- see
+  /// MiningEngineOptions::fixed_phrase_set. PhraseIds are therefore
+  /// global: identical across shards and identical to a monolithic
+  /// engine built from the same corpus and options.
+  MiningEngineOptions engine;
+  /// Scatter fan-out of the approximate (top-k') paths (GM, Simitsis,
+  /// NRA, NRA-disk): each shard mines merge_headroom * k + merge_slack
+  /// candidates before the gather refines exact global supports for the
+  /// union. Exact and SMJ use exhaustive support scatter and ignore this.
+  std::size_t merge_headroom = 4;
+  std::size_t merge_slack = 16;
+  /// Worker threads mining shards in parallel; 0 means num_shards.
+  std::size_t mine_threads = 0;
+  /// Test seam: maps a global document id to its owning shard (second
+  /// argument is num_shards). Defaults to a SplitMix64 hash of the id.
+  std::function<std::size_t(DocId, std::size_t)> partitioner;
+};
+
+/// Aggregate of one ShardedEngine::ApplyUpdate call: the summed
+/// UpdateStats plus the per-shard epoch vector and per-shard rebuild
+/// recommendations (so callers can rebuild only the shards that crossed
+/// their threshold -- the point of the shrunken rebuild blast radius).
+struct ShardedUpdateStats {
+  /// Summed accounting; `epoch` is the composite sum of shard epochs and
+  /// `rebuild_recommended` is true when any shard recommends one.
+  UpdateStats total;
+  std::vector<uint64_t> epochs;
+  /// One flag per shard, latched from that shard's last ApplyUpdate.
+  std::vector<uint8_t> rebuild_recommended;
+};
+
+/// What ShardedEngine::Mine hands back: the merged MineResult (with the
+/// composite epoch vector filled) plus the ranked phrases' texts.
+/// result.phrases[i].phrase is the *global* PhraseId -- every shard
+/// shares one phrase set, so ids are portable and equal to the ids a
+/// monolithic engine built from the same corpus would assign.
+struct ShardedMineResult {
+  MineResult result;
+  std::vector<std::string> texts;
+  /// Size of the merged candidate union before the top-k cut.
+  std::size_t candidates = 0;
+  /// True when the merge was support-exhaustive (Exact, SMJ): the ranked
+  /// output provably equals the monolithic engine's, tie order included
+  /// (both sides break equal scores by smaller PhraseId). False on the
+  /// bounded top-k' paths.
+  bool exact_merge = false;
+  /// Largest k'-th local score across shards on the top-k' paths: no
+  /// phrase outside the candidate union ranked above this in any shard.
+  /// See the class comment for the (approximate) bound this supports.
+  double candidate_floor = 0.0;
+};
+
+/// Hash-partitioned corpus mining: N single-shard MiningEngines sharing
+/// one global phrase dictionary (per-shard document frequencies), mined
+/// in parallel on a bounded ThreadPool and merged by a scatter-gather
+/// that recomputes *global* interestingness from summed per-shard
+/// supports, joined by global PhraseId.
+///
+/// Identity across shards: the vocabulary is copied into every shard
+/// (and kept in sync by broadcasting ingested terms through
+/// MiningEngine::InternTerms), so TermIds and parsed Query objects are
+/// portable; the phrase set is extracted once over the full corpus, so
+/// PhraseIds are portable too, and both match a monolithic engine built
+/// from the same corpus and options.
+///
+/// Exactness per algorithm (see README "Sharding" for the derivation):
+///  * kExact: exact. The scatter mirrors ExactMiner per shard (a full
+///    forward scan of the shard's sub-collection), the gather sums
+///    freq(p, D'_s), df_s, |D'_s| and |D_s| -- all plain sums over the
+///    disjoint partition -- and re-evaluates Eq. 1/PMI from the totals,
+///    which is bitwise the monolithic computation, tie order included.
+///  * kSmj: exact over full lists. The scatter unions every per-term
+///    (phrase, prob) entry of the shard's word lists (delta-overlaid
+///    under pending updates), the gather recovers integer co-occurrence
+///    counts, sums them, and recomputes P(q|p) = sum codf / sum df --
+///    bitwise the probability a monolithic list would store. Sharded SMJ
+///    always merges full lists (a truncation fraction < 1 is a
+///    construction-time decision this path does not offer).
+///  * kGm, kSimitsis, kNra, kNraDisk: approximate with a documented
+///    bound. Each shard mines top-k' = merge_headroom * k + merge_slack
+///    locally; the gather refines *exact* global supports for the
+///    candidate union, so every reported score is exact -- only candidate
+///    recall is bounded. A phrase missed by every shard scored below that
+///    shard's k'-th local score; because a summed-support ratio is a
+///    mediant of the per-shard ratios, a single-term query's missed
+///    phrases are provably below max_s(floor_s) (ShardedMineResult::
+///    candidate_floor), while multi-term aggregation makes the bound
+///    heuristic (a phrase mediocre everywhere can sum above it).
+///
+/// Updates: ApplyUpdate routes inserts to their owning shard (documents
+/// are numbered globally: build-time ids first, ingested ids after) and
+/// translates deletes to shard-local ids; only the owning shard's epoch
+/// advances. Results carry the per-shard epoch vector, and Rebuild runs
+/// shard-by-shard -- ingest interleaves between shards and queries never
+/// lose more than one shard's freshness at a time. A shard rebuild keeps
+/// the frozen global phrase set (absorbing the shard's delta into its
+/// base structures); phrases that only became frequent through updates
+/// enter via RefreshDictionary, the heavyweight tier that re-extracts
+/// the global set over all live documents and swaps every shard at once.
+///
+/// Thread-safety: Mine/ParseQuery/PhraseText/epochs/epoch/update_stats
+/// may run concurrently from any threads; ApplyUpdate, Rebuild,
+/// RebuildShard and RefreshDictionary serialize on an internal update
+/// mutex and are safe against concurrent mines. shard() references are
+/// stable except across RefreshDictionary, which swaps the fleet under
+/// an exclusive lock the readers above take shared. Structural mutation
+/// (move) requires external exclusive access.
+class ShardedEngine {
+ public:
+  using Options = ShardedEngineOptions;
+
+  /// Extracts the global phrase set, partitions `corpus` and builds every
+  /// shard (in parallel on the mining pool). Each shard corpus gets a
+  /// full copy of the source vocabulary so term ids stay global.
+  static ShardedEngine Build(Corpus corpus, Options options = {});
+
+  ShardedEngine(ShardedEngine&&) = default;
+  ShardedEngine& operator=(ShardedEngine&&) = default;
+
+  // --- Querying -------------------------------------------------------------
+
+  /// Parses against the shared vocabulary (shard 0's copy; all identical).
+  Result<Query> ParseQuery(std::string_view text, QueryOperator op) const;
+
+  /// Scatter-gathers one query across all shards. `options.delta` must be
+  /// null: per-shard overlays are applied internally. See the class
+  /// comment for the per-algorithm exactness contract.
+  ShardedMineResult Mine(const Query& query, Algorithm algorithm,
+                         const MineOptions& options = {});
+
+  /// Lexical form of a global phrase id (shard 0's fixed-slot file; all
+  /// shards share the phrase set, so any would do).
+  std::string PhraseText(PhraseId id) const;
+
+  /// Per-shard cost-model inputs for one query, gathered under the fleet
+  /// lock so a dictionary refresh cannot swap the engines away mid-read
+  /// (callers must never cache per-shard planners across a refresh).
+  /// Feed the result to CostPlanner::PlanAcrossShards.
+  std::vector<PlannerInputs> GatherPlannerInputs(
+      const Query& query, const MineOptions& options) const;
+
+  // --- Live updates ---------------------------------------------------------
+
+  /// Routes one batch to the owning shards. Delete ids address the global
+  /// live numbering (build-time ids below the original corpus size,
+  /// ingested ids after, in ingest order); unknown or already-deleted ids
+  /// are ignored. Serializes with the rebuild entry points.
+  ShardedUpdateStats ApplyUpdate(const UpdateBatch& batch);
+
+  /// Rebuilds every shard, one at a time; ingest may interleave between
+  /// shards and queries keep running throughout. The global phrase set
+  /// stays frozen (see RefreshDictionary).
+  void Rebuild();
+
+  /// Rebuilds a single shard (the shrunken blast radius of the sharded
+  /// design) and compacts the global->local document mapping for it.
+  void RebuildShard(std::size_t shard);
+
+  /// The heavyweight rebuild tier: absorbs every shard's pending updates,
+  /// re-extracts the global phrase set over all live documents, rebuilds
+  /// every shard against it offline and swaps the fleet in atomically.
+  /// This is where phrases that entered the corpus through updates join
+  /// the dictionary (the paper's "new phrases enter P at the next offline
+  /// rebuild", fleet-wide). Ingest stalls for the duration; queries keep
+  /// being served from the old fleet until the swap. Global PhraseIds are
+  /// reassigned; per-shard epochs continue monotonically so epoch-keyed
+  /// caches can never resurrect a pre-refresh result.
+  void RefreshDictionary();
+
+  /// Per-shard epoch vector, in shard order.
+  std::vector<uint64_t> epochs() const;
+
+  /// Composite epoch: the sum of shard epochs (monotone under updates).
+  uint64_t epoch() const;
+
+  /// Summed per-shard accounting as of the last update.
+  UpdateStats update_stats() const;
+
+  // --- Component access (planner, benchmarks, tests) ------------------------
+
+  std::size_t num_shards() const { return shards_.size(); }
+  /// Raw shard access for tests/benchmarks. NOT guarded against
+  /// RefreshDictionary (which destroys and replaces every engine): do
+  /// not call concurrently with one or hold the reference across one --
+  /// the synchronized entry points (Mine, ParseQuery, PhraseText,
+  /// GatherPlannerInputs, epochs) are the refresh-safe surface.
+  const MiningEngine& shard(std::size_t i) const { return *shards_[i]; }
+  MiningEngine& shard(std::size_t i) { return *shards_[i]; }
+
+  /// The frozen global phrase set shared by all shards (per-shard df
+  /// lives in each shard's own dictionary clone).
+  const PhraseDictionary& phrase_set() const { return *global_set_; }
+
+  /// Documents across all shards at build time plus ingested ones (dead
+  /// ids included; global numbering never compacts).
+  std::size_t num_docs() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  ShardedEngine() = default;
+
+  /// Where a global document id lives.
+  struct DocLocation {
+    uint32_t shard = 0;
+    DocId local = 0;
+  };
+
+  std::size_t ShardOf(DocId global) const;
+
+  /// Runs fn(shard_index) for every shard on the pool, inline when the
+  /// pool is saturated or shut down, and waits for all of them.
+  void ParallelOverShards(const std::function<void(std::size_t)>& fn);
+
+  /// RebuildShard body; caller holds update_mu_.
+  void RebuildShardLocked(std::size_t shard);
+
+  Options options_;
+  std::shared_ptr<const PhraseDictionary> global_set_;
+  std::vector<std::unique_ptr<MiningEngine>> shards_;
+  /// Cached sum_p df(p) / |D_s| per shard for the cost model; refreshed
+  /// whenever a shard's indexes rebuild.
+  std::vector<double> shard_avg_doc_phrases_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Fleet lock: shared by everything that dereferences shards_,
+  /// exclusive only for RefreshDictionary's swap.
+  std::unique_ptr<std::shared_mutex> shards_mu_ =
+      std::make_unique<std::shared_mutex>();
+
+  /// Guards the global document numbering; also serializes
+  /// ApplyUpdate and the rebuild tiers against each other (per-shard
+  /// engines handle their own mine/update synchronization).
+  std::unique_ptr<std::mutex> update_mu_ = std::make_unique<std::mutex>();
+  std::vector<DocLocation> locate_;            // indexed by global id
+  std::vector<uint8_t> dead_;                  // indexed by global id
+  std::size_t num_dead_ = 0;
+  /// Global ids in shard-local order (dead ids kept until that shard's
+  /// rebuild compacts the local numbering).
+  std::vector<std::vector<DocId>> shard_globals_;
+  /// Latched per-shard rebuild recommendations from the last ApplyUpdate.
+  std::vector<uint8_t> rebuild_recommended_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_SHARD_SHARDED_ENGINE_H_
