@@ -47,6 +47,11 @@ struct Row {
   double exact_speedup = 0.0;
   double smj_qps = 0.0;
   double smj_speedup = 0.0;
+  // Threshold-exchange accounting over the SMJ AND+OR workload: fill-round
+  // support slots with the exchange off vs on, and candidates pruned.
+  std::size_t fill_slots_off = 0;
+  std::size_t fill_slots_on = 0;
+  uint64_t pruned = 0;
 };
 
 int Main() {
@@ -152,6 +157,29 @@ int Main() {
       row.smj_qps = 1000.0 * static_cast<double>(total) /
                     watch.ElapsedMillis();
     }
+    // Threshold-exchange savings: the same SMJ workload (AND and OR
+    // operators) with the exchange off, then on. Results are provably
+    // identical either way; what changes is how many (shard, candidate)
+    // support slots the fill round still has to compute.
+    {
+      std::vector<Query> both = queries;
+      for (Query q : WithOperator(queries, QueryOperator::kAnd)) {
+        both.push_back(std::move(q));
+      }
+      sharded.SetThresholdExchange(false);
+      for (const Query& q : both) {
+        const ShardedMineResult r5 =
+            sharded.Mine(q, Algorithm::kSmj, MineOptions{.k = 5});
+        row.fill_slots_off += r5.fill_slots;
+      }
+      sharded.SetThresholdExchange(true);
+      for (const Query& q : both) {
+        const ShardedMineResult r5 =
+            sharded.Mine(q, Algorithm::kSmj, MineOptions{.k = 5});
+        row.fill_slots_on += r5.fill_slots;
+        row.pruned += r5.result.candidates_pruned;
+      }
+    }
     // Speedups are relative to the 1-shard row: partition parallelism,
     // isolated from the constant merge overhead both setups pay.
     row.exact_speedup =
@@ -170,6 +198,22 @@ int Main() {
     }
   }
 
+  // --- Threshold-exchange savings -------------------------------------------
+  std::printf("\nthreshold exchange (SMJ AND+OR workload):\n"
+              "%8s %15s %15s %9s %9s\n", "shards", "fill slots off",
+              "fill slots on", "saved", "pruned");
+  for (const Row& row : sweep) {
+    const double saved =
+        row.fill_slots_off == 0
+            ? 0.0
+            : 100.0 *
+                  static_cast<double>(row.fill_slots_off - row.fill_slots_on) /
+                  static_cast<double>(row.fill_slots_off);
+    std::printf("%8zu %15zu %15zu %8.1f%% %9llu\n", row.shards,
+                row.fill_slots_off, row.fill_slots_on, saved,
+                static_cast<unsigned long long>(row.pruned));
+  }
+
   const bool enough_hw = hw_threads >= 4;
   const bool meets_target = speedup_at_4 >= 2.0;
 
@@ -184,9 +228,12 @@ int Main() {
       std::fprintf(json,
                    "%s\n    {\"shards\": %zu, \"exact_qps\": %.1f, "
                    "\"exact_speedup\": %.2f, \"smj_qps\": %.1f, "
-                   "\"smj_speedup\": %.2f}",
+                   "\"smj_speedup\": %.2f, \"fill_slots_off\": %zu, "
+                   "\"fill_slots_on\": %zu, \"pruned\": %llu}",
                    i == 0 ? "" : ",", row.shards, row.exact_qps,
-                   row.exact_speedup, row.smj_qps, row.smj_speedup);
+                   row.exact_speedup, row.smj_qps, row.smj_speedup,
+                   row.fill_slots_off, row.fill_slots_on,
+                   static_cast<unsigned long long>(row.pruned));
     }
     std::fprintf(json,
                  "\n  ],\n  \"speedup_at_4\": %.2f,\n"

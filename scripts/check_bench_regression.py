@@ -1,19 +1,29 @@
 #!/usr/bin/env python3
 """Bench-regression gate: compare a fresh BENCH_*.json against the previous
-CI run's artifact and fail on a throughput regression beyond the threshold.
+CI run's artifact and fail on a throughput regression beyond the threshold,
+plus a longer-horizon trajectory gate that keeps the last N runs and fails
+on cumulative drift -- slow per-run drips the single-step gate cannot see.
 
 Usage:
     check_bench_regression.py --old prev/BENCH_service.json \
-        --new build/BENCH_service.json [--threshold 0.25]
+        --new build/BENCH_service.json [--threshold 0.25] \
+        [--history hist/service.json] [--window 10]
 
 The headline metric is auto-detected from the file shape:
   * BENCH_service.json -> warm-cache q/s of the widest thread sweep row
     (the 8-thread warm serving number the service optimizes for).
   * BENCH_shard.json   -> uncached Exact q/s at 4 shards.
+  * BENCH_kernels.json -> kernel-path AND q/s on the skewed microbench.
 
-A missing or unparsable baseline skips the gate (exit 0) -- the first run
-of a repository has nothing to compare against; the freshly uploaded
-artifact becomes the next run's baseline.
+A missing or unparsable baseline skips the single-step gate (exit 0) -- the
+first run of a repository has nothing to compare against; the freshly
+uploaded artifact becomes the next run's baseline.
+
+With --history, the headline value is appended to a rolling JSON artifact
+(trimmed to the last --window runs, current run included) and the gate
+additionally fails when the current value has drifted more than the
+threshold below the best value in the window. The updated history file is
+written back in place so CI can re-upload it as the next run's artifact.
 """
 
 import argparse
@@ -29,6 +39,9 @@ def headline(data):
             return None
         row = max(rows, key=lambda r: r.get("threads", 0))
         return ("warm-cache q/s at %d threads" % row["threads"], row["qps"])
+    if "kernel_and_skewed_qps" in data:
+        return ("kernel AND q/s on the skewed microbench",
+                data["kernel_and_skewed_qps"])
     if "sweep" in data:
         for row in data["sweep"]:
             if row.get("shards") == 4:
@@ -46,12 +59,83 @@ def load(path):
         return None
 
 
+def check_single_step(old_path, name, new_value, threshold):
+    """Previous-artifact gate; returns 1 on regression, else 0."""
+    old_data = load(old_path)
+    if old_data is None:
+        print(f"no baseline at {old_path}; skipping single-step gate "
+              "(this run's artifact becomes the baseline)")
+        return 0
+    old_metric = headline(old_data)
+    if old_metric is None:
+        print(f"baseline {old_path} has no recognizable metric; "
+              "skipping single-step gate")
+        return 0
+    _, old_value = old_metric
+    if old_value <= 0:
+        print(f"baseline {name} is {old_value}; skipping single-step gate")
+        return 0
+
+    change = (new_value - old_value) / old_value
+    floor = old_value * (1.0 - threshold)
+    print(f"{name}: previous {old_value:.1f} -> current {new_value:.1f} "
+          f"({change:+.1%}, floor {floor:.1f} at -{threshold:.0%})")
+    if new_value < floor:
+        print(f"FAIL: single-step regression beyond {threshold:.0%}")
+        return 1
+    print("OK: within single-step regression budget")
+    return 0
+
+
+def check_trajectory(history_path, name, new_value, threshold, window):
+    """Rolling-window gate: appends the run, trims to `window`, fails when
+    the current value drifted more than `threshold` below the window's
+    best. Returns 1 on cumulative regression, else 0."""
+    history = load(history_path)
+    if not isinstance(history, dict) or "runs" not in history:
+        history = {"metric": name, "runs": []}
+    runs = [r for r in history.get("runs", [])
+            if isinstance(r, dict) and isinstance(r.get("value"), (int, float))]
+    prior = runs[-(window - 1):] if window > 1 else []
+    runs = prior + [{"value": new_value}]
+    history["metric"] = name
+    history["runs"] = runs
+    try:
+        with open(history_path, "w", encoding="utf-8") as f:
+            json.dump(history, f, indent=2)
+            f.write("\n")
+    except OSError as e:
+        print(f"note: cannot write history {history_path}: {e}")
+
+    if len(runs) < 2:
+        print(f"trajectory: {len(runs)} run(s) recorded; gate needs 2+")
+        return 0
+    best = max(r["value"] for r in runs)
+    if best <= 0:
+        print("trajectory: window best is non-positive; skipping gate")
+        return 0
+    drift = (best - new_value) / best
+    print(f"trajectory: current {new_value:.1f} vs window best {best:.1f} "
+          f"over last {len(runs)} run(s) ({-drift:+.1%})")
+    if drift > threshold:
+        print(f"FAIL: cumulative drift beyond {threshold:.0%} "
+              f"over the {len(runs)}-run window")
+        return 1
+    print("OK: within trajectory budget")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--old", required=True, help="previous run's JSON")
     parser.add_argument("--new", required=True, help="this run's JSON")
     parser.add_argument("--threshold", type=float, default=0.25,
-                        help="max allowed fractional drop (default 0.25)")
+                        help="max allowed fractional drop (default 0.25), "
+                        "applied to both gates")
+    parser.add_argument("--history", default=None,
+                        help="rolling history JSON (appended in place)")
+    parser.add_argument("--window", type=int, default=10,
+                        help="runs kept in the history window (default 10)")
     args = parser.parse_args()
 
     new_data = load(args.new)
@@ -62,32 +146,13 @@ def main():
     if new_metric is None:
         print(f"FAIL: {args.new} has no recognizable headline metric")
         return 1
-
-    old_data = load(args.old)
-    if old_data is None:
-        print(f"no baseline at {args.old}; skipping gate "
-              "(this run's artifact becomes the baseline)")
-        return 0
-    old_metric = headline(old_data)
-    if old_metric is None:
-        print(f"baseline {args.old} has no recognizable metric; skipping gate")
-        return 0
-
     name, new_value = new_metric
-    _, old_value = old_metric
-    if old_value <= 0:
-        print(f"baseline {name} is {old_value}; skipping gate")
-        return 0
 
-    change = (new_value - old_value) / old_value
-    floor = old_value * (1.0 - args.threshold)
-    print(f"{name}: previous {old_value:.1f} -> current {new_value:.1f} "
-          f"({change:+.1%}, floor {floor:.1f} at -{args.threshold:.0%})")
-    if new_value < floor:
-        print(f"FAIL: regression beyond {args.threshold:.0%}")
-        return 1
-    print("OK: within regression budget")
-    return 0
+    status = check_single_step(args.old, name, new_value, args.threshold)
+    if args.history:
+        status |= check_trajectory(args.history, name, new_value,
+                                   args.threshold, max(args.window, 1))
+    return status
 
 
 if __name__ == "__main__":

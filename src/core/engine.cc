@@ -251,6 +251,23 @@ void MiningEngine::EnsureWordListsFor(std::span<const Query> queries) {
   EnsureWordLists(terms);
 }
 
+void MiningEngine::EnsureIdOrderedLists(std::span<const TermId> terms) {
+  EnsureWordLists(terms);
+  {
+    // Fast path: after the first build the cache usually exists, and the
+    // sharded scatter/fill rounds call this per shard per query -- an
+    // unconditional exclusive lock here would serialize them against
+    // every concurrent mine holding the shared lock.
+    std::shared_lock lock(sync_->lists_mu);
+    if (id_lists_ != nullptr) return;
+  }
+  std::unique_lock lock(sync_->lists_mu);
+  if (id_lists_ == nullptr) {
+    id_lists_ = std::make_unique<WordIdOrderedLists>(
+        WordIdOrderedLists::Build(*word_lists_, smj_fraction_));
+  }
+}
+
 void MiningEngine::InvalidateDerivedLists() {
   id_lists_.reset();
   disk_lists_.reset();
@@ -366,8 +383,16 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
         // updates -- without them SMJ could not stay exact (Section 4.5.1).
         WordIdOrderedLists bundle(smj_fraction_);
         for (TermId t : query.terms) {
-          bundle.Insert(t,
-                        effective.delta->OverlayIdOrdered(t, id_lists_->shared(t)));
+          const SharedWordList base = id_lists_->shared(t);
+          SharedWordList overlaid =
+              effective.delta->OverlayIdOrdered(t, base);
+          // The overlay returns the base pointer untouched when the term
+          // has no delta-only extras; reuse the cached SoA view then
+          // instead of re-packing the whole list per query.
+          SharedSoAList soa = overlaid == base && base != nullptr
+                                  ? id_lists_->shared_soa(t)
+                                  : nullptr;
+          bundle.Insert(t, std::move(overlaid), std::move(soa));
         }
         SmjMiner miner(bundle, dict_);
         result = miner.Mine(query, effective);

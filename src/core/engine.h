@@ -299,6 +299,13 @@ class MiningEngine {
   /// Ensures lists exist for every term of every query (harness helper).
   void EnsureWordListsFor(std::span<const Query> queries);
 
+  /// Ensures the id-ordered SMJ lists (and their SoA kernel views) exist
+  /// for these terms at the current construction fraction -- the same
+  /// structure an SMJ mine builds on first use. ShardedEngine's list
+  /// scatter/fill rounds call this so their kernels run on the cached
+  /// id-ordered lists instead of re-sorting score-ordered ones per query.
+  void EnsureIdOrderedLists(std::span<const TermId> terms);
+
   /// Rebuilds the SMJ id-ordered lists at this construction fraction
   /// (Section 4.4.1: a construction-time decision).
   void SetSmjFraction(double fraction);
@@ -321,6 +328,15 @@ class MiningEngine {
   /// Unsynchronized view of the lazily built word lists; see the class
   /// threading contract before reading this concurrently.
   const WordScoreLists& word_lists() const { return *word_lists_; }
+
+  /// The cached id-ordered SMJ lists at the current fraction, or nullptr
+  /// before any SMJ mine / EnsureIdOrderedLists call (and right after a
+  /// word-list merge or fraction change invalidates them). Read only
+  /// under WithSharedStructures, and re-check for null there: the caller
+  /// must fall back to the score-ordered lists when absent.
+  const WordIdOrderedLists* id_ordered_lists() const {
+    return id_lists_.get();
+  }
 
   /// Phrase posting index, built lazily (only the Simitsis baseline uses
   /// it). Not rebuild-safe: the reference is invalidated by Rebuild().

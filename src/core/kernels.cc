@@ -1,0 +1,82 @@
+#include "core/kernels.h"
+
+#include <algorithm>
+
+namespace phrasemine {
+namespace kernels {
+
+std::vector<uint32_t> IntersectSorted(
+    std::span<const std::vector<uint32_t>* const> lists) {
+  if (lists.empty()) return {};
+  std::vector<const std::vector<uint32_t>*> sorted(lists.begin(), lists.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint32_t> result = *sorted[0];
+  for (std::size_t i = 1; i < sorted.size() && !result.empty(); ++i) {
+    const std::vector<uint32_t>& other = *sorted[i];
+    const uint32_t* a = other.data();
+    const std::size_t n = other.size();
+    std::size_t pos = 0;
+    std::size_t out = 0;
+    for (const uint32_t d : result) {
+      pos = LowerBoundU32(a, n, pos, d);
+      if (pos >= n) break;
+      if (a[pos] == d) result[out++] = d;
+    }
+    result.resize(out);
+  }
+  return result;
+}
+
+std::vector<uint32_t> UnionSorted(
+    std::span<const std::vector<uint32_t>* const> lists) {
+  const std::size_t r = lists.size();
+  std::vector<std::size_t> pos(r, 0);
+  std::size_t total = 0;
+  for (const auto* l : lists) total += l->size();
+  std::vector<uint32_t> result;
+  result.reserve(total);
+  // K-way merge advancing every list carrying the minimum: inputs are
+  // unique, so the output is the sorted duplicate-free union -- exactly
+  // what the repeated pairwise std::set_union produced.
+  for (;;) {
+    uint32_t min_id = UINT32_MAX;
+    bool live = false;
+    for (std::size_t i = 0; i < r; ++i) {
+      if (pos[i] < lists[i]->size()) {
+        live = true;
+        min_id = std::min(min_id, (*lists[i])[pos[i]]);
+      }
+    }
+    if (!live) break;
+    result.push_back(min_id);
+    for (std::size_t i = 0; i < r; ++i) {
+      if (pos[i] < lists[i]->size() && (*lists[i])[pos[i]] == min_id) {
+        ++pos[i];
+      }
+    }
+  }
+  return result;
+}
+
+uint64_t GatherProbes(const SoABlockList& list,
+                      std::span<const PhraseId> sorted_probes,
+                      double* out_probs) {
+  uint64_t touched = 0;
+  std::size_t pos = 0;
+  const std::size_t n = list.size();
+  for (std::size_t i = 0; i < sorted_probes.size(); ++i) {
+    const PhraseId probe = sorted_probes[i];
+    pos = list.SkipTo(pos, probe);
+    if (pos >= n) {
+      for (; i < sorted_probes.size(); ++i) out_probs[i] = 0.0;
+      break;
+    }
+    ++touched;
+    out_probs[i] = list.ids()[pos] == probe ? list.probs()[pos] : 0.0;
+  }
+  return touched;
+}
+
+}  // namespace kernels
+}  // namespace phrasemine

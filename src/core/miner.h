@@ -58,12 +58,23 @@ struct MineResult {
   /// Total response time under the paper's simulation protocol.
   double TotalMs() const { return compute_ms + disk_ms; }
 
-  /// List entries consumed (NRA/SMJ) or forward-list entries touched (GM).
+  /// List entries consumed (NRA, scalar SMJ, OR-kernel SMJ) or landed on
+  /// (AND-kernel SMJ, whose galloping intersection skips entries -- the
+  /// skipped ones are the savings), or forward-list entries touched (GM).
   uint64_t entries_read = 0;
+  /// Candidates the sharded threshold-exchange round dropped before the
+  /// fill round because they were provably below the global k-th bound
+  /// (see ShardedEngine); 0 for single-engine mines.
+  uint64_t candidates_pruned = 0;
   /// Average fraction of the query's lists traversed before stopping
   /// (Figure 11 metric); 1.0 when the algorithm always reads whole inputs.
   double lists_traversed_fraction = 1.0;
-  /// Peak candidate-set size |C| (NRA/SMJ bookkeeping).
+  /// Peak candidate-set size |C| (NRA/SMJ bookkeeping). Like
+  /// entries_read, the AND-kernel SMJ path reports only the phrases its
+  /// galloping intersection actually examined (the survivors), where the
+  /// scalar merge counts every distinct id in the lists' union -- the
+  /// gap is the work the kernel skipped, so the two paths' values are
+  /// not comparable on AND queries.
   std::size_t peak_candidates = 0;
   /// Number of documents in the materialized sub-collection, when the
   /// algorithm materializes one (exact/GM/Simitsis); 0 otherwise.
@@ -102,6 +113,12 @@ struct MineOptions {
   /// SMJ adjust each list entry's conditional probability with the delta
   /// before aggregation.
   const DeltaIndex* delta = nullptr;
+  /// Routes SMJ through the SoA merge kernels (core/kernels.h). The
+  /// kernel and scalar paths are bitwise identical in ranked output (the
+  /// differential tests prove it, delta overlays included); the scalar
+  /// path exists as the reference those tests pit the kernels against and
+  /// as the portable fallback. Leave this on outside of such tests.
+  bool use_kernels = true;
   /// Interestingness formulation for the count-based miners (Exact, GM,
   /// Simitsis). The list-based methods (NRA/SMJ) are derived from the
   /// normalized-frequency measure and ignore this; extending the

@@ -206,7 +206,7 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
     if (candidate_upper(kv.second) == kMinusInfinity) continue;  // score 0
     ranked.push_back(&kv);
   }
-  std::sort(ranked.begin(), ranked.end(), [&](const auto* a, const auto* b) {
+  const auto rank_order = [&](const auto* a, const auto* b) {
     const double ua = candidate_upper(a->second);
     const double ub = candidate_upper(b->second);
     if (ua != ub) return ua > ub;
@@ -214,8 +214,18 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
     const double lb = candidate_lower(b->second);
     if (la != lb) return la > lb;
     return a->first < b->first;
-  });
-  if (ranked.size() > options.k) ranked.resize(options.k);
+  };
+  // Only the top k are returned, so a heap-select beats fully sorting the
+  // surviving candidate set; the id tie-break makes rank_order a strict
+  // total order, so the selected prefix is identical to a full sort's.
+  if (ranked.size() > options.k) {
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(options.k),
+                      ranked.end(), rank_order);
+    ranked.resize(options.k);
+  } else {
+    std::sort(ranked.begin(), ranked.end(), rank_order);
+  }
   for (const auto* kv : ranked) {
     const double upper = candidate_upper(kv->second);
     result.phrases.push_back(MinedPhrase{

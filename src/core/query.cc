@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/kernels.h"
+
 namespace phrasemine {
 
 const char* QueryOperatorName(QueryOperator op) {
@@ -43,10 +45,13 @@ std::vector<DocId> EvalSubCollection(const Query& query,
   for (TermId t : query.terms) {
     lists.push_back(&inverted.docs(t));
   }
+  // The galloping/merge kernels produce exactly InvertedIndex::
+  // Intersect/Union's sorted unique output (the kernel property test
+  // pits them against each other); those remain the scalar reference.
   if (query.op == QueryOperator::kAnd) {
-    return InvertedIndex::Intersect(lists);
+    return kernels::IntersectSorted(lists);
   }
-  return InvertedIndex::Union(lists);
+  return kernels::UnionSorted(lists);
 }
 
 }  // namespace phrasemine

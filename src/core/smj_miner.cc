@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "core/delta_index.h"
 #include "core/exact_miner.h"
+#include "core/kernels.h"
 
 namespace phrasemine {
 
@@ -16,6 +17,82 @@ SmjMiner::SmjMiner(const WordIdOrderedLists& lists,
 
 MineResult SmjMiner::Mine(const Query& query, const MineOptions& options) {
   PM_CHECK_MSG(query.terms.size() <= 32, "SMJ supports up to 32 query terms");
+  if (options.use_kernels) return MineKernel(query, options);
+  return MineScalar(query, options);
+}
+
+/// Kernel path: the SoA merge kernels emit each candidate phrase with its
+/// per-term probability vector (list order), and this function applies
+/// exactly the scalar path's delta adjustment and scoring to it -- same
+/// AndScore/OrScore calls on the same values in the same order, so the
+/// ranked output is bitwise identical (the differential tests enforce it).
+MineResult SmjMiner::MineKernel(const Query& query,
+                                const MineOptions& options) {
+  MineResult result;
+  StopWatch watch;
+
+  const QueryOperator op = query.op;
+  const std::size_t r = query.terms.size();
+  static const SoABlockList kEmptyList;  // terms without a stored list
+  std::array<const SoABlockList*, kernels::kMaxLists> lists;
+  for (std::size_t i = 0; i < r; ++i) {
+    const SoABlockList* soa = lists_.soa(query.terms[i]);
+    lists[i] = soa != nullptr ? soa : &kEmptyList;
+  }
+  const std::span<const SoABlockList* const> span(lists.data(), r);
+
+  TopKCollector collector(options.k);
+  std::array<double, kernels::kMaxLists> adjusted;
+  std::size_t distinct = 0;
+  const DeltaIndex* delta = options.delta;
+
+  // The overlay is applied per present entry, exactly as the scalar merge
+  // does; absent terms contribute 0.0 without consulting it (an absent
+  // (term, phrase) pair has no base count and no positive co-delta -- a
+  // positive delta would have put it in the overlay's extra entries).
+  auto adjust = [&](PhraseId id, const double* probs,
+                    uint32_t mask) -> const double* {
+    if (delta == nullptr) return probs;
+    for (std::size_t i = 0; i < r; ++i) {
+      adjusted[i] = (mask & (1u << i)) != 0
+                        ? delta->AdjustedProb(query.terms[i], id, probs[i])
+                        : 0.0;
+    }
+    return adjusted.data();
+  };
+
+  if (op == QueryOperator::kAnd) {
+    result.entries_read = kernels::GallopingAndJoin(
+        span, [&](PhraseId id, const double* probs, uint32_t mask) {
+          ++distinct;
+          const double* p = adjust(id, probs, mask);
+          const double score = AndScore(std::span<const double>(p, r));
+          if (score == kMinusInfinity) return;
+          collector.Offer(id, score, ScoreToInterestingness(score, op));
+        });
+  } else {
+    result.entries_read = kernels::BlockOrMerge(
+        span, [&](PhraseId id, const double* probs, uint32_t mask) {
+          ++distinct;
+          const double* p = adjust(id, probs, mask);
+          const double score =
+              OrScore(std::span<const double>(p, r), options.or_order);
+          if (score <= 0.0) return;
+          collector.Offer(id, score, ScoreToInterestingness(score, op));
+        });
+  }
+
+  result.peak_candidates = distinct;
+  result.phrases = collector.Take();
+  result.compute_ms = watch.ElapsedMillis();
+  return result;
+}
+
+/// Scalar reference path: the textbook one-entry-at-a-time k-way merge of
+/// Algorithm 2, kept verbatim as the ground truth the kernel path is
+/// differentially tested against.
+MineResult SmjMiner::MineScalar(const Query& query,
+                                const MineOptions& options) {
   MineResult result;
   StopWatch watch;
 

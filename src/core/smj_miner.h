@@ -12,11 +12,18 @@ namespace phrasemine {
 /// sorted by the join attribute (the phrase id), a single k-way merge
 /// visits each phrase exactly once with all of its per-list probabilities
 /// together, so scores are computed on the fly and only a k-sized heap is
-/// kept. SMJ must scan every list to completion -- there is no early
-/// termination -- which is why the paper recommends it for short (strongly
-/// truncated) lists and NRA for long ones. The partial-list fraction is
-/// fixed at WordIdOrderedLists construction time; MineOptions::list_fraction
-/// is ignored here.
+/// kept. SMJ must scan every list to completion for OR queries -- there is
+/// no early termination -- which is why the paper recommends it for short
+/// (strongly truncated) lists and NRA for long ones. The partial-list
+/// fraction is fixed at WordIdOrderedLists construction time;
+/// MineOptions::list_fraction is ignored here.
+///
+/// Two implementations share the scoring and tie-break logic bit for bit:
+/// the default kernel path runs on the lists' SoA block views
+/// (core/kernels.h) -- a galloping intersection for AND that skips from
+/// the shortest list via the block headers, a block-at-a-time merge for
+/// OR -- and the scalar path is the textbook entry-at-a-time merge, kept
+/// as the differential-test reference (MineOptions::use_kernels).
 class SmjMiner : public Miner {
  public:
   SmjMiner(const WordIdOrderedLists& lists, const PhraseDictionary& dict);
@@ -25,6 +32,9 @@ class SmjMiner : public Miner {
   std::string_view name() const override { return "SMJ"; }
 
  private:
+  MineResult MineKernel(const Query& query, const MineOptions& options);
+  MineResult MineScalar(const Query& query, const MineOptions& options);
+
   const WordIdOrderedLists& lists_;
   const PhraseDictionary& dict_;
 };

@@ -1,0 +1,43 @@
+#ifndef PHRASEMINE_INDEX_LIST_ENTRY_H_
+#define PHRASEMINE_INDEX_LIST_ENTRY_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "text/types.h"
+
+namespace phrasemine {
+
+/// One [phraseid, prob] pair of a word-specific list (Figure 2). `prob`
+/// holds P(q|p) = |docs(q) ∩ docs(p)| / |docs(p)| (Eq. 13).
+struct ListEntry {
+  PhraseId phrase;
+  double prob;
+};
+
+/// Packed on-disk entry size: 4-byte id + 8-byte double, the figure the
+/// paper's Section 5.7 index-size accounting uses and the unit
+/// SimulatedDisk charges per entry. This is NOT sizeof(ListEntry): in
+/// memory the struct pads the id to alignof(double), so a resident AoS
+/// list costs kListEntryInMemoryBytes per entry (the SoA kernel layout
+/// packs ids and probs into separate arrays and pays exactly the packed
+/// figure instead). table5_index_sizes reports both so the paper-figure
+/// reproduction does not under-count RAM.
+inline constexpr std::size_t kListEntryBytes = 12;
+
+/// Resident AoS entry size (padded).
+inline constexpr std::size_t kListEntryInMemoryBytes = sizeof(ListEntry);
+
+static_assert(sizeof(ListEntry) == 16,
+              "ListEntry pads to 16 bytes in memory; kListEntryBytes (12) is "
+              "deliberately the packed on-disk figure, not sizeof");
+
+/// A word-specific list held by shared ownership. Lists are immutable once
+/// built, so one physical list can back an engine's lazy index, a service
+/// cache entry, and a per-query bundle simultaneously without copying.
+using SharedWordList = std::shared_ptr<const std::vector<ListEntry>>;
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_INDEX_LIST_ENTRY_H_

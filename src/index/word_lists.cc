@@ -113,14 +113,22 @@ std::size_t WordScoreLists::TotalEntries() const {
   return total;
 }
 
-std::size_t WordScoreLists::SizeBytes(double fraction) const {
+std::size_t WordScoreLists::EntriesAt(double fraction) const {
   fraction = std::clamp(fraction, 0.0, 1.0);
   std::size_t total = 0;
   for (const auto& [term, list] : lists_) {
     total += static_cast<std::size_t>(
         std::ceil(fraction * static_cast<double>(list->size())));
   }
-  return total * kListEntryBytes;
+  return total;
+}
+
+std::size_t WordScoreLists::SizeBytes(double fraction) const {
+  return EntriesAt(fraction) * kListEntryBytes;
+}
+
+std::size_t WordScoreLists::InMemoryBytes(double fraction) const {
+  return EntriesAt(fraction) * kListEntryInMemoryBytes;
 }
 
 void WordScoreLists::Merge(WordScoreLists&& other) {
@@ -182,8 +190,7 @@ WordIdOrderedLists WordIdOrderedLists::Build(const WordScoreLists& score_lists,
   WordIdOrderedLists result;
   result.fraction_ = std::clamp(fraction, 0.0, 1.0);
   for (TermId t : score_lists.Terms()) {
-    result.lists_.emplace(
-        t, IdOrderPrefix(score_lists.Partial(t, result.fraction_)));
+    result.Insert(t, IdOrderPrefix(score_lists.Partial(t, result.fraction_)));
   }
   return result;
 }
@@ -213,23 +220,40 @@ SharedWordList WordIdOrderedLists::MergeById(std::span<const ListEntry> base,
 std::span<const ListEntry> WordIdOrderedLists::list(TermId term) const {
   auto it = lists_.find(term);
   if (it == lists_.end()) return {};
-  return *it->second;
+  return *it->second.entries;
 }
 
 SharedWordList WordIdOrderedLists::shared(TermId term) const {
   auto it = lists_.find(term);
   if (it == lists_.end()) return nullptr;
-  return it->second;
+  return it->second.entries;
 }
 
-void WordIdOrderedLists::Insert(TermId term, SharedWordList list) {
+const SoABlockList* WordIdOrderedLists::soa(TermId term) const {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) return nullptr;
+  return it->second.soa.get();
+}
+
+SharedSoAList WordIdOrderedLists::shared_soa(TermId term) const {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) return nullptr;
+  return it->second.soa;
+}
+
+void WordIdOrderedLists::Insert(TermId term, SharedWordList list,
+                                SharedSoAList soa) {
   PM_CHECK_MSG(list != nullptr, "Insert requires a non-null list");
-  lists_.try_emplace(term, std::move(list));
+  if (soa == nullptr) {
+    soa = std::make_shared<const SoABlockList>(
+        SoABlockList::FromIdOrdered(std::span<const ListEntry>(*list)));
+  }
+  lists_.try_emplace(term, Stored{std::move(list), std::move(soa)});
 }
 
 std::size_t WordIdOrderedLists::TotalEntries() const {
   std::size_t total = 0;
-  for (const auto& [term, list] : lists_) total += list->size();
+  for (const auto& [term, stored] : lists_) total += stored.entries->size();
   return total;
 }
 

@@ -11,26 +11,12 @@
 #include "common/status.h"
 #include "index/forward_index.h"
 #include "index/inverted_index.h"
+#include "index/list_entry.h"
+#include "index/soa_list.h"
 #include "phrase/phrase_dictionary.h"
 #include "text/types.h"
 
 namespace phrasemine {
-
-/// One [phraseid, prob] pair of a word-specific list (Figure 2). `prob`
-/// holds P(q|p) = |docs(q) ∩ docs(p)| / |docs(p)| (Eq. 13). Entry size is
-/// 12 bytes (4 id + 8 double), the figure used for the paper's index-size
-/// accounting in Section 5.7.
-struct ListEntry {
-  PhraseId phrase;
-  double prob;
-};
-
-inline constexpr std::size_t kListEntryBytes = 12;
-
-/// A word-specific list held by shared ownership. Lists are immutable once
-/// built, so one physical list can back an engine's lazy index, a service
-/// cache entry, and a per-query bundle simultaneously without copying.
-using SharedWordList = std::shared_ptr<const std::vector<ListEntry>>;
 
 /// Word-specific phrase lists sorted by non-increasing P(q|p), ties broken
 /// by increasing phrase id (Section 4.2.2). Zero-probability phrases are
@@ -97,9 +83,13 @@ class WordScoreLists {
   /// Total entries across all lists.
   std::size_t TotalEntries() const;
 
-  /// Index size in bytes at 12 bytes/entry (Section 5.7 accounting),
-  /// scaled by the partial-list fraction.
+  /// Index size in bytes at the packed 12 bytes/entry (Section 5.7
+  /// accounting), scaled by the partial-list fraction.
   std::size_t SizeBytes(double fraction = 1.0) const;
+
+  /// Resident index size at sizeof(ListEntry) bytes/entry -- what the AoS
+  /// lists actually occupy in RAM (see kListEntryInMemoryBytes).
+  std::size_t InMemoryBytes(double fraction = 1.0) const;
 
   /// Terms that have lists, in unspecified order.
   std::vector<TermId> Terms() const;
@@ -115,6 +105,10 @@ class WordScoreLists {
   static Result<WordScoreLists> Deserialize(BinaryReader* reader);
 
  private:
+  /// Entries across all lists at a partial fraction (ceil per list), the
+  /// shared truncation rule behind both byte accountings.
+  std::size_t EntriesAt(double fraction) const;
+
   std::unordered_map<TermId, SharedWordList> lists_;
 };
 
@@ -124,6 +118,12 @@ class WordScoreLists {
 /// list is taken first and then re-sorted by id, so a different fraction
 /// requires rebuilding -- exactly the run-time/construction-time asymmetry
 /// the paper contrasts between NRA and SMJ.
+///
+/// Every inserted list also carries a packed SoA block view (SoABlockList,
+/// core/kernels.h): contiguous id and prob arrays with per-block max-id
+/// skip headers. The merge kernels run on that view; the AoS entry run
+/// stays the canonical representation for overlay assembly and the scalar
+/// reference path.
 ///
 /// Threading: same contract as WordScoreLists -- const reads are safe
 /// concurrently, mutations require exclusive access.
@@ -165,15 +165,33 @@ class WordIdOrderedLists {
   /// Shared handle to a term's list; nullptr if absent.
   SharedWordList shared(TermId term) const;
 
-  /// Adds a prebuilt id-ordered list; keeps any existing list for the term.
-  void Insert(TermId term, SharedWordList list);
+  /// Packed SoA block view of a term's list (built at Insert time);
+  /// nullptr if the term has no list. Valid as long as the container (the
+  /// view is shared-owned alongside the AoS run).
+  const SoABlockList* soa(TermId term) const;
+
+  /// Shared handle to a term's SoA view; nullptr if absent. Pass it to
+  /// another container's Insert to share the view instead of rebuilding
+  /// it (per-query bundles assembled from cached lists).
+  SharedSoAList shared_soa(TermId term) const;
+
+  /// Adds a prebuilt id-ordered list; keeps any existing list for the
+  /// term. When `soa` is null the SoA view is built here (an O(list)
+  /// copy); pass the list's already-built view to make insertion O(1) --
+  /// the per-query bundle paths do, so a bundle never re-packs a list the
+  /// engine or service already packed.
+  void Insert(TermId term, SharedWordList list, SharedSoAList soa = nullptr);
 
   double fraction() const { return fraction_; }
   std::size_t TotalEntries() const;
 
  private:
+  struct Stored {
+    SharedWordList entries;
+    SharedSoAList soa;
+  };
   double fraction_ = 1.0;
-  std::unordered_map<TermId, SharedWordList> lists_;
+  std::unordered_map<TermId, Stored> lists_;
 };
 
 }  // namespace phrasemine

@@ -102,9 +102,9 @@ PhraseService::PhraseService(MiningEngine* engine,
                [this](TermId term) -> std::optional<std::size_t> {
                  if (!options_.enable_word_list_cache) return std::nullopt;
                  const uint64_t generation = engine_->list_generation();
-                 if (auto list =
+                 if (auto entry =
                          word_list_cache_.Peek(ScoreListKey(term, generation))) {
-                   return (*list)->size();
+                   return entry->list->size();
                  }
                  return std::nullopt;
                }),
@@ -368,18 +368,26 @@ MineResult PhraseService::Run(const Query& canonical, Algorithm algorithm,
       } else {
         WordIdOrderedLists bundle(smj_fraction_);
         for (TermId t : canonical.terms) {
-          SharedWordList base = GetOrBuildIdList(t, snap.generation);
-          if (base == nullptr) {
+          CachedWordList cached = GetOrBuildIdList(t, snap.generation);
+          if (cached.list == nullptr) {
             stale = true;
             break;
           }
+          SharedWordList base = cached.list;
+          SharedSoAList soa = std::move(cached.soa);
           if (effective.delta != nullptr) {
             // Overlay phrases whose co-occurrence with t became positive
             // purely through updates; without them SMJ loses its
-            // exactness guarantee under inserts (Section 4.5.1).
-            base = effective.delta->OverlayIdOrdered(t, std::move(base));
+            // exactness guarantee under inserts (Section 4.5.1). When the
+            // overlay returns the base pointer untouched (no extras for
+            // this term) the cached SoA view stays valid; otherwise the
+            // bundle re-packs the overlaid run.
+            SharedWordList overlaid =
+                effective.delta->OverlayIdOrdered(t, base);
+            if (overlaid != base) soa = nullptr;
+            base = std::move(overlaid);
           }
-          bundle.Insert(t, std::move(base));
+          bundle.Insert(t, std::move(base), std::move(soa));
         }
         if (!stale) {
           SmjMiner miner(bundle, engine_->dict());
@@ -406,7 +414,7 @@ MineResult PhraseService::Run(const Query& canonical, Algorithm algorithm,
 SharedWordList PhraseService::GetOrBuildScoreList(TermId term,
                                                   uint64_t generation) {
   const uint64_t key = ScoreListKey(term, generation);
-  if (auto cached = word_list_cache_.Get(key)) return *cached;
+  if (auto cached = word_list_cache_.Get(key)) return cached->list;
   // Two threads racing on the same cold term both build; the lists are
   // identical by construction, so the second Put is a harmless refresh.
   // The shared structure lock keeps a concurrent rebuild from swapping
@@ -422,23 +430,31 @@ SharedWordList PhraseService::GetOrBuildScoreList(TermId term,
                                         term);
       });
   if (list == nullptr) return nullptr;
-  word_list_cache_.Put(key, list, list->size() * kListEntryBytes + 64);
+  word_list_cache_.Put(key, CachedWordList{list, nullptr},
+                       list->size() * kListEntryBytes + 64);
   return list;
 }
 
-SharedWordList PhraseService::GetOrBuildIdList(TermId term,
-                                               uint64_t generation) {
+PhraseService::CachedWordList PhraseService::GetOrBuildIdList(
+    TermId term, uint64_t generation) {
   const uint64_t key = IdListKey(term, generation);
   if (auto cached = word_list_cache_.Get(key)) return *cached;
   SharedWordList score = GetOrBuildScoreList(term, generation);
-  if (score == nullptr) return nullptr;  // stale generation: caller retries
+  if (score == nullptr) return {};  // stale generation: caller retries
   const double fraction = std::clamp(smj_fraction_, 0.0, 1.0);
   const std::size_t prefix_len = static_cast<std::size_t>(
       std::ceil(fraction * static_cast<double>(score->size())));
   SharedWordList id_list = WordIdOrderedLists::IdOrderPrefix(
       std::span<const ListEntry>(*score).subspan(0, prefix_len));
-  word_list_cache_.Put(key, id_list, id_list->size() * kListEntryBytes + 64);
-  return id_list;
+  // The SoA kernel view is built once here and shared into every SMJ
+  // bundle that hits this cache entry.
+  auto soa = std::make_shared<const SoABlockList>(
+      SoABlockList::FromIdOrdered(std::span<const ListEntry>(*id_list)));
+  const CachedWordList entry{std::move(id_list), std::move(soa)};
+  word_list_cache_.Put(key, entry,
+                       entry.list->size() * kListEntryBytes +
+                           entry.soa->MemoryBytes() + 64);
+  return entry;
 }
 
 UpdateStats PhraseService::Ingest(UpdateDoc doc) {

@@ -237,8 +237,18 @@ class PhraseService {
   /// mid-request.
   MineResult Run(const Query& canonical, Algorithm algorithm,
                  const MineOptions& options, EpochDelta snap);
+  /// One word-list cache entry: the shared AoS run plus, for id-ordered
+  /// lists, the shared SoA kernel view built alongside it -- cached
+  /// together so per-query SMJ bundles reuse the packed view instead of
+  /// re-packing the list on every request. `soa` is null for score lists
+  /// (NRA consumes the AoS run directly).
+  struct CachedWordList {
+    SharedWordList list;
+    SharedSoAList soa;
+  };
+
   SharedWordList GetOrBuildScoreList(TermId term, uint64_t generation);
-  SharedWordList GetOrBuildIdList(TermId term, uint64_t generation);
+  CachedWordList GetOrBuildIdList(TermId term, uint64_t generation);
   /// `shard_flags` is the per-shard rebuild recommendation vector on the
   /// sharded path (only flagged shards rebuild); empty rebuilds the
   /// single engine.
@@ -258,7 +268,7 @@ class PhraseService {
   CostPlanner planner_;
   ShardedLruCache<std::string, std::shared_ptr<const CachedResult>>
       result_cache_;
-  ShardedLruCache<uint64_t, SharedWordList> word_list_cache_;
+  ShardedLruCache<uint64_t, CachedWordList> word_list_cache_;
 
   mutable std::mutex stats_mu_;
   uint64_t queries_ = 0;

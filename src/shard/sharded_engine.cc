@@ -12,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "core/delta_index.h"
 #include "core/interestingness.h"
+#include "core/kernels.h"
 #include "core/scoring.h"
 #include "index/word_lists.h"
 #include "phrase/phrase_extractor.h"
@@ -201,7 +202,7 @@ bool ListScatter(MiningEngine& engine, const Query& query,
                  Algorithm algorithm, const EpochDelta& snap,
                  ShardScatter* out) {
   const std::size_t r = query.terms.size();
-  engine.EnsureWordLists(query.terms);
+  engine.EnsureIdOrderedLists(query.terms);  // includes the score lists
   const DeltaIndex* delta = PendingDelta(snap);
   *out = ShardScatter{};
   out->epoch = snap.epoch;
@@ -214,29 +215,50 @@ bool ListScatter(MiningEngine& engine, const Query& query,
     }
     out->num_docs = engine.forward().num_docs();
     std::unordered_map<PhraseId, std::size_t> slot;
-    auto fold = [&](std::size_t term_index, const ListEntry& entry) {
+    auto fold = [&](std::size_t term_index, PhraseId phrase, double prob) {
       const TermId t = query.terms[term_index];
-      const uint32_t base_df = engine.dict().df(entry.phrase);
-      const uint32_t df_adj = AdjustedDf(base_df, entry.phrase, delta);
-      const uint32_t codf = AdjustedCodf(entry.prob, base_df, t,
-                                         entry.phrase, delta, df_adj);
+      const uint32_t base_df = engine.dict().df(phrase);
+      const uint32_t df_adj = AdjustedDf(base_df, phrase, delta);
+      const uint32_t codf =
+          AdjustedCodf(prob, base_df, t, phrase, delta, df_adj);
       ++out->entries_read;
       if (codf == 0) return;
-      auto [it, inserted] = slot.try_emplace(entry.phrase,
-                                             out->candidates.size());
+      auto [it, inserted] = slot.try_emplace(phrase, out->candidates.size());
       if (inserted) {
         ShardCandidate cand;
-        cand.phrase = entry.phrase;
+        cand.phrase = phrase;
         cand.df = df_adj;
         cand.codf.assign(r, 0);
         out->candidates.push_back(std::move(cand));
       }
       out->candidates[it->second].codf[term_index] = codf;
     };
+    // The engine's cached id-ordered lists carry the SoA views the fold
+    // streams over (contiguous id/prob arrays), and double as the
+    // pre-sorted base the delta extras merge against -- no per-query
+    // re-sort. Only a full-fraction cache is usable (sharded SMJ merges
+    // full lists); the score-ordered scan below is the fallback when a
+    // concurrent invalidation or a truncated fraction removed it.
+    const WordIdOrderedLists* idl = engine.id_ordered_lists();
+    const bool use_idl = idl != nullptr && idl->fraction() >= 1.0;
     for (std::size_t i = 0; i < r; ++i) {
-      const SharedWordList base =
-          engine.word_lists().shared(query.terms[i]);
-      for (const ListEntry& entry : *base) fold(i, entry);
+      const TermId t = query.terms[i];
+      if (use_idl && idl->Has(t)) {
+        const SoABlockList* soa = idl->soa(t);
+        const PhraseId* ids = soa->ids();
+        const double* probs = soa->probs();
+        const std::size_t len = soa->size();
+        for (std::size_t k = 0; k < len; ++k) fold(i, ids[k], probs[k]);
+        if (delta != nullptr) {
+          for (const ListEntry& extra :
+               delta->ExtraIdOrderedEntries(t, idl->list(t))) {
+            fold(i, extra.phrase, extra.prob);
+          }
+        }
+        continue;
+      }
+      const SharedWordList base = engine.word_lists().shared(t);
+      for (const ListEntry& entry : *base) fold(i, entry.phrase, entry.prob);
       if (delta != nullptr) {
         // Pairs whose co-occurrence became positive purely through
         // updates are absent from the stored list; enumerate them the
@@ -244,8 +266,8 @@ bool ListScatter(MiningEngine& engine, const Query& query,
         const SharedWordList id_base = WordIdOrderedLists::IdOrderPrefix(
             std::span<const ListEntry>(*base));
         for (const ListEntry& extra : delta->ExtraIdOrderedEntries(
-                 query.terms[i], std::span<const ListEntry>(*id_base))) {
-          fold(i, extra);
+                 t, std::span<const ListEntry>(*id_base))) {
+          fold(i, extra.phrase, extra.prob);
         }
       }
     }
@@ -329,7 +351,7 @@ bool ListFill(MiningEngine& engine, const Query& query,
               std::span<const uint8_t> need, bool need_codf,
               const EpochDelta& snap, std::vector<PartialSupport>* out) {
   const std::size_t r = query.terms.size();
-  if (need_codf) engine.EnsureWordLists(query.terms);
+  if (need_codf) engine.EnsureIdOrderedLists(query.terms);
   const DeltaIndex* delta = PendingDelta(snap);
   out->assign(cands.size(), PartialSupport{});
   return engine.WithSharedStructures([&]() -> bool {
@@ -339,18 +361,62 @@ bool ListFill(MiningEngine& engine, const Query& query,
         if (!engine.word_lists().Has(t)) return false;
       }
     }
-    std::unordered_map<PhraseId, std::size_t> slot;
     for (std::size_t i = 0; i < cands.size(); ++i) {
       if (!need[i]) continue;
       const PhraseId p = cands[i].phrase;
       if (p >= engine.dict().size()) continue;
       (*out)[i].df = AdjustedDf(engine.dict().df(p), p, delta);
-      if (need_codf) {
-        (*out)[i].codf.assign(r, 0);
-        slot.emplace(p, i);
-      }
+      if (need_codf) (*out)[i].codf.assign(r, 0);
     }
     if (!need_codf) return true;
+
+    const WordIdOrderedLists* idl = engine.id_ordered_lists();
+    bool use_idl = idl != nullptr && idl->fraction() >= 1.0;
+    if (use_idl) {
+      for (TermId t : query.terms) use_idl = use_idl && idl->Has(t);
+    }
+    if (use_idl) {
+      // Kernel path: one galloping pass per term over the id-ordered SoA
+      // list gathers every needed candidate's stored probability (0.0
+      // when absent). AdjustedCodf on a 0.0 base recovers exactly the
+      // delta-only count the scan path computes for absent candidates,
+      // so the two paths produce identical supports.
+      std::vector<std::pair<PhraseId, std::size_t>> probes;
+      probes.reserve(cands.size());
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (!need[i]) continue;
+        if (cands[i].phrase >= engine.dict().size()) continue;
+        probes.emplace_back(cands[i].phrase, i);
+      }
+      std::sort(probes.begin(), probes.end());
+      std::vector<PhraseId> probe_ids(probes.size());
+      for (std::size_t m = 0; m < probes.size(); ++m) {
+        probe_ids[m] = probes[m].first;
+      }
+      std::vector<double> gathered(probes.size());
+      for (std::size_t j = 0; j < r; ++j) {
+        const TermId t = query.terms[j];
+        kernels::GatherProbes(*idl->soa(t), probe_ids, gathered.data());
+        for (std::size_t m = 0; m < probes.size(); ++m) {
+          const std::size_t i = probes[m].second;
+          const PhraseId p = probes[m].first;
+          const uint32_t base_df = engine.dict().df(p);
+          (*out)[i].codf[j] = AdjustedCodf(gathered[m], base_df, t, p, delta,
+                                           (*out)[i].df);
+        }
+      }
+      return true;
+    }
+
+    // Fallback scan over the score-ordered lists (truncated id-list cache
+    // or a concurrent invalidation), the pre-kernel reference path.
+    std::unordered_map<PhraseId, std::size_t> slot;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (!need[i]) continue;
+      const PhraseId p = cands[i].phrase;
+      if (p >= engine.dict().size()) continue;
+      slot.emplace(p, i);
+    }
     std::vector<uint8_t> in_base(cands.size());
     for (std::size_t j = 0; j < r; ++j) {
       const TermId t = query.terms[j];
@@ -596,19 +662,134 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     // stale-retry paths below, which re-enter this block).
     for (const GlobalCandidate& gc : cands) slot_of[gc.phrase] = kNoSlot;
 
+    // --- Totals --------------------------------------------------------------
+    // |D| is always scatter-complete; |D'| is too on every path except
+    // the count top-k' one, whose sub-collections are counted in the fill
+    // round and added below.
+    std::size_t total_docs = 0;
+    std::size_t total_subcollection = 0;
+    for (const ShardScatter& s : scatter) {
+      total_docs += s.num_docs;
+      if (!(IsTopKMode(mode) && IsCountMode(mode))) {
+        total_subcollection += s.subcollection;
+      }
+    }
+
+    // Global score of one candidate's summed supports -- the single
+    // implementation both the final gather and the threshold round use,
+    // so a "settled" candidate's threshold score is bitwise the score the
+    // gather would compute. Returns false when the candidate can never
+    // appear in a result (no subset occurrence / missing AND term /
+    // non-positive OR score).
+    std::vector<double> probs(r);
+    auto evaluate = [&](const GlobalCandidate& gc, double* score,
+                        double* interestingness) -> bool {
+      if (IsCountMode(mode)) {
+        if (gc.freq_subset == 0) return false;
+        *score = EvaluateInterestingness(
+            options.measure, static_cast<uint32_t>(gc.freq_subset),
+            static_cast<uint32_t>(gc.df), total_subcollection, total_docs);
+        *interestingness = *score;
+        return true;
+      }
+      bool all_present = true;
+      for (std::size_t j = 0; j < r; ++j) {
+        if (gc.codf[j] == 0) all_present = false;
+        // The monolithic list stores count / df in double; the same
+        // division over the summed integers reproduces it bitwise.
+        probs[j] = gc.df == 0 ? 0.0
+                              : static_cast<double>(gc.codf[j]) /
+                                    static_cast<double>(gc.df);
+      }
+      if (query.op == QueryOperator::kAnd) {
+        if (!all_present) return false;
+        *score = AndScore(probs);
+        if (*score == kMinusInfinity) return false;
+      } else {
+        *score = OrScore(probs, options.or_order);
+        if (*score <= 0.0) return false;
+      }
+      *interestingness = ScoreToInterestingness(*score, query.op);
+      return true;
+    };
+
+    // --- Threshold exchange (exhaustive merges) ------------------------------
+    // The exhaustive scatter already carries complete freq/codf sums for
+    // every candidate; the fill round can only add df, and every
+    // supported score is non-increasing in df, so a candidate's score
+    // over the scatter sums is an upper bound on its final score. The
+    // shards' exchanged supports also settle every candidate reported by
+    // all of them (nothing left to fill), making those scores exact; the
+    // k-th best settled score is a lower bound on the global k-th result
+    // score. Candidates provably below it -- and candidates that can
+    // never qualify at all (a missing AND term is already final) -- skip
+    // the fill round entirely. The ranked output is bitwise unchanged.
+    std::vector<uint8_t> pruned;
+    uint64_t pruned_count = 0;
+    const bool df_monotone =
+        IsCountMode(mode) || query.op == QueryOperator::kAnd ||
+        options.or_order != OrExpansionOrder::kSecondOrder;
+    if (options_.threshold_exchange && !IsTopKMode(mode) && df_monotone &&
+        options.k > 0 && cands.size() > options.k) {
+      pruned.assign(cands.size(), 0);
+      struct Settled {
+        double score;
+        PhraseId phrase;
+      };
+      std::vector<Settled> settled;
+      std::vector<double> upper(cands.size(), 0.0);
+      std::vector<uint8_t> alive(cands.size(), 0);
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        double score, interest;
+        if (!evaluate(cands[i], &score, &interest)) continue;
+        alive[i] = 1;
+        upper[i] = score;
+        bool fully_reported = true;
+        for (std::size_t s = 0; s < n && fully_reported; ++s) {
+          fully_reported = reported[s][i] != 0;
+        }
+        if (fully_reported) settled.push_back(Settled{score, cands[i].phrase});
+      }
+      bool have_floor = false;
+      double floor_score = 0.0;
+      if (settled.size() >= options.k) {
+        std::nth_element(settled.begin(),
+                         settled.begin() +
+                             static_cast<std::ptrdiff_t>(options.k - 1),
+                         settled.end(),
+                         [](const Settled& a, const Settled& b) {
+                           if (a.score != b.score) return a.score > b.score;
+                           return a.phrase < b.phrase;
+                         });
+        floor_score = settled[options.k - 1].score;
+        have_floor = true;
+      }
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (!alive[i] || (have_floor && upper[i] < floor_score)) {
+          pruned[i] = 1;
+          ++pruned_count;
+        }
+      }
+    }
+
     // --- Fill ----------------------------------------------------------------
     // Top-k' scatter discovered identities only: every shard computes
     // full supports for the whole union. Exhaustive scatter is complete
     // except for the df of phrases a shard holds but did not touch for
     // this query (freq or every codf zero there), which still belongs in
-    // the global denominator.
+    // the global denominator -- unless the threshold exchange proved the
+    // candidate out of contention above.
     std::vector<std::vector<PartialSupport>> fill(n);
     std::vector<std::size_t> fill_subcollection(n, 0);
+    std::size_t fill_slots = 0;
     if (!cands.empty()) {
       ParallelOverShards([&](std::size_t s) {
         std::vector<uint8_t> need(cands.size());
         for (std::size_t i = 0; i < cands.size(); ++i) {
-          need[i] = IsTopKMode(mode) ? 1 : !reported[s][i];
+          need[i] = IsTopKMode(mode)
+                        ? 1
+                        : (!reported[s][i] &&
+                           (pruned.empty() || !pruned[i]));
         }
         bool ok;
         if (IsCountMode(mode)) {
@@ -635,16 +816,26 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
           }
         }
       }
+      // Support lookups the fill actually performed (the exchange's
+      // savings metric): every (shard, candidate) pair still needing
+      // refinement after scatter reporting and threshold pruning.
+      if (IsTopKMode(mode)) {
+        fill_slots = cands.size() * n;
+      } else {
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+          if (!pruned.empty() && pruned[i]) continue;
+          for (std::size_t s = 0; s < n; ++s) {
+            fill_slots += reported[s][i] ? 0 : 1;
+          }
+        }
+      }
     }
 
     // --- Gather: global scores from summed supports --------------------------
-    std::size_t total_docs = 0;
-    std::size_t total_subcollection = 0;
-    for (std::size_t s = 0; s < n; ++s) {
-      total_docs += scatter[s].num_docs;
-      total_subcollection +=
-          IsTopKMode(mode) && IsCountMode(mode) ? fill_subcollection[s]
-                                                : scatter[s].subcollection;
+    if (IsTopKMode(mode) && IsCountMode(mode)) {
+      for (std::size_t s = 0; s < n; ++s) {
+        total_subcollection += fill_subcollection[s];
+      }
     }
 
     struct Ranked {
@@ -654,37 +845,11 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     };
     std::vector<Ranked> ranked;
     ranked.reserve(cands.size());
-    std::vector<double> probs(r);
     for (std::size_t i = 0; i < cands.size(); ++i) {
-      const GlobalCandidate& gc = cands[i];
+      if (!pruned.empty() && pruned[i]) continue;
       double score;
       double interestingness;
-      if (IsCountMode(mode)) {
-        if (gc.freq_subset == 0) continue;
-        score = EvaluateInterestingness(
-            options.measure, static_cast<uint32_t>(gc.freq_subset),
-            static_cast<uint32_t>(gc.df), total_subcollection, total_docs);
-        interestingness = score;
-      } else {
-        bool all_present = true;
-        for (std::size_t j = 0; j < r; ++j) {
-          if (gc.codf[j] == 0) all_present = false;
-          // The monolithic list stores count / df in double; the same
-          // division over the summed integers reproduces it bitwise.
-          probs[j] = gc.df == 0 ? 0.0
-                                : static_cast<double>(gc.codf[j]) /
-                                      static_cast<double>(gc.df);
-        }
-        if (query.op == QueryOperator::kAnd) {
-          if (!all_present) continue;
-          score = AndScore(probs);
-          if (score == kMinusInfinity) continue;
-        } else {
-          score = OrScore(probs, options.or_order);
-          if (score <= 0.0) continue;
-        }
-        interestingness = ScoreToInterestingness(score, query.op);
-      }
+      if (!evaluate(cands[i], &score, &interestingness)) continue;
       ranked.push_back(Ranked{i, score, interestingness});
     }
     // Ties order by smaller global PhraseId -- the monolithic collector's
@@ -699,6 +864,8 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     // --- Assemble ------------------------------------------------------------
     ShardedMineResult out;
     out.candidates = cands.size();
+    out.fill_slots = fill_slots;
+    out.result.candidates_pruned = pruned_count;
     out.exact_merge = !IsTopKMode(mode);
     out.result.phrases.reserve(ranked.size());
     out.texts.reserve(ranked.size());

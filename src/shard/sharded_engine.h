@@ -41,6 +41,18 @@ struct ShardedEngineOptions {
   std::size_t merge_slack = 16;
   /// Worker threads mining shards in parallel; 0 means num_shards.
   std::size_t mine_threads = 0;
+  /// Cross-shard threshold exchange on the exhaustive merges (Exact,
+  /// SMJ): after the scatter round the merge computes every union
+  /// candidate's score upper bound from the scatter-complete supports
+  /// (freq/codf sums are final there; the fill round can only add df,
+  /// which never raises a score) and a global k-th floor from the
+  /// candidates every shard reported (their supports are already
+  /// complete, so their scores are exact), then drops candidates provably
+  /// below the floor before any per-shard fill work. Ranked output is
+  /// bitwise unchanged; MineResult::candidates_pruned counts the drops.
+  /// Disabled automatically where the bound is not provable (second-order
+  /// OR expansion, whose score is not monotone in df).
+  bool threshold_exchange = true;
   /// Test seam: maps a global document id to its owning shard (second
   /// argument is num_shards). Defaults to a SplitMix64 hash of the id.
   std::function<std::size_t(DocId, std::size_t)> partitioner;
@@ -69,6 +81,11 @@ struct ShardedMineResult {
   std::vector<std::string> texts;
   /// Size of the merged candidate union before the top-k cut.
   std::size_t candidates = 0;
+  /// Support lookups the fill round performed: (shard, candidate) pairs
+  /// that needed df/codf refinement after the scatter. The threshold
+  /// exchange's savings show up here (and in result.candidates_pruned);
+  /// bench_shard_scaling reports both.
+  std::size_t fill_slots = 0;
   /// True when the merge was support-exhaustive (Exact, SMJ): the ranked
   /// output provably equals the monolithic engine's, tie order included
   /// (both sides break equal scores by smaller PhraseId). False on the
@@ -116,6 +133,17 @@ struct ShardedMineResult {
 ///    phrases are provably below max_s(floor_s) (ShardedMineResult::
 ///    candidate_floor), while multi-term aggregation makes the bound
 ///    heuristic (a phrase mediocre everywhere can sum above it).
+///
+/// Threshold exchange (exhaustive merges): the scatter round already
+/// carries every reporting shard's complete freq/codf supports, so each
+/// union candidate's score computed from the scatter sums is an upper
+/// bound on its final score (the fill round only adds df terms to
+/// denominators, and every supported measure/score is non-increasing in
+/// df), and candidates reported by all shards have exact scores already.
+/// The k-th best of those exact scores is a lower bound on the global
+/// k-th result score, so any candidate whose upper bound falls strictly
+/// below it is dropped before the fill round does per-shard support work
+/// -- provably without changing the ranked output. See README "Sharding".
 ///
 /// Updates: ApplyUpdate routes inserts to their owning shard (documents
 /// are numbered globally: build-time ids first, ingested ids after) and
@@ -226,6 +254,14 @@ class ShardedEngine {
   std::size_t num_docs() const;
 
   const Options& options() const { return options_; }
+
+  /// Toggles the threshold exchange at runtime (benchmarks measure the
+  /// same engine with the round on and off; results are identical either
+  /// way -- the exchange only prunes provably-losing fill work). Not
+  /// synchronized: do not flip concurrently with Mine.
+  void SetThresholdExchange(bool enabled) {
+    options_.threshold_exchange = enabled;
+  }
 
  private:
   ShardedEngine() = default;

@@ -5,6 +5,7 @@
 #include "core/nra_miner.h"
 
 #include "core/smj_miner.h"
+#include "eval/query_gen.h"
 #include "gtest/gtest.h"
 #include "index/word_lists.h"
 #include "phrase/phrase_dictionary.h"
@@ -146,6 +147,35 @@ TEST(NraDetailTest, SingleEntryBatchStillCorrect) {
   ASSERT_EQ(nra.phrases.size(), smj.phrases.size());
   for (std::size_t i = 0; i < nra.phrases.size(); ++i) {
     EXPECT_NEAR(nra.phrases[i].score, smj.phrases[i].score, 1e-12);
+  }
+}
+
+// Regression for the top-k extraction's partial_sort: with maintenance
+// disabled (huge batch) every k sees the identical surviving candidate
+// set, so the k-truncated ranking must be exactly the prefix of the
+// all-candidates ranking -- heap-select must not perturb the order.
+TEST(NraDetailTest, PartialSortSelectionMatchesFullSortPrefix) {
+  MiningEngine engine = testing::MakeSmallEngine(400);
+  QuerySetGenerator qgen(QueryGenOptions{.seed = 41, .num_queries = 5});
+  auto queries =
+      qgen.Generate(engine.dict(), engine.inverted(), engine.corpus().size());
+  ASSERT_FALSE(queries.empty());
+  for (Query q : queries) {
+    for (const QueryOperator op : {QueryOperator::kAnd, QueryOperator::kOr}) {
+      q.op = op;
+      const MineOptions all{.k = 100000, .nra_batch_size = 1u << 30};
+      const MineResult full = engine.Mine(q, Algorithm::kNra, all);
+      for (const std::size_t k : {1u, 2u, 5u, 17u}) {
+        MineOptions topk = all;
+        topk.k = k;
+        const MineResult cut = engine.Mine(q, Algorithm::kNra, topk);
+        ASSERT_EQ(cut.phrases.size(), std::min(k, full.phrases.size()));
+        for (std::size_t i = 0; i < cut.phrases.size(); ++i) {
+          EXPECT_EQ(cut.phrases[i].phrase, full.phrases[i].phrase);
+          EXPECT_EQ(cut.phrases[i].score, full.phrases[i].score);
+        }
+      }
+    }
   }
 }
 

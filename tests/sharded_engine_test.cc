@@ -126,6 +126,106 @@ TEST(ShardedEngineTest, DifferentialExactAndSmjMatchMonolith) {
   }
 }
 
+// --- Threshold exchange ------------------------------------------------------
+
+/// The exchange must be a pure fill-work optimization: ranked output
+/// bitwise identical with the round on and off (and hence still identical
+/// to the monolithic engine, which the differential test above already
+/// pins), while at 4 shards it actually prunes candidates and saves fill
+/// slots somewhere in the workload.
+TEST(ShardedEngineTest, ThresholdExchangePreservesResultsAndPrunesFill) {
+  MiningEngine mono =
+      MiningEngine::Build(MakeSmallSyntheticCorpus(900),
+                          EngineOptions(/*min_df=*/3));
+  ShardedEngine sharded =
+      BuildSharded(MakeSmallSyntheticCorpus(900), /*num_shards=*/4,
+                   /*min_df=*/3);
+  const std::vector<Query> queries = HarvestQueries(mono, 8);
+  ASSERT_FALSE(queries.empty());
+
+  uint64_t total_pruned = 0;
+  std::size_t slots_on = 0;
+  std::size_t slots_off = 0;
+  for (const Algorithm algorithm : {Algorithm::kExact, Algorithm::kSmj}) {
+    for (const Query& base : queries) {
+      for (const QueryOperator op :
+           {QueryOperator::kAnd, QueryOperator::kOr}) {
+        Query query = base;
+        query.op = op;
+        sharded.SetThresholdExchange(false);
+        const ShardedMineResult off =
+            sharded.Mine(query, algorithm, MineOptions{.k = 5});
+        EXPECT_EQ(off.result.candidates_pruned, 0u);
+        sharded.SetThresholdExchange(true);
+        const ShardedMineResult on =
+            sharded.Mine(query, algorithm, MineOptions{.k = 5});
+
+        ASSERT_EQ(on.result.phrases.size(), off.result.phrases.size());
+        for (std::size_t i = 0; i < on.result.phrases.size(); ++i) {
+          EXPECT_EQ(on.result.phrases[i].phrase, off.result.phrases[i].phrase);
+          EXPECT_EQ(on.result.phrases[i].score, off.result.phrases[i].score);
+        }
+        EXPECT_EQ(on.candidates, off.candidates);
+        EXPECT_LE(on.fill_slots, off.fill_slots);
+        total_pruned += on.result.candidates_pruned;
+        slots_on += on.fill_slots;
+        slots_off += off.fill_slots;
+      }
+    }
+  }
+  // The workload as a whole must show real pruning (AND queries drop
+  // cross-shard-only candidates; fully-reported floors prune the rest).
+  EXPECT_GT(total_pruned, 0u);
+  EXPECT_LT(slots_on, slots_off);
+}
+
+/// Same invariant under a pending delta overlay: the exchange reads the
+/// delta-corrected scatter supports, so the on/off results must stay
+/// identical after updates too.
+TEST(ShardedEngineTest, ThresholdExchangeExactUnderDelta) {
+  MiningEngine mono =
+      MiningEngine::Build(MakeSmallSyntheticCorpus(500),
+                          EngineOptions(/*min_df=*/3));
+  ShardedEngine sharded =
+      BuildSharded(MakeSmallSyntheticCorpus(500), /*num_shards=*/4,
+                   /*min_df=*/3);
+  const std::vector<Query> queries = HarvestQueries(mono, 5);
+  ASSERT_FALSE(queries.empty());
+
+  UpdateBatch batch;
+  for (DocId d = 0; d < 20; ++d) {
+    UpdateDoc doc;
+    const Document& src = sharded.shard(0).corpus().doc(
+        d % sharded.shard(0).corpus().size());
+    for (TermId t : src.tokens) {
+      doc.tokens.push_back(
+          std::string(sharded.shard(0).corpus().vocab().TermText(t)));
+    }
+    batch.inserts.push_back(std::move(doc));
+  }
+  batch.deletes = {2, 4};
+  (void)sharded.ApplyUpdate(batch);
+
+  for (const Query& base : queries) {
+    for (const QueryOperator op : {QueryOperator::kAnd, QueryOperator::kOr}) {
+      Query query = base;
+      query.op = op;
+      sharded.SetThresholdExchange(false);
+      const ShardedMineResult off =
+          sharded.Mine(query, Algorithm::kSmj, MineOptions{.k = 5});
+      sharded.SetThresholdExchange(true);
+      const ShardedMineResult on =
+          sharded.Mine(query, Algorithm::kSmj, MineOptions{.k = 5});
+      EXPECT_EQ(on.result.guarantee, UpdateGuarantee::kExactUnderDelta);
+      ASSERT_EQ(on.result.phrases.size(), off.result.phrases.size());
+      for (std::size_t i = 0; i < on.result.phrases.size(); ++i) {
+        EXPECT_EQ(on.result.phrases[i].phrase, off.result.phrases[i].phrase);
+        EXPECT_EQ(on.result.phrases[i].score, off.result.phrases[i].score);
+      }
+    }
+  }
+}
+
 // --- Scatter-gather edge cases ----------------------------------------------
 
 TEST(ShardedEngineTest, EmptyShardsAreHarmless) {

@@ -131,6 +131,21 @@ TEST(WordScoreListsTest, SizeBytesAccounting) {
   EXPECT_GT(lists.SizeBytes(0.5), 0u);
 }
 
+TEST(WordScoreListsTest, PackedVsInMemoryEntrySizes) {
+  // The packed figure is the paper's 12 bytes (4-byte id + 8-byte prob);
+  // the resident AoS figure is sizeof(ListEntry), padded to 16. The two
+  // must never be conflated again (table5_index_sizes reports both).
+  EXPECT_EQ(kListEntryBytes, 12u);
+  EXPECT_EQ(kListEntryInMemoryBytes, sizeof(ListEntry));
+  EXPECT_EQ(kListEntryInMemoryBytes, 16u);
+  Fixture f;
+  WordScoreLists lists =
+      WordScoreLists::BuildAll(f.inverted, f.forward, f.dict);
+  EXPECT_EQ(lists.InMemoryBytes(1.0),
+            lists.TotalEntries() * kListEntryInMemoryBytes);
+  EXPECT_GT(lists.InMemoryBytes(1.0), lists.SizeBytes(1.0));
+}
+
 TEST(WordScoreListsTest, MergeAddsNewTermsOnly) {
   Fixture f;
   WordScoreLists a = WordScoreLists::Build(
