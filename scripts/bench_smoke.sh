@@ -23,9 +23,17 @@ export PM_SCALING_BASE_DOCS=250
 export PM_KERNEL_SHORT=50
 export PM_KERNEL_LONG=2000
 export PM_KERNEL_MS=20
+# Disk-tier bench: tiny corpora keep the >=2x scaling target meaningless
+# (per-list seek constants dominate), so the run is informational here --
+# the target is only enforced under PM_DISK_ENFORCE=1 in its dedicated CI
+# step. The placement differential (exit 3) still gates at this scale.
+export PM_DISK_DOCS=250
+export PM_DISK_QUERIES=4
+export PM_DISK_PASSES=1
 
 benches=(
   kernel_microbench
+  disk_tier_scaling
   fig05_06_quality
   fig07_08_smj_vs_gm
   fig09_10_nra_breakdown

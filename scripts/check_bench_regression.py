@@ -14,6 +14,8 @@ The headline metric is auto-detected from the file shape:
     (the 8-thread warm serving number the service optimizes for).
   * BENCH_shard.json   -> uncached Exact q/s at 4 shards.
   * BENCH_kernels.json -> kernel-path AND q/s on the skewed microbench.
+  * BENCH_disk.json    -> modeled NRA-disk q/s at 4 shards, resident
+    fraction 0 (the fully disk-resident per-shard-device row).
 
 A missing or unparsable baseline skips the single-step gate (exit 0) -- the
 first run of a repository has nothing to compare against; the freshly
@@ -42,6 +44,12 @@ def headline(data):
     if "kernel_and_skewed_qps" in data:
         return ("kernel AND q/s on the skewed microbench",
                 data["kernel_and_skewed_qps"])
+    if "disk_sweep" in data:
+        for row in data["disk_sweep"]:
+            if row.get("shards") == 4 and row.get("fraction") == 0:
+                return ("modeled NRA-disk q/s at 4 shards (fraction 0)",
+                        row["modeled_qps"])
+        return None
     if "sweep" in data:
         for row in data["sweep"]:
             if row.get("shards") == 4:

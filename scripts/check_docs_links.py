@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Docs link check: every relative markdown link in README.md and docs/
+must resolve to a file (or a directory) in the repository, so the
+architecture book cannot silently rot as files move.
+
+Checked: inline links/images `[text](target)` whose target is neither an
+absolute URL (scheme://... or mailto:) nor a pure in-page anchor (#...).
+A `path#anchor` target is checked for the path part only -- anchors are
+not validated. Code fences are skipped so example snippets cannot
+produce false positives.
+
+Usage: check_docs_links.py [repo-root]    (default: cwd)
+Exit 1 when any link is broken, listing every offender.
+"""
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def targets(path):
+    """Yields (lineno, target) for every checkable link in a file."""
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            yield lineno, target.split("#", 1)[0]
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    sources = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    broken = []
+    checked = 0
+    for source in sources:
+        if not source.exists():
+            broken.append(f"{source}: expected file missing")
+            continue
+        for lineno, target in targets(source):
+            checked += 1
+            resolved = (source.parent / target).resolve()
+            if not resolved.exists():
+                rel = source.relative_to(root)
+                broken.append(f"{rel}:{lineno}: broken link -> {target}")
+    for line in broken:
+        print(line)
+    if broken:
+        print(f"FAIL: {len(broken)} broken link(s) "
+              f"across {len(sources)} file(s)")
+        return 1
+    print(f"docs links OK: {checked} relative link(s) "
+          f"across {len(sources)} file(s) resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

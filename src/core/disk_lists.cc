@@ -1,24 +1,80 @@
 #include "core/disk_lists.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "index/list_entry.h"
 
 namespace phrasemine {
+
+std::unordered_set<TermId> DiskResidentLists::ResidentSet(
+    const WordScoreLists& lists, const InvertedIndex& inverted,
+    uint64_t budget_bytes) {
+  std::unordered_set<TermId> resident;
+  if (budget_bytes == 0) return resident;
+  std::vector<TermId> terms = lists.Terms();
+  // Hotness order: term df descending (a list is touched once per query
+  // naming its term, and high-df terms dominate harvested workloads),
+  // ties to the smaller TermId so placement is a pure function of the
+  // corpus and budget.
+  std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
+    const uint32_t da = inverted.df(a);
+    const uint32_t db = inverted.df(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  uint64_t remaining = budget_bytes;
+  for (TermId t : terms) {
+    const uint64_t bytes = static_cast<uint64_t>(lists.list(t).size()) *
+                           kListEntryInMemoryBytes;
+    // Strict prefix: the first list that does not fit ends the pinning,
+    // so the spilled set is exactly the cold tail of the hotness order
+    // (no best-fit backfilling -- predictability over packing).
+    if (bytes > remaining) break;
+    remaining -= bytes;
+    resident.insert(t);
+  }
+  return resident;
+}
+
+DiskResidentLists::DiskResidentLists(const WordScoreLists& lists,
+                                     const PhraseListFile& phrase_file,
+                                     const InvertedIndex& inverted,
+                                     DiskTierOptions options)
+    : lists_(lists),
+      phrase_file_(phrase_file),
+      options_(options),
+      disk_(options.disk),
+      resident_(ResidentSet(lists, inverted, options.resident_budget_bytes)) {
+  PlaceAndRegister();
+}
 
 DiskResidentLists::DiskResidentLists(const WordScoreLists& lists,
                                      const PhraseListFile& phrase_file,
                                      DiskOptions options)
     : lists_(lists), phrase_file_(phrase_file), disk_(options) {
+  options_.disk = options;  // budget 0: resident_ stays empty, all spills
+  PlaceAndRegister();
+}
+
+void DiskResidentLists::PlaceAndRegister() {
   for (TermId t : lists_.Terms()) {
-    const uint64_t bytes =
-        static_cast<uint64_t>(lists_.list(t).size()) * kListEntryBytes;
-    if (bytes == 0) continue;
+    const uint64_t entries = lists_.list(t).size();
+    if (resident_.contains(t)) {
+      resident_bytes_ += entries * kListEntryInMemoryBytes;
+      continue;
+    }
+    const uint64_t bytes = entries * kListEntryBytes;
+    if (bytes == 0) continue;  // empty lists occupy no device file
+    spilled_bytes_ += bytes;
     list_files_.emplace(t, disk_.RegisterFile(bytes));
   }
-  phrase_file_id_ = disk_.RegisterFile(
-      std::max<uint64_t>(phrase_file_.SizeBytes(), 1));
+  phrase_file_id_ =
+      disk_.RegisterFile(std::max<uint64_t>(phrase_file_.SizeBytes(), 1));
 }
 
 void DiskResidentLists::ChargeListRead(TermId term, uint64_t pos) {
+  if (resident_.contains(term)) return;  // pinned in RAM: no charge
   auto it = list_files_.find(term);
   PM_CHECK_MSG(it != list_files_.end(), "no disk file for term list");
   disk_.Read(it->second, pos * kListEntryBytes, kListEntryBytes);

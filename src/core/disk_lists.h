@@ -1,8 +1,12 @@
 #ifndef PHRASEMINE_CORE_DISK_LISTS_H_
 #define PHRASEMINE_CORE_DISK_LISTS_H_
 
+#include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
+#include "index/inverted_index.h"
 #include "index/phrase_list_file.h"
 #include "index/word_lists.h"
 #include "storage/simulated_disk.h"
@@ -10,14 +14,50 @@
 
 namespace phrasemine {
 
-/// Disk residency wrapper for the NRA inputs: lays every word-specific
-/// score-ordered list out as its own simulated file (12-byte entries,
-/// Section 4.2.2) and the phrase list as one more file of fixed 50-byte
-/// slots (Section 4.2.1). The actual list *contents* stay in memory -- per
-/// the paper's simulation protocol only the I/O cost is modeled, and it is
-/// charged through the owned SimulatedDisk as the algorithm touches bytes.
+/// Configuration of one engine's (or one shard's) disk tier: the device
+/// cost model plus the resident-memory budget its spill policy may pin.
+struct DiskTierOptions {
+  /// Device parameters: block (page) size, LRU cache depth, and the
+  /// seek/transfer cost model (random vs sequential fetch charge).
+  DiskOptions disk;
+  /// RAM the tier may spend pinning word lists, in bytes of resident AoS
+  /// entries (kListEntryInMemoryBytes each). The spill policy pins the
+  /// hottest lists -- by term document frequency, ties to the smaller
+  /// TermId -- as a strict prefix of the hotness order: pinning stops at
+  /// the first list that does not fit, and everything colder spills to
+  /// the device (the "cold tail"). 0 means every list is disk-resident,
+  /// the paper's Section 5.5 protocol.
+  uint64_t resident_budget_bytes = 0;
+};
+
+/// Disk residency wrapper for the NRA inputs: lays every *spilled*
+/// word-specific score-ordered list out as its own simulated file
+/// (12-byte packed entries, Section 4.2.2) and the phrase list as one
+/// more file of fixed 50-byte slots (Section 4.2.1). The actual list
+/// *contents* stay in memory -- per the paper's simulation protocol only
+/// the I/O cost is modeled, and it is charged through the owned
+/// SimulatedDisk as the algorithm touches bytes.
+///
+/// Placement is decided once at construction by the ResidentSet spill
+/// policy below: lists inside the resident budget are pinned (their
+/// reads charge nothing), the cold tail lives on the device. The phrase
+/// list file is always device-resident -- it is the random-access lookup
+/// the paper charges for result materialization, and pinning it is not
+/// part of the word-list budget. Placement is deterministic: the same
+/// lists, term dfs and budget always produce the same pinned set, which
+/// is what keeps ranked output bitwise identical across budgets (the
+/// budget moves cost, never contents).
 class DiskResidentLists {
  public:
+  /// Places `lists` on the tier under `options`, using `inverted` for
+  /// the term-df hotness order of the spill policy.
+  DiskResidentLists(const WordScoreLists& lists,
+                    const PhraseListFile& phrase_file,
+                    const InvertedIndex& inverted, DiskTierOptions options);
+
+  /// Fully disk-resident tier (budget 0): every list spills, no hotness
+  /// order needed. The pre-tier construction path, kept for callers that
+  /// only want the Section 5.5 protocol.
   DiskResidentLists(const WordScoreLists& lists,
                     const PhraseListFile& phrase_file,
                     DiskOptions options = {});
@@ -25,21 +65,52 @@ class DiskResidentLists {
   DiskResidentLists(const DiskResidentLists&) = delete;
   DiskResidentLists& operator=(const DiskResidentLists&) = delete;
 
-  /// Charges the I/O for reading entry `pos` of a term's list.
+  /// The spill policy, exposed so CostPlanner can predict placement
+  /// without building a tier: terms of `lists` sorted hottest-first by
+  /// `inverted` df (ties to the smaller TermId), pinned while the next
+  /// list's resident bytes (entries * kListEntryInMemoryBytes) still fit
+  /// the remaining budget; the first list that does not fit ends the
+  /// pinning and the whole tail spills. Returns the pinned set.
+  static std::unordered_set<TermId> ResidentSet(const WordScoreLists& lists,
+                                                const InvertedIndex& inverted,
+                                                uint64_t budget_bytes);
+
+  /// Charges the I/O for reading entry `pos` of a term's list; free when
+  /// the spill policy pinned the list.
   void ChargeListRead(TermId term, uint64_t pos);
 
   /// Charges the I/O for the final phrase-text lookup of a result id
-  /// (a random access into the phrase list file).
+  /// (a random access into the phrase list file; always device-resident).
   void ChargePhraseLookup(PhraseId id);
+
+  /// True when the spill policy pinned this term's list in RAM.
+  bool resident(TermId term) const { return resident_.contains(term); }
+
+  /// Resident bytes the pinned lists occupy (<= the budget).
+  uint64_t resident_bytes() const { return resident_bytes_; }
+  /// Packed bytes living on the device across spilled lists.
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
+  std::size_t num_resident() const { return resident_.size(); }
+  std::size_t num_spilled() const { return list_files_.size(); }
 
   SimulatedDisk& disk() { return disk_; }
   const WordScoreLists& lists() const { return lists_; }
+  const DiskTierOptions& tier_options() const { return options_; }
 
  private:
+  /// Shared ctor tail: accounts resident bytes for pinned lists and
+  /// registers a device file per spilled non-empty list plus the phrase
+  /// file. Reads resident_ (empty on the all-spill path).
+  void PlaceAndRegister();
+
   const WordScoreLists& lists_;
   const PhraseListFile& phrase_file_;
+  DiskTierOptions options_;
   SimulatedDisk disk_;
-  std::unordered_map<TermId, uint32_t> list_files_;
+  std::unordered_set<TermId> resident_;
+  std::unordered_map<TermId, uint32_t> list_files_;  // spilled lists only
+  uint64_t resident_bytes_ = 0;
+  uint64_t spilled_bytes_ = 0;
   uint32_t phrase_file_id_ = 0;
 };
 

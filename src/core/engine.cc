@@ -279,6 +279,32 @@ void MiningEngine::SetSmjFraction(double fraction) {
   id_lists_.reset();
 }
 
+void MiningEngine::SetDiskResidentBudget(uint64_t budget_bytes) {
+  std::unique_lock lock(sync_->lists_mu);
+  options_.disk_resident_budget = budget_bytes;
+  disk_lists_.reset();  // next kNraDisk mine re-places under the new budget
+}
+
+std::shared_ptr<const std::unordered_set<TermId>>
+MiningEngine::ResidentSetLocked() const {
+  // Key fields are stable under the caller's shared structure lock
+  // (generation_ writers hold lists_mu exclusively; word-list merges and
+  // budget changes do too); resident_mu only serializes memo updates
+  // between concurrent planners.
+  const uint64_t budget = options_.disk_resident_budget;
+  const std::size_t terms = word_lists_->num_terms();
+  std::scoped_lock memo_lock(sync_->resident_mu);
+  if (resident_memo_ == nullptr || resident_memo_generation_ != generation_ ||
+      resident_memo_terms_ != terms || resident_memo_budget_ != budget) {
+    resident_memo_ = std::make_shared<const std::unordered_set<TermId>>(
+        DiskResidentLists::ResidentSet(*word_lists_, inverted_, budget));
+    resident_memo_generation_ = generation_;
+    resident_memo_terms_ = terms;
+    resident_memo_budget_ = budget;
+  }
+  return resident_memo_;
+}
+
 MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
                               const MineOptions& options) {
   const bool needs_lists = algorithm == Algorithm::kNra ||
@@ -370,7 +396,8 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
       std::scoped_lock disk_lock(sync_->disk_mu);
       if (disk_lists_ == nullptr) {
         disk_lists_ = std::make_unique<DiskResidentLists>(
-            *word_lists_, phrase_file_, options_.disk);
+            *word_lists_, phrase_file_, inverted_,
+            DiskTierOptions{options_.disk, options_.disk_resident_budget});
       }
       NraMiner miner(disk_lists_.get(), dict_);
       result = miner.Mine(query, effective);

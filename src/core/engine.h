@@ -7,6 +7,7 @@
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "core/delta_index.h"
@@ -118,8 +119,25 @@ struct MiningEngineOptions {
   /// the scatter-gather merge join) global. Phrases that never occur in
   /// this corpus simply keep df 0.
   std::shared_ptr<const PhraseDictionary> fixed_phrase_set;
-  /// Disk-simulation parameters used by Algorithm::kNraDisk.
+  /// Disk-simulation device parameters (block size, LRU cache depth,
+  /// seek/transfer cost model) used by Algorithm::kNraDisk.
   DiskOptions disk;
+  /// Declares the word lists disk-backed: the score-ordered lists live
+  /// on this engine's simulated disk tier (minus whatever the resident
+  /// budget pins), so in-memory NRA is not honest -- CostPlanner then
+  /// routes the NRA candidate through Algorithm::kNraDisk and charges
+  /// per-block I/O for every spilled list. Off by default: the engine
+  /// behaves exactly as before and kNraDisk stays an explicit request.
+  bool disk_backed = false;
+  /// Resident-memory budget of the disk tier, in bytes of in-memory AoS
+  /// entries (kListEntryInMemoryBytes each): the spill policy pins the
+  /// hottest lists by term df as a strict prefix of the hotness order
+  /// and spills the cold tail (see DiskResidentLists::ResidentSet).
+  /// 0 keeps every list on the device -- the paper's Section 5.5
+  /// protocol and the pre-tier behavior of kNraDisk. Placement moves
+  /// only cost, never results: ranked output is bitwise identical
+  /// across budgets.
+  uint64_t disk_resident_budget = 0;
   /// Construction fraction used when an SMJ mine is issued before
   /// SetSmjFraction was called.
   double default_smj_fraction = 1.0;
@@ -309,6 +327,22 @@ class MiningEngine {
   /// Rebuilds the SMJ id-ordered lists at this construction fraction
   /// (Section 4.4.1: a construction-time decision).
   void SetSmjFraction(double fraction);
+
+  /// Re-budgets the disk tier at runtime: the next kNraDisk mine lazily
+  /// rebuilds DiskResidentLists under the new resident budget (benches
+  /// sweep resident fractions this way without rebuilding the engine).
+  /// Requires external exclusive access like the other structural
+  /// mutations: no concurrent Mine/ApplyUpdate/Rebuild in flight.
+  void SetDiskResidentBudget(uint64_t budget_bytes);
+
+  /// The spill policy's placement over the currently built word lists
+  /// at the current resident budget -- exactly what the next kNraDisk
+  /// mine will pin (DiskResidentLists::ResidentSet). Memoized: the
+  /// O(T log T) policy recomputes only when the built-list set, the
+  /// structure generation or the budget changed, so the planner can
+  /// call this per query on the serving path. Caller must hold the
+  /// shared structure lock (WithSharedStructures).
+  std::shared_ptr<const std::unordered_set<TermId>> ResidentSetLocked() const;
   double smj_fraction() const {
     std::shared_lock lock(sync_->lists_mu);  // Rebuild() rewrites it
     return smj_fraction_;
@@ -362,6 +396,8 @@ class MiningEngine {
     std::mutex postings_mu;
     /// Serializes kNraDisk mines (the SimulatedDisk accumulates I/O).
     std::mutex disk_mu;
+    /// Guards the memoized spill-policy placement (resident_memo_*).
+    mutable std::mutex resident_mu;
     /// Per-miner locks for the scratch-carrying exact baselines.
     std::mutex exact_mu;
     std::mutex gm_mu;
@@ -395,6 +431,14 @@ class MiningEngine {
   double smj_fraction_ = 1.0;
   std::unique_ptr<WordIdOrderedLists> id_lists_;      // at smj_fraction_
   std::unique_ptr<DiskResidentLists> disk_lists_;     // lazy, tracks word_lists_
+
+  // Memoized ResidentSetLocked() placement and its cache key (guarded by
+  // Sync::resident_mu; the key fields are read under the caller's shared
+  // structure lock).
+  mutable std::shared_ptr<const std::unordered_set<TermId>> resident_memo_;
+  mutable uint64_t resident_memo_generation_ = 0;
+  mutable std::size_t resident_memo_terms_ = 0;
+  mutable uint64_t resident_memo_budget_ = 0;
 
   // Persistent miners so their scratch arrays are reused across queries.
   std::unique_ptr<ExactMiner> exact_;

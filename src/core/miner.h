@@ -35,6 +35,26 @@ enum class UpdateGuarantee {
 /// Renders "fresh"/"exact-under-delta"/... for reports.
 const char* UpdateGuaranteeName(UpdateGuarantee guarantee);
 
+/// Aggregate simulated-disk I/O behind one mine (all zeros for purely
+/// in-memory runs). Filled by the kNraDisk path from the owning disk
+/// tier's SimulatedDisk counters; ShardedEngine sums one of these per
+/// shard device and PhraseService accumulates them into its stats.
+struct DiskIoStats {
+  /// Device blocks fetched (cache misses, lookahead prefetches included).
+  uint64_t blocks_read = 0;
+  /// Fetches charged at the random (seek) rate.
+  uint64_t seeks = 0;
+  /// Logical bytes the algorithm requested from the device.
+  uint64_t bytes = 0;
+
+  DiskIoStats& operator+=(const DiskIoStats& other) {
+    blocks_read += other.blocks_read;
+    seeks += other.seeks;
+    bytes += other.bytes;
+    return *this;
+  }
+};
+
 /// One ranked result phrase.
 struct MinedPhrase {
   PhraseId phrase = kInvalidPhraseId;
@@ -53,8 +73,16 @@ struct MineResult {
 
   /// Measured in-memory computation time.
   double compute_ms = 0.0;
-  /// Charged simulated disk time (0 for purely in-memory runs).
+  /// Charged simulated disk time (0 for purely in-memory runs). For a
+  /// sharded merge this is the *slowest shard device's* charge: shards
+  /// own independent disks that run in parallel, so modeled I/O latency
+  /// is a makespan, not a sum.
   double disk_ms = 0.0;
+  /// Simulated-disk I/O counters behind disk_ms (zeros in-memory). For a
+  /// sharded merge these are summed across shard devices -- aggregate
+  /// work, where disk_ms is the parallel makespan; the per-device split
+  /// is in ShardedMineResult::shard_disk_io.
+  DiskIoStats disk_io;
   /// Total response time under the paper's simulation protocol.
   double TotalMs() const { return compute_ms + disk_ms; }
 
@@ -113,6 +141,15 @@ struct MineOptions {
   /// SMJ adjust each list entry's conditional probability with the delta
   /// before aggregation.
   const DeltaIndex* delta = nullptr;
+  /// kNraDisk only: charge the final top-k phrase-text lookups to the
+  /// simulated device (the Section 5.5 result-materialization cost).
+  /// ShardedEngine turns this off for its scatter mines: a shard's
+  /// local top-k' candidates are never materialized (billing every
+  /// device k' random lookups would add a constant per-device cost that
+  /// does not partition), and the merged top-k's texts are served from
+  /// the router's in-memory phrase file at the gather -- the sharded
+  /// device model covers word-list I/O only. See docs/disk_tier.md.
+  bool charge_phrase_lookups = true;
   /// Routes SMJ through the SoA merge kernels (core/kernels.h). The
   /// kernel and scalar paths are bitwise identical in ranked output (the
   /// differential tests prove it, delta overlays included); the scalar

@@ -232,7 +232,7 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
         kv->first, upper, ScoreToInterestingness(upper, op)});
   }
 
-  if (disk_lists_ != nullptr) {
+  if (disk_lists_ != nullptr && options.charge_phrase_lookups) {
     for (const MinedPhrase& p : result.phrases) {
       disk_lists_->ChargePhraseLookup(p.phrase);
     }
@@ -251,7 +251,11 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
 
   result.compute_ms = watch.ElapsedMillis();
   if (disk_lists_ != nullptr) {
-    result.disk_ms = disk_lists_->disk().stats().cost_ms;
+    const DiskStats& stats = disk_lists_->disk().stats();
+    result.disk_ms = stats.cost_ms;
+    result.disk_io.blocks_read = stats.BlocksRead();
+    result.disk_io.seeks = stats.Seeks();
+    result.disk_io.bytes = stats.bytes_read;
   }
   return result;
 }

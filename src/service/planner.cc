@@ -4,8 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <unordered_set>
 
 #include "common/check.h"
+#include "core/disk_lists.h"
+#include "index/list_entry.h"
 
 namespace phrasemine {
 
@@ -109,6 +112,17 @@ PlannerInputs CostPlanner::GatherInputs(const MiningEngine& engine,
     gathered.op = query.op;
     gathered.k = options.k;
     gathered.updates_pending = delta != nullptr;
+    gathered.disk_backed = engine.options().disk_backed;
+    // Disk-backed engines: the tier's spill policy over the engine's
+    // currently built lists (exactly what the next kNraDisk mine will
+    // place -- a word-list merge invalidates and re-places). Memoized
+    // inside the engine, so per-query planning pays a hash lookup per
+    // term, not the O(T log T) policy. Safe here: this lambda runs
+    // under the shared structure lock.
+    std::shared_ptr<const std::unordered_set<TermId>> resident;
+    if (gathered.disk_backed) resident = engine.ResidentSetLocked();
+    const std::size_t block_bytes =
+        std::max<std::size_t>(engine.options().disk.page_size_bytes, 1);
     gathered.terms.reserve(query.terms.size());
     for (TermId t : query.terms) {
       TermPlanStats stats;
@@ -134,6 +148,21 @@ PlannerInputs CostPlanner::GatherInputs(const MiningEngine& engine,
         stats.list_length = static_cast<std::size_t>(std::min<double>(
             static_cast<double>(engine.dict().size()),
             static_cast<double>(stats.df) * gathered.avg_doc_phrases));
+      }
+      if (gathered.disk_backed) {
+        // A built list is spilled when the policy left it out of the
+        // resident set; an unbuilt list predicts as spilled (the policy
+        // pins only what the budget provably covers, and a cold list
+        // joins the placement at its df rank once built). Blocks cover
+        // the packed on-device footprint at the estimated length.
+        const bool built_on_engine = engine.word_lists().Has(t);
+        stats.on_disk = !(built_on_engine && resident->contains(t));
+        if (stats.on_disk) {
+          stats.disk_blocks =
+              (static_cast<uint64_t>(stats.list_length) * kListEntryBytes +
+               block_bytes - 1) /
+              block_bytes;
+        }
       }
       gathered.terms.push_back(stats);
     }
@@ -189,6 +218,9 @@ SubcollectionEstimate EstimateSubcollection(const PlannerInputs& inputs) {
 
 /// Modeled cost of every candidate algorithm ({GM,} NRA, SMJ; GM is
 /// excluded while updates are pending -- it would mine the base corpus).
+/// On a disk-backed engine the NRA candidate is emitted as kNraDisk and
+/// both list methods carry per-block I/O terms for their spilled inputs
+/// (see the routing rule in the CostPlanner class comment).
 std::vector<std::pair<Algorithm, double>> EstimateCosts(
     const PlannerInputs& inputs, const PlannerOptions& options, double est) {
   double total_list_entries = 0.0;
@@ -207,20 +239,50 @@ std::vector<std::pair<Algorithm, double>> EstimateCosts(
       std::min(1.0, options.nra_traversal_fraction +
                         options.nra_k_penalty * static_cast<double>(inputs.k));
 
+  // Disk terms over the spilled lists: NRA-disk reads the traversed
+  // prefix of each list's blocks, at the random rate when its
+  // round-robin head interleaves more than one *spilled* list file
+  // (reads of a single on-device file advance in order and stream at
+  // the sequential rate, however many pinned lists interleave); SMJ
+  // streams every spilled list once, sequentially. Resident lists
+  // charge nothing.
+  double nra_disk_io = 0.0;
+  double smj_disk_io = 0.0;
+  if (inputs.disk_backed) {
+    // Only lists that actually occupy device blocks interleave: the tier
+    // registers no file for an empty list, so a zero-block "spilled"
+    // term (df 0, or an unbuilt estimate rounding to nothing) must not
+    // flip the remaining reads to the random rate.
+    std::size_t spilled = 0;
+    for (const TermPlanStats& t : inputs.terms) {
+      spilled += (t.on_disk && t.disk_blocks > 0) ? 1 : 0;
+    }
+    const double nra_block_cost = spilled > 1
+                                      ? options.disk_random_block_cost
+                                      : options.disk_sequential_block_cost;
+    for (const TermPlanStats& t : inputs.terms) {
+      if (!t.on_disk) continue;
+      const double blocks = static_cast<double>(t.disk_blocks);
+      nra_disk_io += std::ceil(traversal * blocks) * nra_block_cost;
+      smj_disk_io += blocks * options.disk_sequential_block_cost;
+    }
+  }
+
   const double cost_gm =
       est * inputs.avg_doc_phrases * options.gm_entry_cost;
   const double cost_nra = options.nra_fixed_cost +
                           total_list_entries * traversal *
                               options.nra_entry_cost * or_factor +
-                          build_charge;
+                          build_charge + nra_disk_io;
   const double cost_smj = options.smj_fixed_cost +
                           total_list_entries * options.smj_entry_cost *
                               or_factor +
-                          build_charge;
+                          build_charge + smj_disk_io;
 
   std::vector<std::pair<Algorithm, double>> costs;
   if (!inputs.updates_pending) costs.emplace_back(Algorithm::kGm, cost_gm);
-  costs.emplace_back(Algorithm::kNra, cost_nra);
+  costs.emplace_back(
+      inputs.disk_backed ? Algorithm::kNraDisk : Algorithm::kNra, cost_nra);
   costs.emplace_back(Algorithm::kSmj, cost_smj);
   return costs;
 }
@@ -299,9 +361,10 @@ PlanDecision CostPlanner::PlanFromInputs(const PlannerInputs& inputs,
     return decision;
   }
 
-  // --- Cost model over {GM, NRA, SMJ} --------------------------------------
+  // --- Cost model over {GM, NRA(-disk), SMJ} --------------------------------
   // GM mines the base corpus; with an unrebuilt overlay it would serve
-  // stale answers, so the argmin is then restricted to NRA/SMJ.
+  // stale answers, so the argmin is then restricted to NRA(-disk)/SMJ.
+  // On a disk-backed engine the NRA candidate is kNraDisk with I/O terms.
   decision.estimated_costs = EstimateCosts(inputs, options, est);
   FinishCostDecision(&decision, inputs.updates_pending, "cost: ");
   return decision;
@@ -318,10 +381,13 @@ PlanDecision CostPlanner::PlanAcrossShards(
   aggregate.num_docs = 0;
   aggregate.avg_doc_phrases = 0.0;
   aggregate.updates_pending = false;
+  aggregate.disk_backed = false;
   for (TermPlanStats& t : aggregate.terms) {
     t.df = 0;
     t.list_length = 0;
     t.list_built = true;
+    t.on_disk = false;
+    t.disk_blocks = 0;
   }
   for (const PlannerInputs& shard : shards) {
     PM_CHECK_MSG(shard.terms.size() == aggregate.terms.size(),
@@ -330,10 +396,17 @@ PlanDecision CostPlanner::PlanAcrossShards(
     aggregate.avg_doc_phrases +=
         shard.avg_doc_phrases * static_cast<double>(shard.num_docs);
     aggregate.updates_pending |= shard.updates_pending;
+    aggregate.disk_backed |= shard.disk_backed;
     for (std::size_t i = 0; i < aggregate.terms.size(); ++i) {
       aggregate.terms[i].df += shard.terms[i].df;
       aggregate.terms[i].list_length += shard.terms[i].list_length;
       aggregate.terms[i].list_built &= shard.terms[i].list_built;
+      // Disk placement: a term counts as spilled fleet-wide when any
+      // shard spilled it, and the aggregate block count sums the
+      // per-shard footprints (only used by the aggregate short-circuit
+      // costs; the makespan below charges each shard its own blocks).
+      aggregate.terms[i].on_disk |= shard.terms[i].on_disk;
+      aggregate.terms[i].disk_blocks += shard.terms[i].disk_blocks;
     }
   }
   if (aggregate.num_docs > 0) {
@@ -359,9 +432,14 @@ PlanDecision CostPlanner::PlanAcrossShards(
   for (const PlannerInputs& shard : shards) {
     const SubcollectionEstimate est = EstimateSubcollection(shard);
     // The aggregate decides GM's eligibility: one shard with pending
-    // updates makes the merged result stale wherever GM would run.
+    // updates makes the merged result stale wherever GM would run. The
+    // aggregate likewise decides the NRA candidate's identity: one
+    // disk-backed shard routes the whole fleet through kNraDisk, so
+    // every shard's cost lands under the same algorithm label (shards
+    // without spilled lists simply contribute no I/O term).
     PlannerInputs costed = shard;
     costed.updates_pending = aggregate.updates_pending;
+    costed.disk_backed = aggregate.disk_backed;
     for (const auto& [algorithm, cost] :
          EstimateCosts(costed, options, est.est)) {
       auto it = std::find_if(merged.begin(), merged.end(),

@@ -25,6 +25,13 @@ struct TermPlanStats {
   bool list_built = false;
   /// Actual list length when built, otherwise the planner's estimate.
   std::size_t list_length = 0;
+  /// Disk-backed engines only: true when this term's list is (predicted)
+  /// spilled past the resident budget, i.e. reads charge device I/O.
+  /// Always false when PlannerInputs::disk_backed is false.
+  bool on_disk = false;
+  /// Device blocks the full spilled list occupies (packed 12-byte
+  /// entries over the tier's block size); 0 when resident or in-memory.
+  uint64_t disk_blocks = 0;
 };
 
 /// The planner's explainable output: the chosen algorithm plus everything
@@ -81,6 +88,17 @@ struct PlannerOptions {
   /// query; the rest is treated as amortized over future queries that the
   /// cache will serve.
   double build_amortization = 0.25;
+  /// Disk-tier charges (disk-backed engines only), in the same abstract
+  /// entry units as the costs above, per device block. Sequential models
+  /// a streamed list (SMJ's k-way merge reads each spilled list front to
+  /// back; the device lookahead keeps the interleave cheap); random
+  /// models NRA's round-robin head, which jumps between on-device list
+  /// files every read once more than one list is spilled. Defaults keep
+  /// the 10:1 seek:transfer ratio of the Section 5.5 device (1 ms vs
+  /// 10 ms) and make one block roughly as expensive as merging a few
+  /// hundred in-memory entries.
+  double disk_sequential_block_cost = 200.0;
+  double disk_random_block_cost = 2000.0;
 };
 
 /// Inputs of the pure cost model; CostPlanner::Plan gathers them from a
@@ -98,6 +116,12 @@ struct PlannerInputs {
   /// allow_approximate is off, which is an explicit operator promise of
   /// base-corpus exactness.
   bool updates_pending = false;
+  /// True when the engine's word lists live on a simulated disk tier
+  /// (MiningEngineOptions::disk_backed): in-memory NRA is not available,
+  /// so the NRA candidate is costed and emitted as Algorithm::kNraDisk
+  /// with per-block I/O terms for every spilled list, and SMJ is charged
+  /// a sequential stream-in for its spilled inputs.
+  bool disk_backed = false;
   std::vector<TermPlanStats> terms;
 };
 
@@ -114,8 +138,22 @@ struct PlannerInputs {
 ///      updates pending: Exact.
 ///   4. Otherwise: argmin of the modeled cost over {GM, NRA, SMJ}; with
 ///      updates pending GM is excluded (it would mine the base corpus).
-/// kSimitsis and kNraDisk are never chosen -- they exist for the paper's
-/// comparison and disk-simulation studies and must be forced explicitly.
+///
+/// Disk routing rule: on a disk-backed engine (PlannerInputs::disk_backed,
+/// set from MiningEngineOptions::disk_backed) the word lists live on the
+/// simulated disk tier, so the in-memory kNra candidate is replaced by
+/// kNraDisk -- the honest plan charges the spilled lists' block I/O --
+/// and the argmin runs over {GM, NRA-disk, SMJ}. NRA-disk pays
+/// traversal-scaled block reads at the random rate when more than one
+/// list is spilled (its round-robin head seeks between on-device list
+/// files; with a single spilled file the reads stream sequentially);
+/// SMJ pays a full sequential stream-in of every spilled list (its
+/// id-ordered inputs
+/// are rebuilt in RAM in this reproduction, so the charge is model-only
+/// and documented in docs/disk_tier.md). Resident (pinned) lists charge
+/// nothing, which is how the spill policy's placement steers the
+/// decision. kSimitsis is still never chosen -- it exists for the
+/// paper's comparison studies and must be forced explicitly.
 ///
 /// Under live updates the per-term and corpus document frequencies are
 /// corrected by the engine's delta overlay before costing, so plans do not

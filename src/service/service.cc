@@ -77,6 +77,14 @@ std::string ServiceStats::ToString() const {
                   static_cast<unsigned long long>(per_algorithm[i]));
     out += buf;
   }
+  if (disk_io.blocks_read > 0 || disk_io.bytes > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  disk tier: blocks=%llu seeks=%llu bytes=%llu",
+                  static_cast<unsigned long long>(disk_io.blocks_read),
+                  static_cast<unsigned long long>(disk_io.seeks),
+                  static_cast<unsigned long long>(disk_io.bytes));
+    out += buf;
+  }
   out += "\n  result cache: " + FormatCacheStats(result_cache);
   out += "\n  word-list cache: " + FormatCacheStats(word_list_cache);
   std::snprintf(buf, sizeof(buf),
@@ -118,6 +126,9 @@ PhraseService::PhraseService(MiningEngine* engine,
     // serve every query through the scatter-gather path.
     ShardedEngineOptions sharded_options;
     sharded_options.num_shards = options_.num_shards;
+    // A disk tier configured on the engine survives the reshard:
+    // ShardedEngine::Build merges the embedded engine options' tier
+    // into the fleet-level switches.
     sharded_options.engine = engine_->options();
     owned_sharded_ = std::make_unique<ShardedEngine>(ShardedEngine::Build(
         engine_->CloneBaseCorpus(), std::move(sharded_options)));
@@ -249,7 +260,7 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
   }
   reply.latency_ms = watch.ElapsedMillis();
   RecordQuery(algorithm, request.algorithm.has_value(), /*executed=*/true,
-              reply.latency_ms);
+              reply.latency_ms, reply.result.disk_io);
   return reply;
 }
 
@@ -322,7 +333,7 @@ ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
   }
   reply.latency_ms = watch.ElapsedMillis();
   RecordQuery(algorithm, request.algorithm.has_value(), /*executed=*/true,
-              reply.latency_ms);
+              reply.latency_ms, reply.result.disk_io);
   return reply;
 }
 
@@ -511,7 +522,8 @@ void PhraseService::MaybeScheduleRebuild(std::vector<uint8_t> shard_flags) {
 }
 
 void PhraseService::RecordQuery(Algorithm algorithm, bool forced,
-                                bool executed, double latency_ms) {
+                                bool executed, double latency_ms,
+                                const DiskIoStats& disk_io) {
   std::scoped_lock lock(stats_mu_);
   ++queries_;
   if (forced) {
@@ -522,6 +534,7 @@ void PhraseService::RecordQuery(Algorithm algorithm, bool forced,
   if (executed) {
     const auto index = static_cast<std::size_t>(algorithm);
     if (index < per_algorithm_.size()) ++per_algorithm_[index];
+    disk_io_ += disk_io;
   }
   ++latency_buckets_[LatencyBucket(latency_ms, latency_buckets_.size())];
 }
@@ -536,6 +549,7 @@ ServiceStats PhraseService::stats() const {
     stats.ingests = ingests_;
     stats.rebuilds = rebuilds_;
     stats.per_algorithm = per_algorithm_;
+    stats.disk_io = disk_io_;
     stats.p50_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.50);
     stats.p95_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.95);
   }

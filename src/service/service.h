@@ -108,6 +108,11 @@ struct ServiceStats {
   /// histogram (2x bucket resolution).
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  /// Cumulative simulated-disk I/O across executed queries (kNraDisk
+  /// paths only; zeros otherwise). On the sharded path these sum every
+  /// shard device's counters -- aggregate device work, the per-query
+  /// split lives in ShardedMineResult::shard_disk_io.
+  DiskIoStats disk_io;
   /// Live-update counters: current engine epoch, Ingest/IngestBatch calls
   /// served, background rebuilds completed, and the engine's per-epoch
   /// accounting as of the last update.
@@ -253,8 +258,10 @@ class PhraseService {
   /// sharded path (only flagged shards rebuild); empty rebuilds the
   /// single engine.
   void MaybeScheduleRebuild(std::vector<uint8_t> shard_flags = {});
+  /// `disk_io` is the executed mine's simulated-disk charge (zeros for
+  /// in-memory algorithms and cache hits); accumulated into stats().
   void RecordQuery(Algorithm algorithm, bool forced, bool executed,
-                   double latency_ms);
+                   double latency_ms, const DiskIoStats& disk_io = {});
 
   MiningEngine* engine_;
   PhraseServiceOptions options_;
@@ -277,6 +284,7 @@ class PhraseService {
   uint64_t ingests_ = 0;
   uint64_t rebuilds_ = 0;
   std::array<uint64_t, 6> per_algorithm_{};
+  DiskIoStats disk_io_;
   /// Log2 microsecond latency histogram (bucket i covers [2^i, 2^(i+1)) us).
   std::array<uint64_t, 40> latency_buckets_{};
 

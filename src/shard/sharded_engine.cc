@@ -91,6 +91,7 @@ struct ShardScatter {
   UpdateGuarantee guarantee = UpdateGuarantee::kFresh;
   uint64_t entries_read = 0;
   double disk_ms = 0.0;
+  DiskIoStats disk_io;  // this shard's own device (kNraDisk scatters)
   /// k'-th local score on the top-k' paths when the shard's result was
   /// truncated at k' (i.e. more could exist below); 0 when it reported
   /// everything it found.
@@ -285,6 +286,15 @@ bool TopKScatter(MiningEngine& engine, const Query& query,
                  ShardScatter* out) {
   MineOptions local = options;
   local.k = k_prime;
+  // Local top-k' candidates are identities for the merge, never
+  // materialized as text -- billing every shard device k' random phrase
+  // lookups would add a constant per-device cost that does not
+  // partition. The merged top-k's texts are resolved at the gather from
+  // the router's in-memory phrase file (Assemble below), so the sharded
+  // device model deliberately covers word-list I/O only; the monolithic
+  // kNraDisk path keeps the paper's k-lookup materialization charge.
+  // See docs/disk_tier.md.
+  local.charge_phrase_lookups = false;
   const MineResult mined = engine.Mine(query, algorithm, local);
   *out = ShardScatter{};
   out->epoch = snap.epoch;
@@ -292,6 +302,7 @@ bool TopKScatter(MiningEngine& engine, const Query& query,
                                 /*smj_full_lists=*/true);
   out->entries_read = mined.entries_read;
   out->disk_ms = mined.disk_ms;
+  out->disk_io = mined.disk_io;
   out->subcollection = mined.subcollection_size;
   if (mined.phrases.size() >= k_prime && !mined.phrases.empty()) {
     out->local_floor = mined.phrases.back().interestingness;
@@ -461,6 +472,18 @@ double AvgDocPhrases(const MiningEngine& engine) {
 
 ShardedEngine ShardedEngine::Build(Corpus corpus, Options options) {
   if (options.num_shards == 0) options.num_shards = 1;
+  // One disk-tier configuration: the fleet-level switches are merged
+  // with any tier declared on the embedded engine options (set-wins, so
+  // a tier configured on either surface survives), then written back to
+  // both so every consumer of options_.engine -- Build,
+  // RefreshDictionary, the service's reshard path -- sees the same
+  // per-shard tier.
+  options.disk_backed = options.disk_backed || options.engine.disk_backed;
+  if (options.disk_budget_per_shard == 0) {
+    options.disk_budget_per_shard = options.engine.disk_resident_budget;
+  }
+  options.engine.disk_backed = options.disk_backed;
+  options.engine.disk_resident_budget = options.disk_budget_per_shard;
   ShardedEngine sharded;
   sharded.options_ = std::move(options);
   const std::size_t n = sharded.options_.num_shards;
@@ -883,10 +906,16 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     out.result.subcollection_size =
         IsCountMode(mode) ? total_subcollection : 0;
     out.result.shard_epochs.reserve(n);
+    out.shard_disk_io.reserve(n);
     for (const ShardScatter& s : scatter) {
       out.result.shard_epochs.push_back(s.epoch);
       out.result.epoch += s.epoch;
       out.result.entries_read += s.entries_read;
+      // Each shard charged its own device: the aggregate counters sum
+      // (total device work) while the modeled latency is the slowest
+      // device's charge -- the disks run in parallel.
+      out.shard_disk_io.push_back(s.disk_io);
+      out.result.disk_io += s.disk_io;
       out.result.disk_ms = std::max(out.result.disk_ms, s.disk_ms);
       if (GuaranteeRank(s.guarantee) > GuaranteeRank(out.result.guarantee)) {
         out.result.guarantee = s.guarantee;
@@ -1041,6 +1070,14 @@ void ShardedEngine::RefreshDictionary() {
     global_set_ = std::move(fresh_set);
   }
   std::fill(rebuild_recommended_.begin(), rebuild_recommended_.end(), 0);
+}
+
+void ShardedEngine::SetDiskBudgetPerShard(uint64_t budget_bytes) {
+  options_.disk_budget_per_shard = budget_bytes;
+  options_.engine.disk_resident_budget = budget_bytes;
+  for (const std::unique_ptr<MiningEngine>& shard : shards_) {
+    shard->SetDiskResidentBudget(budget_bytes);
+  }
 }
 
 std::vector<uint64_t> ShardedEngine::epochs() const {

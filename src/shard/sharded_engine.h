@@ -53,6 +53,24 @@ struct ShardedEngineOptions {
   /// Disabled automatically where the bound is not provable (second-order
   /// OR expansion, whose score is not monotone in df).
   bool threshold_exchange = true;
+  /// Declares every shard's word lists disk-backed: each shard engine
+  /// gets its OWN SimulatedDisk (engine.disk device model), so kNraDisk
+  /// scatters run on genuinely parallel, independently-throttled devices
+  /// -- the merged disk_ms is the slowest device's charge (makespan),
+  /// not one serialized simulator's sum -- and CostPlanner routes the
+  /// NRA candidate through the disk path (see the planner's routing
+  /// rule). Merged with engine.disk_backed at Build (set on either
+  /// surface wins) and written back to both.
+  bool disk_backed = false;
+  /// Per-shard resident-memory budget of the disk tier, in bytes: each
+  /// shard's spill policy pins its own hottest lists (by its local term
+  /// dfs) up to this budget and spills the cold tail to its device (see
+  /// DiskResidentLists::ResidentSet). 0 keeps every list on disk, the
+  /// paper's Section 5.5 protocol. Placement moves only modeled cost:
+  /// ranked output is bitwise identical across budgets. Merged with
+  /// engine.disk_resident_budget at Build (a nonzero value on either
+  /// surface wins, fleet-level first) and written back to both.
+  uint64_t disk_budget_per_shard = 0;
   /// Test seam: maps a global document id to its owning shard (second
   /// argument is num_shards). Defaults to a SplitMix64 hash of the id.
   std::function<std::size_t(DocId, std::size_t)> partitioner;
@@ -95,6 +113,12 @@ struct ShardedMineResult {
   /// phrase outside the candidate union ranked above this in any shard.
   /// See the class comment for the (approximate) bound this supports.
   double candidate_floor = 0.0;
+  /// Per-shard simulated-disk I/O in shard order (kNraDisk scatters
+  /// only; all zeros otherwise). Every shard charges its OWN device, so
+  /// entries are independent: result.disk_io sums them (aggregate device
+  /// work) while result.disk_ms keeps the slowest device's charge (the
+  /// parallel makespan).
+  std::vector<DiskIoStats> shard_disk_io;
 };
 
 /// Hash-partitioned corpus mining: N single-shard MiningEngines sharing
@@ -262,6 +286,13 @@ class ShardedEngine {
   void SetThresholdExchange(bool enabled) {
     options_.threshold_exchange = enabled;
   }
+
+  /// Re-budgets every shard's disk tier at runtime (benchmarks sweep
+  /// resident fractions on one built fleet; results are identical at
+  /// every budget -- placement moves modeled cost, never contents).
+  /// Requires external exclusive access: no concurrent Mine, update or
+  /// rebuild calls in flight.
+  void SetDiskBudgetPerShard(uint64_t budget_bytes);
 
  private:
   ShardedEngine() = default;

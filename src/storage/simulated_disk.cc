@@ -21,6 +21,7 @@ uint64_t SimulatedDisk::PagesForBytes(uint64_t size_bytes) const {
 
 void SimulatedDisk::Read(uint32_t file, uint64_t offset, uint64_t n) {
   if (n == 0) return;
+  stats_.bytes_read += n;
   const uint64_t first = offset / options_.page_size_bytes;
   const uint64_t last = (offset + n - 1) / options_.page_size_bytes;
   for (uint64_t page = first; page <= last; ++page) {

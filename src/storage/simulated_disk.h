@@ -26,7 +26,15 @@ struct DiskStats {
   uint64_t cache_hits = 0;       ///< Served from the LRU cache.
   uint64_t sequential_fetches = 0;
   uint64_t random_fetches = 0;
+  /// Logical bytes requested through Read() (AccessPage touches whole
+  /// pages and is not counted here).
+  uint64_t bytes_read = 0;
   double cost_ms = 0.0;          ///< Total charged I/O time.
+
+  /// Device blocks actually fetched (cache misses, prefetches included).
+  uint64_t BlocksRead() const { return sequential_fetches + random_fetches; }
+  /// Fetches that paid the random (seek) rate.
+  uint64_t Seeks() const { return random_fetches; }
 };
 
 /// Simulates disk-resident index files. Callers register files (sized in

@@ -1,6 +1,7 @@
 // CostPlanner decision table over synthesized statistics, plus integration
 // with a real engine's index statistics.
 
+#include <cmath>
 #include <vector>
 
 #include "core/engine.h"
@@ -166,6 +167,131 @@ TEST(PlannerTest, PendingUpdatesExcludeStaleMethods) {
   inputs.terms = {Term(1, 20000, true, 30000)};
   PlanDecision promised = CostPlanner::PlanFromInputs(inputs, exact_only);
   EXPECT_EQ(promised.algorithm, Algorithm::kGm);
+}
+
+TEST(PlannerTest, DiskBackedEmitsNraDiskCandidateWithIoCharge) {
+  PlannerInputs inputs = BaseInputs();
+  inputs.terms = {Term(1, 20000, true, 30000), Term(2, 20000, true, 30000)};
+  const PlanDecision in_memory = CostPlanner::PlanFromInputs(inputs, {});
+
+  inputs.disk_backed = true;
+  for (TermPlanStats& t : inputs.terms) {
+    t.on_disk = true;
+    t.disk_blocks = 12;  // ~30k packed entries over 32 KiB blocks
+  }
+  const PlanDecision on_disk = CostPlanner::PlanFromInputs(inputs, {});
+
+  double nra_mem = -1.0, nra_disk = -1.0;
+  for (const auto& [algorithm, cost] : in_memory.estimated_costs) {
+    EXPECT_NE(algorithm, Algorithm::kNraDisk);
+    if (algorithm == Algorithm::kNra) nra_mem = cost;
+  }
+  for (const auto& [algorithm, cost] : on_disk.estimated_costs) {
+    EXPECT_NE(algorithm, Algorithm::kNra)
+        << "disk-backed inputs must cost the NRA candidate as kNraDisk";
+    if (algorithm == Algorithm::kNraDisk) nra_disk = cost;
+  }
+  ASSERT_GE(nra_mem, 0.0);
+  ASSERT_GE(nra_disk, 0.0);
+  EXPECT_GT(nra_disk, nra_mem);  // the spilled blocks' I/O charge
+
+  // Resident placement charges nothing: same model, new label only.
+  for (TermPlanStats& t : inputs.terms) {
+    t.on_disk = false;
+    t.disk_blocks = 0;
+  }
+  const PlanDecision pinned = CostPlanner::PlanFromInputs(inputs, {});
+  for (const auto& [algorithm, cost] : pinned.estimated_costs) {
+    if (algorithm == Algorithm::kNraDisk) EXPECT_DOUBLE_EQ(cost, nra_mem);
+  }
+
+  // A single spilled list streams at the sequential rate: the random
+  // charge models the head jumping between on-device files, which needs
+  // more than one of them -- pinning all but one list must not pay it.
+  inputs.terms[0].on_disk = true;
+  inputs.terms[0].disk_blocks = 12;
+  const PlanDecision one_spilled = CostPlanner::PlanFromInputs(inputs, {});
+  const PlannerOptions defaults;
+  const double traversal =
+      defaults.nra_traversal_fraction +
+      defaults.nra_k_penalty * static_cast<double>(inputs.k);
+  const double expected_io =
+      std::ceil(traversal * 12.0) * defaults.disk_sequential_block_cost;
+  for (const auto& [algorithm, cost] : one_spilled.estimated_costs) {
+    if (algorithm == Algorithm::kNraDisk) {
+      EXPECT_DOUBLE_EQ(cost, nra_mem + expected_io);
+    }
+  }
+
+  // A zero-block "spilled" term (df 0, or an estimate rounding to
+  // nothing) occupies no device file, so it must not count toward the
+  // interleave and flip the real list's reads to the random rate.
+  inputs.terms[1].on_disk = true;
+  inputs.terms[1].disk_blocks = 0;
+  const PlanDecision with_empty = CostPlanner::PlanFromInputs(inputs, {});
+  for (const auto& [algorithm, cost] : with_empty.estimated_costs) {
+    if (algorithm == Algorithm::kNraDisk) {
+      EXPECT_DOUBLE_EQ(cost, nra_mem + expected_io);
+    }
+  }
+}
+
+TEST(PlannerTest, DiskChargesSteerBetweenNraDiskAndSmj) {
+  // Long spilled lists on a multi-term query: NRA-disk's round-robin
+  // head pays the random rate per traversed block while SMJ streams
+  // sequentially, so SMJ wins once lists are long enough that I/O
+  // dominates -- flip the traversal fraction low and NRA-disk's partial
+  // reads win back. Both decisions route through the disk path, never
+  // bare kNra.
+  PlannerInputs inputs = BaseInputs();
+  inputs.disk_backed = true;
+  inputs.terms = {Term(1, 30000, true, 30000), Term(2, 30000, true, 30000)};
+  for (TermPlanStats& t : inputs.terms) {
+    t.on_disk = true;
+    t.disk_blocks = 1000;
+  }
+  const PlanDecision streamed = CostPlanner::PlanFromInputs(inputs, {});
+  EXPECT_EQ(streamed.algorithm, Algorithm::kSmj);
+
+  PlannerOptions shallow;
+  shallow.nra_traversal_fraction = 0.01;
+  shallow.nra_k_penalty = 0.0;
+  const PlanDecision partial = CostPlanner::PlanFromInputs(inputs, shallow);
+  EXPECT_EQ(partial.algorithm, Algorithm::kNraDisk);
+}
+
+TEST(PlannerTest, PlanAcrossShardsChargesDiskMakespan) {
+  // Two shards, identical in-memory stats; one spilled its lists. The
+  // fleet must plan under the kNraDisk label (one disk-backed shard
+  // makes the scatter's slowest shard disk-bound) and the makespan must
+  // carry the spilled shard's I/O term.
+  PlannerInputs resident = BaseInputs();
+  resident.terms = {Term(1, 20000, true, 30000), Term(2, 20000, true, 30000)};
+  resident.disk_backed = true;
+
+  PlannerInputs spilled = resident;
+  for (TermPlanStats& t : spilled.terms) {
+    t.on_disk = true;
+    t.disk_blocks = 500;
+  }
+
+  std::vector<PlannerInputs> shards = {resident, spilled};
+  const PlanDecision fleet = CostPlanner::PlanAcrossShards(shards, {});
+  double fleet_nra_disk = -1.0;
+  for (const auto& [algorithm, cost] : fleet.estimated_costs) {
+    EXPECT_NE(algorithm, Algorithm::kNra);
+    if (algorithm == Algorithm::kNraDisk) fleet_nra_disk = cost;
+  }
+  ASSERT_GE(fleet_nra_disk, 0.0);
+
+  // The makespan equals the spilled shard's own kNraDisk cost (the
+  // resident shard is strictly cheaper).
+  const PlanDecision alone = CostPlanner::PlanFromInputs(spilled, {});
+  double alone_nra_disk = -1.0;
+  for (const auto& [algorithm, cost] : alone.estimated_costs) {
+    if (algorithm == Algorithm::kNraDisk) alone_nra_disk = cost;
+  }
+  EXPECT_DOUBLE_EQ(fleet_nra_disk, alone_nra_disk);
 }
 
 TEST(PlannerTest, PlanOverRealEngineFillsStatistics) {

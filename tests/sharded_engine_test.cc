@@ -1,12 +1,16 @@
 #include "shard/sharded_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "core/disk_lists.h"
 
 #include <gtest/gtest.h>
 
@@ -470,6 +474,108 @@ TEST(ShardedEngineTest, RefreshDictionaryAdmitsUpdateBornPhrases) {
 }
 
 // --- Concurrency: ingest storm (TSan scope) ----------------------------------
+
+// --- Per-shard disk tier -----------------------------------------------------
+
+using testing::RankedSignature;
+
+TEST(ShardedEngineTest, DiskTierDifferentialAcrossResidentFractions) {
+  // Same corpus + same shard count: kNraDisk ranked output must be
+  // bitwise identical at every resident budget (0, half, all) and equal
+  // to in-memory kNra on the same fleet -- placement moves modeled cost,
+  // never contents -- while the per-shard I/O counters shrink toward
+  // zero as the budget pins more of each shard's lists.
+  ShardedEngineOptions extra;
+  extra.disk_backed = true;
+  extra.disk_budget_per_shard = 0;
+  ShardedEngine sharded =
+      BuildSharded(MakeSmallSyntheticCorpus(700), /*num_shards=*/4,
+                   /*min_df=*/3, std::move(extra));
+  MiningEngine mono = MiningEngine::Build(MakeSmallSyntheticCorpus(700),
+                                          EngineOptions(/*min_df=*/3));
+  const std::vector<Query> queries = HarvestQueries(mono, 6);
+  ASSERT_FALSE(queries.empty());
+
+  // Warm every shard's lists, then size the budget off the largest shard.
+  for (const Query& q : queries) {
+    (void)sharded.Mine(q, Algorithm::kNraDisk, MineOptions{.k = 1});
+  }
+  uint64_t max_shard_bytes = 0;
+  for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+    max_shard_bytes = std::max<uint64_t>(
+        max_shard_bytes, sharded.shard(s).word_lists().InMemoryBytes());
+  }
+  ASSERT_GT(max_shard_bytes, 0u);
+
+  for (const Query& base : queries) {
+    for (const QueryOperator op : {QueryOperator::kAnd, QueryOperator::kOr}) {
+      Query query = base;
+      query.op = op;
+      const MineOptions options{.k = 5};
+
+      sharded.SetDiskBudgetPerShard(0);
+      const ShardedMineResult spilled =
+          sharded.Mine(query, Algorithm::kNraDisk, options);
+      sharded.SetDiskBudgetPerShard(max_shard_bytes / 2);
+      const ShardedMineResult half =
+          sharded.Mine(query, Algorithm::kNraDisk, options);
+      sharded.SetDiskBudgetPerShard(max_shard_bytes);
+      const ShardedMineResult resident =
+          sharded.Mine(query, Algorithm::kNraDisk, options);
+      const ShardedMineResult in_memory =
+          sharded.Mine(query, Algorithm::kNra, options);
+
+      EXPECT_EQ(RankedSignature(spilled.result), RankedSignature(half.result));
+      EXPECT_EQ(RankedSignature(spilled.result), RankedSignature(resident.result));
+      EXPECT_EQ(RankedSignature(spilled.result), RankedSignature(in_memory.result));
+
+      // Per-device counters: one entry per shard, aggregates sum them.
+      ASSERT_EQ(spilled.shard_disk_io.size(), sharded.num_shards());
+      DiskIoStats summed;
+      for (const DiskIoStats& io : spilled.shard_disk_io) summed += io;
+      EXPECT_EQ(summed.blocks_read, spilled.result.disk_io.blocks_read);
+      EXPECT_EQ(summed.bytes, spilled.result.disk_io.bytes);
+      // Fully pinned lists and no scatter-side phrase lookups: the
+      // all-resident fleet charges nothing at all.
+      EXPECT_EQ(resident.result.disk_io.blocks_read, 0u);
+      EXPECT_DOUBLE_EQ(resident.result.disk_ms, 0.0);
+      EXPECT_LE(half.result.disk_io.bytes, spilled.result.disk_io.bytes);
+      EXPECT_EQ(in_memory.result.disk_io.blocks_read, 0u);
+    }
+  }
+}
+
+TEST(ShardedEngineTest, DiskTierSpillPlacementDeterministicPerShard) {
+  // Same corpus + same budget => identical per-shard placement across
+  // two independently built fleets (the satellite determinism contract:
+  // placement is a pure function of corpus, budget and built lists).
+  ShardedEngineOptions extra_a;
+  extra_a.disk_backed = true;
+  ShardedEngineOptions extra_b;
+  extra_b.disk_backed = true;
+  ShardedEngine a = BuildSharded(MakeSmallSyntheticCorpus(500),
+                                 /*num_shards=*/3, /*min_df=*/3,
+                                 std::move(extra_a));
+  ShardedEngine b = BuildSharded(MakeSmallSyntheticCorpus(500),
+                                 /*num_shards=*/3, /*min_df=*/3,
+                                 std::move(extra_b));
+  MiningEngine mono = MiningEngine::Build(MakeSmallSyntheticCorpus(500),
+                                          EngineOptions(/*min_df=*/3));
+  const std::vector<Query> queries = HarvestQueries(mono, 4);
+  ASSERT_FALSE(queries.empty());
+  for (const Query& q : queries) {
+    (void)a.Mine(q, Algorithm::kNraDisk, MineOptions{.k = 1});
+    (void)b.Mine(q, Algorithm::kNraDisk, MineOptions{.k = 1});
+  }
+  for (std::size_t s = 0; s < a.num_shards(); ++s) {
+    const uint64_t budget = a.shard(s).word_lists().InMemoryBytes() / 2;
+    const auto place_a = DiskResidentLists::ResidentSet(
+        a.shard(s).word_lists(), a.shard(s).inverted(), budget);
+    const auto place_b = DiskResidentLists::ResidentSet(
+        b.shard(s).word_lists(), b.shard(s).inverted(), budget);
+    EXPECT_EQ(place_a, place_b) << "shard " << s;
+  }
+}
 
 TEST(ShardedEngineTest, ConcurrentShardIngestStorm) {
   ShardedEngine sharded =

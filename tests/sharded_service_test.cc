@@ -55,6 +55,36 @@ TEST(ShardedServiceTest, MineSyncMatchesDirectShardedMine) {
   }
 }
 
+TEST(ShardedServiceTest, DiskBackedFleetSurfacesIoCountersInStats) {
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.engine.extractor.min_df = 2;
+  options.disk_backed = true;  // budget 0: every shard list spills
+  ShardedEngine sharded = ShardedEngine::Build(MakeSmallSyntheticCorpus(300),
+                                               std::move(options));
+  PhraseServiceOptions service_options;
+  service_options.pool.num_threads = 2;
+  PhraseService service(&sharded, service_options);
+
+  const Query query = FacetQuery(sharded);
+  const ServiceReply reply = service.MineSync(
+      ServiceRequest{query, MineOptions{}, Algorithm::kNraDisk});
+  EXPECT_GT(reply.result.disk_io.blocks_read, 0u);
+  EXPECT_GT(reply.result.disk_io.bytes, 0u);
+  EXPECT_EQ(reply.result.shard_epochs.size(), 3u);
+
+  // The executed mine's device counters accumulate into the service
+  // stats (and render in ToString); an in-memory mine adds nothing.
+  const ServiceStats after_disk = service.stats();
+  EXPECT_EQ(after_disk.disk_io.blocks_read, reply.result.disk_io.blocks_read);
+  EXPECT_EQ(after_disk.disk_io.bytes, reply.result.disk_io.bytes);
+  EXPECT_NE(after_disk.ToString().find("disk tier:"), std::string::npos);
+
+  (void)service.MineSync(ServiceRequest{query, MineOptions{}, Algorithm::kNra});
+  EXPECT_EQ(service.stats().disk_io.blocks_read,
+            after_disk.disk_io.blocks_read);
+}
+
 TEST(ShardedServiceTest, PlansAcrossShardsAndServesFromCache) {
   ShardedEngine sharded = BuildSharded(4, 300);
   PhraseServiceOptions options;

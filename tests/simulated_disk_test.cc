@@ -145,6 +145,22 @@ TEST(DiskListCursorTest, AdvancesThroughAllEntries) {
   EXPECT_GT(disk.stats().page_requests, 0u);
 }
 
+TEST(SimulatedDiskTest, BytesReadCountsLogicalRequests) {
+  SimulatedDisk disk(NoLookahead());
+  const uint32_t f = disk.RegisterFile(1 << 20);
+  disk.Read(f, 0, 12);
+  disk.Read(f, 100, 50);
+  EXPECT_EQ(disk.stats().bytes_read, 62u);
+  // AccessPage touches whole pages; it does not count logical bytes.
+  disk.AccessPage(f, 3);
+  EXPECT_EQ(disk.stats().bytes_read, 62u);
+  EXPECT_EQ(disk.stats().BlocksRead(),
+            disk.stats().sequential_fetches + disk.stats().random_fetches);
+  EXPECT_EQ(disk.stats().Seeks(), disk.stats().random_fetches);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().bytes_read, 0u);
+}
+
 TEST(SimulatedDiskTest, PagesForBytesRoundsUp) {
   SimulatedDisk disk{DiskOptions{}};
   EXPECT_EQ(disk.PagesForBytes(1), 1u);

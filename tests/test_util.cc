@@ -54,6 +54,16 @@ std::vector<PhraseId> Ids(const MineResult& result) {
   return ids;
 }
 
+std::vector<std::pair<PhraseId, double>> RankedSignature(
+    const MineResult& result) {
+  std::vector<std::pair<PhraseId, double>> sig;
+  sig.reserve(result.phrases.size());
+  for (const MinedPhrase& p : result.phrases) {
+    sig.emplace_back(p.phrase, p.score);
+  }
+  return sig;
+}
+
 std::vector<std::string> Rendered(const MiningEngine& engine,
                                   const MineResult& result) {
   std::vector<std::string> out;

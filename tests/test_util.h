@@ -2,6 +2,7 @@
 #define PHRASEMINE_TESTS_TEST_UTIL_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -30,6 +31,13 @@ MiningEngine MakeSmallEngine(std::size_t num_docs = 600);
 
 /// Result phrase ids in rank order.
 std::vector<PhraseId> Ids(const MineResult& result);
+
+/// (phrase, score) sequence of a ranked result: the signature the
+/// differential tests compare bitwise (disk placement, kernel paths,
+/// sharded merges). Two results with equal signatures rank the same
+/// phrases with the same scores in the same order.
+std::vector<std::pair<PhraseId, double>> RankedSignature(
+    const MineResult& result);
 
 /// Renders ranked results as "text:score" strings (debugging aid).
 std::vector<std::string> Rendered(const MiningEngine& engine,
