@@ -65,6 +65,8 @@ struct SweepRow {
   double hit_rate = 0.0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
 };
 
 /// Documents re-materialized as strings so the mixed-phase updater never
@@ -179,7 +181,8 @@ int Main() {
     const double speedup = qps / serial_qps;
     if (threads == 8) speedup_at_8 = speedup;
     sweep.push_back(SweepRow{threads, qps, speedup, hit_rate,
-                             stats.p50_latency_ms, stats.p95_latency_ms});
+                             stats.p50_latency_ms, stats.p95_latency_ms,
+                             stats.p99_latency_ms, stats.p999_latency_ms});
     std::printf("%8zu %10.1f %10.0f %8.1fx %8.1f%% %9.3f\n", threads, ms,
                 qps, speedup, 100.0 * hit_rate, stats.p95_latency_ms);
   }
@@ -243,11 +246,16 @@ int Main() {
                          ? 0.0
                          : static_cast<double>(timed_hits) /
                                static_cast<double>(timed_lookups);
+    auto tail = [&](std::size_t permille) {
+      return latencies.empty()
+                 ? 0.0
+                 : latencies[std::min(latencies.size() - 1,
+                                      latencies.size() * permille / 1000)];
+    };
     mixed.p50_ms = latencies.empty() ? 0.0 : latencies[latencies.size() / 2];
-    mixed.p95_ms = latencies.empty()
-                       ? 0.0
-                       : latencies[std::min(latencies.size() - 1,
-                                            latencies.size() * 95 / 100)];
+    mixed.p95_ms = tail(950);
+    mixed.p99_ms = tail(990);
+    mixed.p999_ms = tail(999);
     mixed_epoch = stats.epoch;
     std::printf("\nmixed read/update at 8 threads: %.0f q/s (%.1fx serial) "
                 "with %zu ingests, final epoch %llu, hit_rate %.1f%%\n",
@@ -265,17 +273,20 @@ int Main() {
       std::fprintf(json,
                    "%s\n    {\"threads\": %zu, \"qps\": %.1f, \"speedup\": "
                    "%.2f, \"hit_rate\": %.4f, \"p50_ms\": %.4f, \"p95_ms\": "
-                   "%.4f}",
+                   "%.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f}",
                    i == 0 ? "" : ",", row.threads, row.qps, row.speedup,
-                   row.hit_rate, row.p50_ms, row.p95_ms);
+                   row.hit_rate, row.p50_ms, row.p95_ms, row.p99_ms,
+                   row.p999_ms);
     }
     std::fprintf(json,
                  "\n  ],\n  \"mixed\": {\"threads\": %zu, \"qps\": %.1f, "
                  "\"speedup\": %.2f, \"hit_rate\": %.4f, \"p50_ms\": %.4f, "
-                 "\"p95_ms\": %.4f, \"updates\": %zu, \"final_epoch\": "
+                 "\"p95_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+                 "\"updates\": %zu, \"final_epoch\": "
                  "%llu},\n",
                  mixed.threads, mixed.qps, mixed.speedup, mixed.hit_rate,
-                 mixed.p50_ms, mixed.p95_ms, num_updates,
+                 mixed.p50_ms, mixed.p95_ms, mixed.p99_ms, mixed.p999_ms,
+                 num_updates,
                  static_cast<unsigned long long>(mixed_epoch));
     std::fprintf(json,
                  "  \"speedup_at_8\": %.2f,\n  \"meets_target\": %s\n}\n",

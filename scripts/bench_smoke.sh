@@ -62,4 +62,13 @@ for b in "${benches[@]}"; do
   fi
 done
 
+# The trace/explain example is the runnable tour of the observability
+# surface (traced queries, slow-query log, Prometheus exposition); run it
+# here so it cannot bit-rot either.
+echo "== example_trace_explain"
+if ! "$BUILD_DIR/example_trace_explain" > /dev/null; then
+  echo "FAIL: example_trace_explain exited non-zero" >&2
+  exit 1
+fi
+
 echo "bench smoke OK (${#benches[@]} paper-figure binaries ran)"

@@ -58,6 +58,32 @@ def headline(data):
     return None
 
 
+def report_tail_latency(data, label):
+    """Prints tail-latency columns (p95/p99/p999) informationally. Tail
+    percentiles are noisy on CI runners, so they are reported for the log
+    and the artifact diff but never gated."""
+    def fmt(row):
+        cols = []
+        for key in ("p50_ms", "p95_ms", "p99_ms", "p999_ms"):
+            if isinstance(row.get(key), (int, float)):
+                cols.append(f"{key[:-3]}={row[key]:.3f}ms")
+        return " ".join(cols)
+
+    rows = data.get("warm_sweep")
+    if isinstance(rows, list) and rows:
+        row = max(rows, key=lambda r: r.get("threads", 0))
+        line = fmt(row)
+        if line:
+            print(f"tail latency ({label}, warm at {row.get('threads')} "
+                  f"threads, informational): {line}")
+    mixed = data.get("mixed")
+    if isinstance(mixed, dict):
+        line = fmt(mixed)
+        if line:
+            print(f"tail latency ({label}, mixed read/update, "
+                  f"informational): {line}")
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -155,6 +181,7 @@ def main():
         print(f"FAIL: {args.new} has no recognizable headline metric")
         return 1
     name, new_value = new_metric
+    report_tail_latency(new_data, "current")
 
     status = check_single_step(args.old, name, new_value, args.threshold)
     if args.history:

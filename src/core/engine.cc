@@ -1,11 +1,14 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace phrasemine {
 
@@ -429,6 +432,18 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
       }
       break;
     }
+  }
+  // The count-based miners have no internal phases to trace; synthesize
+  // their one-span story from the result accounting so a traced request
+  // always comes back with a tree (the list miners attach richer ones).
+  if (effective.trace && result.trace == nullptr) {
+    result.trace = std::make_shared<TraceSpan>();
+    result.trace->name = std::string("mine:") + AlgorithmName(algorithm);
+    result.trace->wall_ms = result.compute_ms;
+    AddCounter(result.trace.get(), "entries_read",
+               static_cast<double>(result.entries_read));
+    AddCounter(result.trace.get(), "subcollection",
+               static_cast<double>(result.subcollection_size));
   }
   // Stamp the epoch of the overlay actually applied: the engine's own
   // snapshot on the auto path. With a caller-supplied delta the engine

@@ -2,6 +2,7 @@
 #define PHRASEMINE_CORE_MINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -12,7 +13,8 @@
 
 namespace phrasemine {
 
-class DeltaIndex;  // core/delta_index.h
+class DeltaIndex;   // core/delta_index.h
+struct TraceSpan;   // obs/trace.h
 
 /// What a result is worth relative to corpus updates absorbed so far
 /// (Section 4.5.1). Stamped into MineResult by MiningEngine/PhraseService.
@@ -122,6 +124,13 @@ struct MineResult {
   /// Which correctness guarantee held under the update overlay, if any.
   /// A merged result carries the worst guarantee across its shards.
   UpdateGuarantee guarantee = UpdateGuarantee::kFresh;
+  /// Root span of this mine's trace (obs/trace.h), filled only when
+  /// MineOptions::trace was set: null by default, so untraced mines pay
+  /// one pointer of storage and nothing else. Shared so result copies
+  /// (cache plumbing, merged replies) do not duplicate the tree;
+  /// PhraseService strips it before caching a result (a cached trace
+  /// would replay a stale execution story on every hit).
+  std::shared_ptr<TraceSpan> trace;
 };
 
 /// Per-query knobs shared by all algorithms.
@@ -163,6 +172,13 @@ struct MineOptions {
   /// work.
   InterestingnessMeasure measure =
       InterestingnessMeasure::kNormalizedFrequency;
+  /// Opt-in per-request tracing: when true the mine allocates a span tree
+  /// describing where its time went (MineResult::trace) -- per-shard
+  /// scatter/exchange/fill/gather on the sharded path, traversal and disk
+  /// phases in the list miners. Off by default: the untraced path is a
+  /// single branch per phase, no allocations. Tracing never changes the
+  /// ranked output (it is excluded from result-cache keys).
+  bool trace = false;
 };
 
 /// Common interface of all five mining algorithms.

@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "core/delta_index.h"
 #include "core/exact_miner.h"
+#include "obs/trace.h"
 
 namespace phrasemine {
 
@@ -49,6 +50,12 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
   if (disk_lists_ != nullptr) {
     disk_lists_->disk().Reset();  // Cold cache per query.
   }
+  if (options.trace) {
+    result.trace = std::make_shared<TraceSpan>();
+    result.trace->name =
+        disk_lists_ != nullptr ? "mine:nra-disk" : "mine:nra";
+  }
+  TraceSpan* trace = result.trace.get();
   StopWatch watch;
 
   const QueryOperator op = query.op;
@@ -154,6 +161,8 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
   };
 
   // --- Round-robin consumption (lines 4-13) ---------------------------------
+  const double traversal_start =
+      trace != nullptr ? watch.ElapsedMillis() : 0.0;
   while (!done) {
     bool read_any = false;
     for (std::size_t i = 0; i < r && !done; ++i) {
@@ -194,6 +203,8 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
     }
     if (!read_any) break;
   }
+  const double traversal_end =
+      trace != nullptr ? watch.ElapsedMillis() : 0.0;
 
   // --- Result extraction (line 14) -------------------------------------------
   // Rank by upper bound as the paper prescribes, breaking upper-bound ties
@@ -256,6 +267,30 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
     result.disk_io.blocks_read = stats.BlocksRead();
     result.disk_io.seeks = stats.Seeks();
     result.disk_io.bytes = stats.bytes_read;
+  }
+  if (trace != nullptr) {
+    trace->wall_ms = result.compute_ms;
+    TraceSpan* traversal = AddSpan(trace, "traversal");
+    traversal->wall_ms = traversal_end - traversal_start;
+    AddCounter(traversal, "entries_read",
+               static_cast<double>(result.entries_read));
+    AddCounter(traversal, "peak_candidates",
+               static_cast<double>(result.peak_candidates));
+    AddCounter(traversal, "lists_traversed_fraction",
+               result.lists_traversed_fraction);
+    TraceSpan* extract = AddSpan(trace, "extract_topk");
+    extract->wall_ms = result.compute_ms - traversal_end;
+    AddCounter(extract, "results", static_cast<double>(result.phrases.size()));
+    if (disk_lists_ != nullptr) {
+      // The device charge is modeled time overlapping the traversal, not a
+      // separate phase, so it hangs off the root as an accounting span.
+      TraceSpan* disk = AddSpan(trace, "disk_read");
+      disk->wall_ms = result.disk_ms;
+      AddCounter(disk, "blocks_read",
+                 static_cast<double>(result.disk_io.blocks_read));
+      AddCounter(disk, "seeks", static_cast<double>(result.disk_io.seeks));
+      AddCounter(disk, "bytes", static_cast<double>(result.disk_io.bytes));
+    }
   }
   return result;
 }

@@ -8,8 +8,29 @@
 #include "core/delta_index.h"
 #include "core/exact_miner.h"
 #include "core/kernels.h"
+#include "obs/trace.h"
 
 namespace phrasemine {
+
+namespace {
+
+/// Attaches the one-phase SMJ trace (both merge paths report the same
+/// shape; `path` says which implementation ran).
+void AttachSmjTrace(MineResult* result, const char* path) {
+  result->trace = std::make_shared<TraceSpan>();
+  result->trace->name = "mine:smj";
+  result->trace->detail = path;
+  result->trace->wall_ms = result->compute_ms;
+  TraceSpan* merge = AddSpan(result->trace.get(), "merge");
+  merge->wall_ms = result->compute_ms;
+  AddCounter(merge, "entries_read",
+             static_cast<double>(result->entries_read));
+  AddCounter(merge, "distinct_candidates",
+             static_cast<double>(result->peak_candidates));
+  AddCounter(merge, "results", static_cast<double>(result->phrases.size()));
+}
+
+}  // namespace
 
 SmjMiner::SmjMiner(const WordIdOrderedLists& lists,
                    const PhraseDictionary& dict)
@@ -85,6 +106,7 @@ MineResult SmjMiner::MineKernel(const Query& query,
   result.peak_candidates = distinct;
   result.phrases = collector.Take();
   result.compute_ms = watch.ElapsedMillis();
+  if (options.trace) AttachSmjTrace(&result, "kernel");
   return result;
 }
 
@@ -154,6 +176,7 @@ MineResult SmjMiner::MineScalar(const Query& query,
   result.peak_candidates = distinct;
   result.phrases = collector.Take();
   result.compute_ms = watch.ElapsedMillis();
+  if (options.trace) AttachSmjTrace(&result, "scalar");
   return result;
 }
 

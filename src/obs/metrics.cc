@@ -1,0 +1,300 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace phrasemine {
+
+namespace obs_internal {
+
+std::size_t ThisThreadStripe() {
+  thread_local const std::size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kMetricStripes;
+  return stripe;
+}
+
+}  // namespace obs_internal
+
+namespace {
+
+/// Lower bound (inclusive) of bucket `i`; 0 for the first bucket.
+uint64_t BucketLowerBound(std::size_t i) {
+  return i == 0 ? 0 : Histogram::BucketUpperBound(i - 1) + 1;
+}
+
+}  // namespace
+
+uint64_t Histogram::BucketUpperBound(std::size_t i) {
+  if (i >= kBuckets - 1) return UINT64_MAX;  // clamp bucket: +Inf
+  if (i < 3) return i + 1;  // 1, 2, 3 exact
+  const std::size_t lg = (i + 5) / 4;
+  const std::size_t sub = (i + 5) % 4;
+  const uint64_t width = uint64_t{1} << (lg - 2);
+  return (uint64_t{4} + sub) * width + width - 1;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  const auto target = static_cast<uint64_t>(
+      std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(count)));
+  uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= std::max<uint64_t>(target, 1)) {
+      const uint64_t lo = BucketLowerBound(i);
+      const uint64_t hi = Histogram::BucketUpperBound(i);
+      // The clamp bucket has no finite upper bound; report its floor.
+      if (hi == UINT64_MAX) return static_cast<double>(lo);
+      return (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+    }
+  }
+  return 0.0;  // unreachable: seen reaches count
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+/// Splits "name{label=...}" so a histogram's _bucket/_sum/_count suffixes
+/// land before the label block, as the Prometheus format requires.
+namespace {
+std::pair<std::string_view, std::string_view> SplitLabels(
+    std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+/// `# TYPE` lines carry the bare metric name (labels are per-sample).
+std::string_view BareName(std::string_view name) {
+  return SplitLabels(name).first;
+}
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  char buf[192];
+  // One `# TYPE` line per metric family: labeled samples of one family
+  // sort adjacently (the name is sorted with its label block), so a
+  // family's TYPE line is emitted only when the bare name changes.
+  std::string_view last_family;
+  for (const auto& [name, value] : counters) {
+    if (BareName(name) != last_family) {
+      last_family = BareName(name);
+      std::snprintf(buf, sizeof(buf), "# TYPE %.*s counter\n",
+                    static_cast<int>(last_family.size()),
+                    last_family.data());
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  last_family = {};
+  for (const auto& [name, value] : gauges) {
+    if (BareName(name) != last_family) {
+      last_family = BareName(name);
+      std::snprintf(buf, sizeof(buf), "# TYPE %.*s gauge\n",
+                    static_cast<int>(last_family.size()),
+                    last_family.data());
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  last_family = {};
+  for (const HistogramSnapshot& h : histograms) {
+    const auto [base, labels] = SplitLabels(h.name);
+    if (base != last_family) {
+      last_family = base;
+      std::snprintf(buf, sizeof(buf), "# TYPE %.*s histogram\n",
+                    static_cast<int>(base.size()), base.data());
+      out += buf;
+    }
+    uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;  // elide empty buckets
+      cumulative += h.buckets[i];
+      const uint64_t le = Histogram::BucketUpperBound(i);
+      if (le == UINT64_MAX) continue;  // folded into +Inf below
+      std::snprintf(buf, sizeof(buf), "%.*s_bucket{le=\"%llu\"%s%.*s %llu\n",
+                    static_cast<int>(base.size()), base.data(),
+                    static_cast<unsigned long long>(le),
+                    labels.empty() ? "}" : ",",
+                    static_cast<int>(labels.empty() ? 0 : labels.size() - 1),
+                    labels.empty() ? "" : labels.data() + 1,
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.*s_bucket{le=\"+Inf\"%s%.*s %llu\n",
+                  static_cast<int>(base.size()), base.data(),
+                  labels.empty() ? "}" : ",",
+                  static_cast<int>(labels.empty() ? 0 : labels.size() - 1),
+                  labels.empty() ? "" : labels.data() + 1,
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%.*s_sum%.*s %llu\n",
+                  static_cast<int>(base.size()), base.data(),
+                  static_cast<int>(labels.size()), labels.data(),
+                  static_cast<unsigned long long>(h.sum));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%.*s_count%.*s %llu\n",
+                  static_cast<int>(base.size()), base.data(),
+                  static_cast<int>(labels.size()), labels.data(),
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+/// JSON string escaping for metric names (quotes and backslashes only:
+/// names are ASCII identifiers plus label syntax by convention).
+std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  char buf[96];
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\n    ", i == 0 ? "" : ",");
+    out += buf;
+    out += JsonQuote(counters[i].first);
+    std::snprintf(buf, sizeof(buf), ": %llu",
+                  static_cast<unsigned long long>(counters[i].second));
+    out += buf;
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\n    ", i == 0 ? "" : ",");
+    out += buf;
+    out += JsonQuote(gauges[i].first);
+    std::snprintf(buf, sizeof(buf), ": %lld",
+                  static_cast<long long>(gauges[i].second));
+    out += buf;
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += JsonQuote(h.name);
+    std::snprintf(buf, sizeof(buf), ": {\"count\": %llu, \"sum\": %llu, ",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum));
+    out += buf;
+    out += "\"buckets\": [";
+    uint64_t cumulative = 0;
+    bool first = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      const uint64_t le = Histogram::BucketUpperBound(b);
+      if (le == UINT64_MAX) continue;
+      std::snprintf(buf, sizeof(buf), "%s[%llu, %llu]", first ? "" : ", ",
+                    static_cast<unsigned long long>(le),
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+      first = false;
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = gauges_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::scoped_lock lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace_back(name, counter->Value());
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges.emplace_back(name, gauge->Value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      HistogramSnapshot h;
+      h.name = name;
+      for (const Histogram::Stripe& stripe : histogram->stripes_) {
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          h.buckets[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+        }
+        h.sum += stripe.sum.load(std::memory_order_relaxed);
+      }
+      for (uint64_t b : h.buckets) h.count += b;
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace phrasemine

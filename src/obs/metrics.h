@@ -1,0 +1,197 @@
+#ifndef PHRASEMINE_OBS_METRICS_H_
+#define PHRASEMINE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace phrasemine {
+
+/// Number of independent update stripes per counter. Hot-path increments
+/// land on a per-thread stripe so concurrent writers on different cores do
+/// not bounce one cache line; reads sum all stripes. 8 is enough to spread
+/// a service pool's workers without bloating every counter.
+inline constexpr std::size_t kMetricStripes = 8;
+
+namespace obs_internal {
+/// Stable per-thread stripe index (thread-id hash, computed once).
+std::size_t ThisThreadStripe();
+}  // namespace obs_internal
+
+/// Monotonic named counter. Incrementing is a single relaxed atomic add on
+/// this thread's stripe -- no locks, no ordering, safe from any thread.
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    stripes_[obs_internal::ThisThreadStripe()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Point-in-time sum over stripes. Monotone across calls, but a racing
+  /// Add may or may not be included -- exact only when writers are quiet.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Named gauge: a signed level that moves both ways (queue depths, cache
+/// bytes). Add/Set are single relaxed atomics; Max() additionally tracks
+/// the high-water mark the gauge ever reached (peak queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+  /// `n` may be negative; returns the post-add level (so one atomic op
+  /// both moves the gauge and feeds the peak tracking).
+  int64_t Add(int64_t n) {
+    const int64_t now = value_.fetch_add(n, std::memory_order_relaxed) + n;
+    UpdateMax(now);
+    return now;
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Highest level ever Set/Add-ed (0 if the gauge never went positive).
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void UpdateMax(int64_t v) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Fixed-bucket log-scale histogram: 4 sub-buckets per octave (value
+/// resolution ~19%), covering [1, 2^40) in the caller's unit (the service
+/// records latency in microseconds: ~13 days of range). Recording is two
+/// relaxed adds (bucket + sum) on this thread's stripe.
+class Histogram {
+ public:
+  /// 40 octaves x 4 sub-buckets.
+  static constexpr std::size_t kBuckets = 160;
+
+  void Record(uint64_t value) {
+    Stripe& s = stripes_[obs_internal::ThisThreadStripe()];
+    s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Log-scale bucket of `value`: octave from the leading bit, sub-bucket
+  /// from the next two bits. Values clamp into the first/last bucket.
+  static std::size_t BucketIndex(uint64_t value) {
+    if (value < 4) return value == 0 ? 0 : (value - 1);  // 1,2,3 exact
+    const auto lg = static_cast<std::size_t>(63 - std::countl_zero(value));
+    const std::size_t sub = static_cast<std::size_t>(value >> (lg - 2)) & 3;
+    return std::min(lg * 4 + sub - 5, kBuckets - 1);
+  }
+
+  /// Inclusive upper bound of bucket `i` (the Prometheus `le` value).
+  static uint64_t BucketUpperBound(std::size_t i);
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Point-in-time copy of one histogram (summed over stripes).
+struct HistogramSnapshot {
+  std::string name;
+  std::array<uint64_t, Histogram::kBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  /// q-quantile as the geometric midpoint of the covering bucket, in the
+  /// recorded unit; 0 when empty.
+  double Quantile(double q) const;
+};
+
+/// Point-in-time view of a whole registry, ordered by metric name so the
+/// text and JSON expositions are deterministic (golden-testable).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter/gauge value by exact name; 0 when absent.
+  uint64_t counter(std::string_view name) const;
+  int64_t gauge(std::string_view name) const;
+  /// Histogram by exact name; nullptr when absent.
+  const HistogramSnapshot* histogram(std::string_view name) const;
+
+  /// Prometheus-style text exposition: one `# TYPE` line per metric, then
+  /// `name value` samples; histograms expand into cumulative `_bucket`
+  /// samples with `le` labels plus `_sum`/`_count`. Empty histogram
+  /// buckets are elided (the final `le="+Inf"` sample always renders).
+  std::string ToPrometheusText() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {"count": n, "sum": n, "buckets": [[le, cumulative], ...]}}}.
+  /// The same elision as the text exposition, so both exporters
+  /// round-trip the same data.
+  std::string ToJson() const;
+};
+
+/// Process-wide (or per-service) named metric registry. Lookup by name
+/// creates on first use and returns a stable pointer the caller should
+/// cache -- the hot path then never touches the registry's mutex, only
+/// the handle's relaxed atomics. Metric names are free-form but the
+/// convention is Prometheus-flavored: `snake_case` with a `_total` suffix
+/// for counters; a `{label="value"}` suffix is treated as part of the
+/// name (the registry does not interpret labels, the exposition carries
+/// them through).
+///
+/// Instances are independent: PhraseService owns one per service so tests
+/// and co-hosted services never share counters; Default() is the shared
+/// process-wide instance for code without a natural owner.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Default();
+
+  /// Find-or-create; pointers stay valid for the registry's lifetime.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_OBS_METRICS_H_

@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace phrasemine {
+
+TraceSpan* AddSpan(TraceSpan* parent, std::string_view name) {
+  if (parent == nullptr) return nullptr;
+  parent->children.push_back(std::make_shared<TraceSpan>());
+  TraceSpan* child = parent->children.back().get();
+  child->name = name;
+  return child;
+}
+
+void AddCounter(TraceSpan* span, std::string_view name, double value) {
+  if (span == nullptr) return;
+  span->counters.emplace_back(std::string(name), value);
+}
+
+void SetDetail(TraceSpan* span, std::string_view detail) {
+  if (span == nullptr) return;
+  span->detail = detail;
+}
+
+namespace {
+
+/// Counter values render as integers when whole (they usually are) and
+/// with three decimals otherwise.
+void AppendValue(std::string* out, double v) {
+  char buf[48];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  *out += buf;
+}
+
+void ExplainNode(const TraceSpan& span, const std::string& prefix,
+                 bool is_last, bool is_root, std::string* out) {
+  char buf[64];
+  if (!is_root) {
+    *out += prefix;
+    *out += is_last ? "`- " : "|- ";
+  }
+  *out += span.name;
+  std::snprintf(buf, sizeof(buf), "  %.3f ms", span.wall_ms);
+  *out += buf;
+  if (!span.counters.empty()) {
+    *out += "  [";
+    for (std::size_t i = 0; i < span.counters.size(); ++i) {
+      if (i > 0) *out += ' ';
+      *out += span.counters[i].first;
+      *out += '=';
+      AppendValue(out, span.counters[i].second);
+    }
+    *out += ']';
+  }
+  if (!span.detail.empty()) {
+    *out += "  ";
+    *out += span.detail;
+  }
+  *out += '\n';
+  const std::string child_prefix =
+      is_root ? "" : prefix + (is_last ? "   " : "|  ");
+  for (std::size_t i = 0; i < span.children.size(); ++i) {
+    ExplainNode(*span.children[i], child_prefix,
+                i + 1 == span.children.size(), /*is_root=*/false, out);
+  }
+}
+
+void JsonQuote(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void JsonNode(const TraceSpan& span, std::string* out) {
+  char buf[48];
+  *out += "{\"name\": ";
+  JsonQuote(out, span.name);
+  std::snprintf(buf, sizeof(buf), ", \"wall_ms\": %.4f", span.wall_ms);
+  *out += buf;
+  if (!span.detail.empty()) {
+    *out += ", \"detail\": ";
+    JsonQuote(out, span.detail);
+  }
+  if (!span.counters.empty()) {
+    *out += ", \"counters\": {";
+    for (std::size_t i = 0; i < span.counters.size(); ++i) {
+      if (i > 0) *out += ", ";
+      JsonQuote(out, span.counters[i].first);
+      *out += ": ";
+      AppendValue(out, span.counters[i].second);
+    }
+    *out += '}';
+  }
+  if (!span.children.empty()) {
+    *out += ", \"children\": [";
+    for (std::size_t i = 0; i < span.children.size(); ++i) {
+      if (i > 0) *out += ", ";
+      JsonNode(*span.children[i], out);
+    }
+    *out += ']';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string TraceSpan::Explain() const {
+  std::string out;
+  ExplainNode(*this, "", /*is_last=*/true, /*is_root=*/true, &out);
+  return out;
+}
+
+std::string TraceSpan::ToJson() const {
+  std::string out;
+  JsonNode(*this, &out);
+  out += '\n';
+  return out;
+}
+
+}  // namespace phrasemine

@@ -1,0 +1,80 @@
+#ifndef PHRASEMINE_OBS_TRACE_H_
+#define PHRASEMINE_OBS_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace phrasemine {
+
+/// One node of a per-query trace: a named unit of work with its wall time,
+/// the counters relevant to it, and nested child spans. Built only when
+/// the request opted into tracing (MineOptions::trace); every layer keeps
+/// a plain `TraceSpan*` that is null when tracing is off, and the null-safe
+/// helpers below make the off path a single pointer test -- no
+/// allocations, no atomics, no branches beyond the check.
+///
+/// Children are pointer-backed so a span pointer stays valid while
+/// siblings are appended (the sharded scatter pre-creates one child per
+/// shard and lets the pool workers fill them concurrently -- each worker
+/// touches only its own node, so no synchronization is needed); shared
+/// ownership lets a mine's trace root (MineResult::trace) slot directly
+/// under the owning service request's span.
+struct TraceSpan {
+  std::string name;
+  /// Free-form annotation (the plan span carries PlanDecision::ToString()).
+  std::string detail;
+  double wall_ms = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::shared_ptr<TraceSpan>> children;
+
+  /// Renders the span tree as an indented human-readable explain tree:
+  ///   query                          9.12 ms
+  ///   ├─ plan                        0.03 ms  [cost: NRA cheapest]
+  ///   ...
+  std::string Explain() const;
+
+  /// Renders {"name": ..., "wall_ms": ..., "counters": {...},
+  /// "children": [...]} recursively.
+  std::string ToJson() const;
+};
+
+/// Null-safe child creation: returns the new child, or nullptr (for free)
+/// when `parent` is null. This is the only way instrumented code should
+/// grow a trace, so every call site stays correct with tracing off.
+TraceSpan* AddSpan(TraceSpan* parent, std::string_view name);
+
+/// Null-safe counter attach; no-op when `span` is null.
+void AddCounter(TraceSpan* span, std::string_view name, double value);
+
+/// Null-safe detail attach; no-op when `span` is null.
+void SetDetail(TraceSpan* span, std::string_view detail);
+
+/// Scoped wall-clock for one span: starts on construction, writes
+/// span->wall_ms on Stop() or destruction. Null span: fully inert (the
+/// StopWatch still constructs, which is one clock read; callers on paths
+/// hotter than a mine should branch on the span themselves).
+class SpanTimer {
+ public:
+  explicit SpanTimer(TraceSpan* span) : span_(span) {}
+  ~SpanTimer() { Stop(); }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  void Stop() {
+    if (span_ != nullptr) span_->wall_ms = watch_.ElapsedMillis();
+    span_ = nullptr;
+  }
+
+ private:
+  TraceSpan* span_;
+  StopWatch watch_;
+};
+
+}  // namespace phrasemine
+
+#endif  // PHRASEMINE_OBS_TRACE_H_

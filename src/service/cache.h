@@ -15,6 +15,7 @@
 #include "core/engine.h"
 #include "core/miner.h"
 #include "core/query.h"
+#include "obs/metrics.h"
 
 namespace phrasemine {
 
@@ -75,14 +76,28 @@ template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class ShardedLruCache {
  public:
   /// `num_shards` is clamped to at least 1; `capacity_bytes` is the total
-  /// budget across all shards.
-  ShardedLruCache(std::size_t num_shards, std::size_t capacity_bytes) {
+  /// budget across all shards. When `registry` is non-null the cache also
+  /// publishes its counters there under `metric_prefix` (hits/misses/
+  /// inserts/evictions counters, entries/bytes gauges); the per-shard
+  /// tallies behind stats() are unaffected either way.
+  ShardedLruCache(std::size_t num_shards, std::size_t capacity_bytes,
+                  MetricsRegistry* registry = nullptr,
+                  const std::string& metric_prefix = "cache") {
     if (num_shards == 0) num_shards = 1;
     const std::size_t per_shard =
         std::max<std::size_t>(1, capacity_bytes / num_shards);
     shards_.reserve(num_shards);
     for (std::size_t i = 0; i < num_shards; ++i) {
       shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+    if (registry != nullptr) {
+      hits_metric_ = registry->GetCounter(metric_prefix + "_hits_total");
+      misses_metric_ = registry->GetCounter(metric_prefix + "_misses_total");
+      inserts_metric_ = registry->GetCounter(metric_prefix + "_inserts_total");
+      evictions_metric_ =
+          registry->GetCounter(metric_prefix + "_evictions_total");
+      entries_metric_ = registry->GetGauge(metric_prefix + "_entries");
+      bytes_metric_ = registry->GetGauge(metric_prefix + "_bytes");
     }
   }
 
@@ -93,9 +108,11 @@ class ShardedLruCache {
     auto it = s.map.find(key);
     if (it == s.map.end()) {
       ++s.misses;
+      if (misses_metric_ != nullptr) misses_metric_->Increment();
       return std::nullopt;
     }
     ++s.hits;
+    if (hits_metric_ != nullptr) hits_metric_->Increment();
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return it->second->value;
   }
@@ -110,6 +127,10 @@ class ShardedLruCache {
     auto it = s.map.find(key);
     if (it != s.map.end()) {
       s.bytes -= it->second->charge;
+      if (bytes_metric_ != nullptr) {
+        bytes_metric_->Add(static_cast<int64_t>(charge) -
+                           static_cast<int64_t>(it->second->charge));
+      }
       it->second->value = std::move(value);
       it->second->charge = charge;
       s.bytes += charge;
@@ -119,13 +140,23 @@ class ShardedLruCache {
       s.map.emplace(key, s.lru.begin());
       s.bytes += charge;
       ++s.inserts;
+      if (inserts_metric_ != nullptr) inserts_metric_->Increment();
+      if (entries_metric_ != nullptr) entries_metric_->Add(1);
+      if (bytes_metric_ != nullptr) {
+        bytes_metric_->Add(static_cast<int64_t>(charge));
+      }
     }
     while (s.bytes > s.capacity && s.lru.size() > 1) {
       const Entry& victim = s.lru.back();
       s.bytes -= victim.charge;
+      ++s.evictions;
+      if (evictions_metric_ != nullptr) evictions_metric_->Increment();
+      if (entries_metric_ != nullptr) entries_metric_->Add(-1);
+      if (bytes_metric_ != nullptr) {
+        bytes_metric_->Add(-static_cast<int64_t>(victim.charge));
+      }
       s.map.erase(victim.key);
       s.lru.pop_back();
-      ++s.evictions;
     }
   }
 
@@ -151,6 +182,12 @@ class ShardedLruCache {
   void Clear() {
     for (auto& s : shards_) {
       std::scoped_lock lock(s->mu);
+      if (entries_metric_ != nullptr) {
+        entries_metric_->Add(-static_cast<int64_t>(s->map.size()));
+      }
+      if (bytes_metric_ != nullptr) {
+        bytes_metric_->Add(-static_cast<int64_t>(s->bytes));
+      }
       s->map.clear();
       s->lru.clear();
       s->bytes = 0;
@@ -204,6 +241,13 @@ class ShardedLruCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   Hash hash_;
+  // Optional registry handles (all null when no registry was given).
+  Counter* hits_metric_ = nullptr;
+  Counter* misses_metric_ = nullptr;
+  Counter* inserts_metric_ = nullptr;
+  Counter* evictions_metric_ = nullptr;
+  Gauge* entries_metric_ = nullptr;
+  Gauge* bytes_metric_ = nullptr;
 };
 
 }  // namespace phrasemine

@@ -24,29 +24,19 @@ std::size_t ResultCharge(const std::string& key,
   return bytes;
 }
 
-/// Log2 bucket index of a latency sample.
-std::size_t LatencyBucket(double latency_ms, std::size_t num_buckets) {
-  const double us = std::max(1.0, latency_ms * 1000.0);
-  const std::size_t bucket =
-      static_cast<std::size_t>(std::floor(std::log2(us)));
-  return std::min(bucket, num_buckets - 1);
+/// Latency sample in whole microseconds (the unit service_latency_us
+/// records in); sub-microsecond samples land in the histogram's first
+/// bucket rather than vanishing.
+uint64_t LatencyMicros(double latency_ms) {
+  return static_cast<uint64_t>(std::max(1.0, latency_ms * 1000.0 + 0.5));
 }
 
-/// Returns the q-quantile of a log2 histogram as the geometric bucket
-/// midpoint, in milliseconds.
-double HistogramQuantile(const std::array<uint64_t, 40>& buckets,
-                         uint64_t total, double q) {
-  if (total == 0) return 0.0;
-  const auto target = static_cast<uint64_t>(
-      std::ceil(q * static_cast<double>(total)));
-  uint64_t seen = 0;
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
-    if (seen >= target) {
-      return 1.5 * std::exp2(static_cast<double>(i)) / 1000.0;
-    }
-  }
-  return 1.5 * std::exp2(static_cast<double>(buckets.size() - 1)) / 1000.0;
+/// Injects the service's registry into the pool options (the pool then
+/// publishes pool_* metrics alongside the service's own).
+ThreadPoolOptions PoolOptionsWith(ThreadPoolOptions options,
+                                  MetricsRegistry* registry) {
+  options.registry = registry;
+  return options;
 }
 
 }  // namespace
@@ -61,6 +51,9 @@ std::string ServiceStats::ToString() const {
                 static_cast<unsigned long long>(forced), p50_latency_ms,
                 p95_latency_ms);
   std::string out = buf;
+  std::snprintf(buf, sizeof(buf), " p99=%.3fms p999=%.3fms", p99_latency_ms,
+                p999_latency_ms);
+  out += buf;
   std::snprintf(buf, sizeof(buf),
                 "\n  updates: epoch=%llu ingests=%llu rebuilds=%llu "
                 "pending=%zu delta=%.1f%%",
@@ -116,10 +109,12 @@ PhraseService::PhraseService(MiningEngine* engine,
                  }
                  return std::nullopt;
                }),
-      result_cache_(options.result_cache_shards, options.result_cache_bytes),
+      result_cache_(options.result_cache_shards, options.result_cache_bytes,
+                    &registry_, "result_cache"),
       word_list_cache_(options.word_list_cache_shards,
-                       options.word_list_cache_bytes),
-      pool_(options.pool) {
+                       options.word_list_cache_bytes, &registry_,
+                       "word_list_cache"),
+      pool_(PoolOptionsWith(options.pool, &registry_)) {
   if (options_.num_shards > 0) {
     // The num_shards config switch: reshard the engine's base corpus into
     // an internal ShardedEngine (one corpus copy + shard index build) and
@@ -134,6 +129,7 @@ PhraseService::PhraseService(MiningEngine* engine,
         engine_->CloneBaseCorpus(), std::move(sharded_options)));
     sharded_ = owned_sharded_.get();
   }
+  InitMetrics();
 }
 
 PhraseService::PhraseService(ShardedEngine* sharded,
@@ -143,10 +139,50 @@ PhraseService::PhraseService(ShardedEngine* sharded,
       sharded_(sharded),
       smj_fraction_(1.0),  // sharded SMJ always merges full lists
       planner_(engine_, options.planner),
-      result_cache_(options.result_cache_shards, options.result_cache_bytes),
+      result_cache_(options.result_cache_shards, options.result_cache_bytes,
+                    &registry_, "result_cache"),
       word_list_cache_(options.word_list_cache_shards,
-                       options.word_list_cache_bytes),
-      pool_(options.pool) {}
+                       options.word_list_cache_bytes, &registry_,
+                       "word_list_cache"),
+      pool_(PoolOptionsWith(options.pool, &registry_)) {
+  InitMetrics();
+}
+
+void PhraseService::InitMetrics() {
+  queries_total_ = registry_.GetCounter("service_queries_total");
+  planned_total_ = registry_.GetCounter("service_planned_total");
+  forced_total_ = registry_.GetCounter("service_forced_total");
+  ingests_total_ = registry_.GetCounter("service_ingests_total");
+  rebuilds_total_ = registry_.GetCounter("service_rebuilds_total");
+  slow_queries_total_ = registry_.GetCounter("service_slow_queries_total");
+  for (std::size_t i = 0; i < algorithm_total_.size(); ++i) {
+    algorithm_total_[i] = registry_.GetCounter(
+        std::string("service_executions_total{algorithm=\"") +
+        AlgorithmName(static_cast<Algorithm>(i)) + "\"}");
+  }
+  disk_blocks_total_ = registry_.GetCounter("disk_blocks_total");
+  disk_seeks_total_ = registry_.GetCounter("disk_seeks_total");
+  disk_bytes_total_ = registry_.GetCounter("disk_bytes_total");
+  exchange_pruned_total_ =
+      registry_.GetCounter("exchange_candidates_pruned_total");
+  fill_slots_total_ = registry_.GetCounter("exchange_fill_slots_total");
+  latency_us_ = registry_.GetHistogram("service_latency_us");
+  if (sharded_ != nullptr) {
+    const std::size_t n = sharded_->num_shards();
+    shard_disk_blocks_.reserve(n);
+    shard_disk_seeks_.reserve(n);
+    shard_disk_bytes_.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+      shard_disk_blocks_.push_back(
+          registry_.GetCounter("shard_disk_blocks_total" + label));
+      shard_disk_seeks_.push_back(
+          registry_.GetCounter("shard_disk_seeks_total" + label));
+      shard_disk_bytes_.push_back(
+          registry_.GetCounter("shard_disk_bytes_total" + label));
+    }
+  }
+}
 
 PhraseService::~PhraseService() { Shutdown(); }
 
@@ -194,6 +230,14 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
   if (sharded_ != nullptr) return ExecuteSharded(request);
   StopWatch watch;
   ServiceReply reply;
+  // The request's span tree hangs off the reply, never the cached result;
+  // every layer below holds a TraceSpan* that is null when tracing is off
+  // (the null-safe helpers then do nothing -- no allocations).
+  if (request.options.trace) {
+    reply.trace = std::make_shared<TraceSpan>();
+    reply.trace->name = "query";
+  }
+  TraceSpan* troot = reply.trace.get();
   const Query canonical = CanonicalizeQuery(request.query);
 
   // One update snapshot per request: the epoch keys the result cache, the
@@ -203,15 +247,21 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
   const EpochDelta snap = engine_->delta_snapshot();
 
   Algorithm algorithm;
-  if (request.algorithm.has_value()) {
-    algorithm = *request.algorithm;
-    reply.plan.algorithm = algorithm;
-    reply.plan.op = canonical.op;
-    reply.plan.k = request.options.k;
-    reply.plan.reason = "forced by caller";
-  } else {
-    reply.plan = planner_.Plan(canonical, request.options, snap);
-    algorithm = reply.plan.algorithm;
+  {
+    TraceSpan* plan_span = AddSpan(troot, "plan");
+    SpanTimer plan_timer(plan_span);
+    if (request.algorithm.has_value()) {
+      algorithm = *request.algorithm;
+      reply.plan.algorithm = algorithm;
+      reply.plan.op = canonical.op;
+      reply.plan.k = request.options.k;
+      reply.plan.reason = "forced by caller";
+    } else {
+      reply.plan = planner_.Plan(canonical, request.options, snap);
+      algorithm = reply.plan.algorithm;
+    }
+    plan_timer.Stop();
+    SetDetail(plan_span, reply.plan.ToString());
   }
 
   // Caller-supplied delta overlays are external mutable state and not
@@ -232,18 +282,32 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
     }
     key = ResultCacheKey(canonical, algorithm, request.options, smj_fraction,
                          snap.epoch);
-    if (auto hit = result_cache_.Get(key)) {
+    TraceSpan* cache_span = AddSpan(troot, "cache_lookup");
+    SpanTimer cache_timer(cache_span);
+    auto hit = result_cache_.Get(key);
+    cache_timer.Stop();
+    AddCounter(cache_span, "hit", hit.has_value() ? 1.0 : 0.0);
+    if (hit) {
       reply.result = (*hit)->result;
       reply.epoch = reply.result.epoch;
       reply.result_cache_hit = true;
       reply.latency_ms = watch.ElapsedMillis();
+      if (troot != nullptr) troot->wall_ms = reply.latency_ms;
       RecordQuery(algorithm, request.algorithm.has_value(),
                   /*executed=*/false, reply.latency_ms);
+      MaybeLogSlowQuery(canonical, algorithm, reply);
       return reply;
     }
   }
 
   reply.result = Run(canonical, algorithm, request.options, snap);
+  // Re-root the mine's trace under the request span and strip it from the
+  // result: the result may be cached below, and a cached trace would
+  // replay a stale execution story on every hit.
+  if (troot != nullptr && reply.result.trace != nullptr) {
+    troot->children.push_back(std::move(reply.result.trace));
+  }
+  reply.result.trace.reset();
   // Run stamps epoch and guarantee (bundle mines from the snapshot, engine
   // mines inside the engine); max() keeps the label truthful if an
   // engine-routed mine raced onto a newer epoch. A caller-supplied overlay
@@ -259,14 +323,21 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
     result_cache_.Put(key, shared, ResultCharge(key, *shared));
   }
   reply.latency_ms = watch.ElapsedMillis();
+  if (troot != nullptr) troot->wall_ms = reply.latency_ms;
   RecordQuery(algorithm, request.algorithm.has_value(), /*executed=*/true,
               reply.latency_ms, reply.result.disk_io);
+  MaybeLogSlowQuery(canonical, algorithm, reply);
   return reply;
 }
 
 ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
   StopWatch watch;
   ServiceReply reply;
+  if (request.options.trace) {
+    reply.trace = std::make_shared<TraceSpan>();
+    reply.trace->name = "query";
+  }
+  TraceSpan* troot = reply.trace.get();
   const Query canonical = CanonicalizeQuery(request.query);
   // Caller-supplied overlays are a single-engine concept; the sharded
   // engine applies its own per-shard overlays internally (and would
@@ -283,24 +354,30 @@ ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
   const std::vector<uint64_t> epochs = sharded_->epochs();
 
   Algorithm algorithm;
-  if (request.algorithm.has_value()) {
-    algorithm = *request.algorithm;
-    reply.plan.algorithm = algorithm;
-    reply.plan.op = canonical.op;
-    reply.plan.k = effective.k;
-    reply.plan.reason = "forced by caller";
-  } else {
-    // Per-shard inputs are gathered by the sharded engine under its
-    // fleet lock -- the service must never cache per-shard planners,
-    // which would dangle across a dictionary refresh.
-    reply.plan = CostPlanner::PlanAcrossShards(
-        sharded_->GatherPlannerInputs(canonical, effective),
-        options_.planner);
-    algorithm = reply.plan.algorithm;
-  }
-  if (caller_delta) {
-    reply.plan.reason +=
-        " (caller delta ignored: sharded engines apply per-shard overlays)";
+  {
+    TraceSpan* plan_span = AddSpan(troot, "plan");
+    SpanTimer plan_timer(plan_span);
+    if (request.algorithm.has_value()) {
+      algorithm = *request.algorithm;
+      reply.plan.algorithm = algorithm;
+      reply.plan.op = canonical.op;
+      reply.plan.k = effective.k;
+      reply.plan.reason = "forced by caller";
+    } else {
+      // Per-shard inputs are gathered by the sharded engine under its
+      // fleet lock -- the service must never cache per-shard planners,
+      // which would dangle across a dictionary refresh.
+      reply.plan = CostPlanner::PlanAcrossShards(
+          sharded_->GatherPlannerInputs(canonical, effective),
+          options_.planner);
+      algorithm = reply.plan.algorithm;
+    }
+    if (caller_delta) {
+      reply.plan.reason +=
+          " (caller delta ignored: sharded engines apply per-shard overlays)";
+    }
+    plan_timer.Stop();
+    SetDetail(plan_span, reply.plan.ToString());
   }
 
   const bool cacheable = options_.enable_result_cache && !caller_delta;
@@ -310,14 +387,21 @@ ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
     key = ResultCacheKey(canonical, algorithm, effective,
                          algorithm == Algorithm::kSmj ? 1.0 : -1.0,
                          /*epoch=*/0, epochs);
-    if (auto hit = result_cache_.Get(key)) {
+    TraceSpan* cache_span = AddSpan(troot, "cache_lookup");
+    SpanTimer cache_timer(cache_span);
+    auto hit = result_cache_.Get(key);
+    cache_timer.Stop();
+    AddCounter(cache_span, "hit", hit.has_value() ? 1.0 : 0.0);
+    if (hit) {
       reply.result = (*hit)->result;
       reply.phrase_texts = (*hit)->texts;
       reply.epoch = reply.result.epoch;
       reply.result_cache_hit = true;
       reply.latency_ms = watch.ElapsedMillis();
+      if (troot != nullptr) troot->wall_ms = reply.latency_ms;
       RecordQuery(algorithm, request.algorithm.has_value(),
                   /*executed=*/false, reply.latency_ms);
+      MaybeLogSlowQuery(canonical, algorithm, reply);
       return reply;
     }
   }
@@ -326,14 +410,36 @@ ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
   reply.result = std::move(mined.result);
   reply.phrase_texts = std::move(mined.texts);
   reply.epoch = reply.result.epoch;
+  // Fleet-level registry counters: threshold-exchange effectiveness plus
+  // the per-shard disk-tier split (the aggregate disk counters are
+  // accumulated by RecordQuery below).
+  exchange_pruned_total_->Add(reply.result.candidates_pruned);
+  fill_slots_total_->Add(mined.fill_slots);
+  for (std::size_t s = 0;
+       s < mined.shard_disk_io.size() && s < shard_disk_blocks_.size(); ++s) {
+    const DiskIoStats& io = mined.shard_disk_io[s];
+    if (io.blocks_read == 0 && io.bytes == 0) continue;
+    shard_disk_blocks_[s]->Add(io.blocks_read);
+    shard_disk_seeks_[s]->Add(io.seeks);
+    shard_disk_bytes_[s]->Add(io.bytes);
+  }
+  // Re-root the merge's trace under the request span and strip it from
+  // the result before the cache sees it (a cached trace would replay a
+  // stale execution story on every hit).
+  if (troot != nullptr && reply.result.trace != nullptr) {
+    troot->children.push_back(std::move(reply.result.trace));
+  }
+  reply.result.trace.reset();
   if (cacheable) {
     auto shared = std::make_shared<const CachedResult>(
         CachedResult{reply.result, reply.phrase_texts});
     result_cache_.Put(key, shared, ResultCharge(key, *shared));
   }
   reply.latency_ms = watch.ElapsedMillis();
+  if (troot != nullptr) troot->wall_ms = reply.latency_ms;
   RecordQuery(algorithm, request.algorithm.has_value(), /*executed=*/true,
               reply.latency_ms, reply.result.disk_io);
+  MaybeLogSlowQuery(canonical, algorithm, reply);
   return reply;
 }
 
@@ -477,20 +583,14 @@ UpdateStats PhraseService::Ingest(UpdateDoc doc) {
 UpdateStats PhraseService::IngestBatch(const UpdateBatch& batch) {
   if (sharded_ != nullptr) {
     ShardedUpdateStats stats = sharded_->ApplyUpdate(batch);
-    {
-      std::scoped_lock lock(stats_mu_);
-      ++ingests_;
-    }
+    ingests_total_->Increment();
     if (stats.total.rebuild_recommended && options_.enable_auto_rebuild) {
       MaybeScheduleRebuild(std::move(stats.rebuild_recommended));
     }
     return stats.total;
   }
   const UpdateStats stats = engine_->ApplyUpdate(batch);
-  {
-    std::scoped_lock lock(stats_mu_);
-    ++ingests_;
-  }
+  ingests_total_->Increment();
   if (stats.rebuild_recommended && options_.enable_auto_rebuild) {
     MaybeScheduleRebuild();
   }
@@ -507,13 +607,11 @@ void PhraseService::MaybeScheduleRebuild(std::vector<uint8_t> shard_flags) {
       for (std::size_t s = 0; s < flags.size(); ++s) {
         if (!flags[s]) continue;
         sharded_->RebuildShard(s);
-        std::scoped_lock lock(stats_mu_);
-        ++rebuilds_;
+        rebuilds_total_->Increment();
       }
     } else {
       engine_->Rebuild();
-      std::scoped_lock lock(stats_mu_);
-      ++rebuilds_;
+      rebuilds_total_->Increment();
     }
     rebuild_inflight_.store(false);
   };
@@ -524,34 +622,82 @@ void PhraseService::MaybeScheduleRebuild(std::vector<uint8_t> shard_flags) {
 void PhraseService::RecordQuery(Algorithm algorithm, bool forced,
                                 bool executed, double latency_ms,
                                 const DiskIoStats& disk_io) {
-  std::scoped_lock lock(stats_mu_);
-  ++queries_;
-  if (forced) {
-    ++forced_;
-  } else {
-    ++planned_;
-  }
+  // Registry handles only: each update is a relaxed striped-atomic add,
+  // so concurrent queries never serialize on a stats mutex here.
+  queries_total_->Increment();
+  (forced ? forced_total_ : planned_total_)->Increment();
   if (executed) {
     const auto index = static_cast<std::size_t>(algorithm);
-    if (index < per_algorithm_.size()) ++per_algorithm_[index];
-    disk_io_ += disk_io;
+    if (index < algorithm_total_.size()) algorithm_total_[index]->Increment();
+    if (disk_io.blocks_read > 0 || disk_io.bytes > 0) {
+      disk_blocks_total_->Add(disk_io.blocks_read);
+      disk_seeks_total_->Add(disk_io.seeks);
+      disk_bytes_total_->Add(disk_io.bytes);
+    }
   }
-  ++latency_buckets_[LatencyBucket(latency_ms, latency_buckets_.size())];
+  latency_us_->Record(LatencyMicros(latency_ms));
+}
+
+void PhraseService::MaybeLogSlowQuery(const Query& canonical,
+                                      Algorithm algorithm,
+                                      const ServiceReply& reply) {
+  if (options_.slow_query_ms <= 0.0 ||
+      reply.latency_ms < options_.slow_query_ms) {
+    return;
+  }
+  slow_queries_total_->Increment();
+  SlowQueryEntry entry;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %s k=%zu terms=[",
+                AlgorithmName(algorithm),
+                canonical.op == QueryOperator::kAnd ? "AND" : "OR",
+                reply.plan.k);
+  entry.description = buf;
+  for (std::size_t i = 0; i < canonical.terms.size(); ++i) {
+    if (i > 0) entry.description += ',';
+    entry.description += std::to_string(canonical.terms[i]);
+  }
+  entry.description += ']';
+  if (reply.result_cache_hit) entry.description += " (cache hit)";
+  entry.latency_ms = reply.latency_ms;
+  if (reply.trace != nullptr) entry.explain = reply.trace->Explain();
+  std::scoped_lock lock(slow_mu_);
+  slow_log_.push_back(std::move(entry));
+  while (slow_log_.size() > options_.slow_query_log_capacity) {
+    slow_log_.pop_front();
+  }
+}
+
+std::vector<PhraseService::SlowQueryEntry> PhraseService::slow_queries()
+    const {
+  std::scoped_lock lock(slow_mu_);
+  return {slow_log_.begin(), slow_log_.end()};
 }
 
 ServiceStats PhraseService::stats() const {
   ServiceStats stats;
-  {
-    std::scoped_lock lock(stats_mu_);
-    stats.queries = queries_;
-    stats.planned = planned_;
-    stats.forced = forced_;
-    stats.ingests = ingests_;
-    stats.rebuilds = rebuilds_;
-    stats.per_algorithm = per_algorithm_;
-    stats.disk_io = disk_io_;
-    stats.p50_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.50);
-    stats.p95_latency_ms = HistogramQuantile(latency_buckets_, queries_, 0.95);
+  // One registry snapshot is the single source for every counter the
+  // service publishes; the struct is just a typed view over it.
+  const MetricsSnapshot snap = registry_.Snapshot();
+  stats.queries = snap.counter("service_queries_total");
+  stats.planned = snap.counter("service_planned_total");
+  stats.forced = snap.counter("service_forced_total");
+  stats.ingests = snap.counter("service_ingests_total");
+  stats.rebuilds = snap.counter("service_rebuilds_total");
+  for (std::size_t i = 0; i < stats.per_algorithm.size(); ++i) {
+    stats.per_algorithm[i] = snap.counter(
+        std::string("service_executions_total{algorithm=\"") +
+        AlgorithmName(static_cast<Algorithm>(i)) + "\"}");
+  }
+  stats.disk_io.blocks_read = snap.counter("disk_blocks_total");
+  stats.disk_io.seeks = snap.counter("disk_seeks_total");
+  stats.disk_io.bytes = snap.counter("disk_bytes_total");
+  if (const HistogramSnapshot* latency = snap.histogram("service_latency_us");
+      latency != nullptr) {
+    stats.p50_latency_ms = latency->Quantile(0.50) / 1000.0;
+    stats.p95_latency_ms = latency->Quantile(0.95) / 1000.0;
+    stats.p99_latency_ms = latency->Quantile(0.99) / 1000.0;
+    stats.p999_latency_ms = latency->Quantile(0.999) / 1000.0;
   }
   if (sharded_ != nullptr) {
     stats.epoch = sharded_->epoch();

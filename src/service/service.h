@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,8 @@
 #include "core/miner.h"
 #include "core/query.h"
 #include "index/word_lists.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/cache.h"
 #include "service/planner.h"
 #include "service/thread_pool.h"
@@ -57,6 +60,13 @@ struct PhraseServiceOptions {
   /// build at construction; services that already hold a ShardedEngine
   /// should use the ShardedEngine* constructor instead and leave this 0.
   std::size_t num_shards = 0;
+  /// Slow-query log threshold in milliseconds: queries at or above it are
+  /// appended to a bounded in-memory log (PhraseService::slow_queries),
+  /// with the explain tree attached when the request was traced. 0 (the
+  /// default) disables the log.
+  double slow_query_ms = 0.0;
+  /// Entries the slow-query log retains (oldest evicted first).
+  std::size_t slow_query_log_capacity = 64;
 };
 
 /// One unit of work for the service.
@@ -90,6 +100,10 @@ struct ServiceReply {
   /// caller) starts the query; time spent queued in the thread pool is
   /// NOT included, so under saturation user-perceived latency is higher.
   double latency_ms = 0.0;
+  /// Root of the request's span tree (plan -> cache -> mine phases), set
+  /// only when MineOptions::trace was on; null otherwise. Render with
+  /// TraceSpan::Explain() or ToJson().
+  std::shared_ptr<TraceSpan> trace;
 };
 
 /// Aggregated service counters.
@@ -104,10 +118,13 @@ struct ServiceStats {
   CacheStats result_cache;
   CacheStats word_list_cache;
   ThreadPoolStats pool;
-  /// Latency percentiles over all served queries, from a log-scale
-  /// histogram (2x bucket resolution).
+  /// Latency percentiles over all served queries, from the registry's
+  /// log-scale microsecond histogram (4 sub-buckets per octave, ~19%
+  /// value resolution -- twice the old log2 bucketing's).
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double p999_latency_ms = 0.0;
   /// Cumulative simulated-disk I/O across executed queries (kNraDisk
   /// paths only; zeros otherwise). On the sharded path these sum every
   /// shard device's counters -- aggregate device work, the per-query
@@ -207,7 +224,31 @@ class PhraseService {
   /// Stops intake and drains in-flight work; idempotent.
   void Shutdown();
 
+  /// Aggregated counters, assembled as a thin view over one
+  /// metrics_snapshot() (plus the engine's live update accounting).
   ServiceStats stats() const;
+
+  /// The service's metric registry: every counter behind stats() lives
+  /// here under the names cataloged in docs/observability.md, alongside
+  /// the pool's and both caches' metrics. Export with
+  /// Snapshot().ToPrometheusText() / ToJson().
+  MetricsRegistry& metrics() { return registry_; }
+  const MetricsRegistry& metrics() const { return registry_; }
+
+  /// Point-in-time copy of every metric in metrics().
+  MetricsSnapshot metrics_snapshot() const { return registry_.Snapshot(); }
+
+  /// One slow-query log entry (see PhraseServiceOptions::slow_query_ms).
+  struct SlowQueryEntry {
+    /// "algorithm op k=..: terms=[...]" summary of the canonical request.
+    std::string description;
+    double latency_ms = 0.0;
+    /// Rendered explain tree when the request was traced; empty otherwise.
+    std::string explain;
+  };
+
+  /// Snapshot of the slow-query log, oldest first.
+  std::vector<SlowQueryEntry> slow_queries() const;
 
   /// The backing single engine; on the sharded path this is shard 0,
   /// resolved at call time through ShardedEngine::shard's contract: a
@@ -262,9 +303,17 @@ class PhraseService {
   /// in-memory algorithms and cache hits); accumulated into stats().
   void RecordQuery(Algorithm algorithm, bool forced, bool executed,
                    double latency_ms, const DiskIoStats& disk_io = {});
+  /// Resolves the service's registry metric handles (both constructors).
+  void InitMetrics();
+  /// Appends to the slow-query log when the reply crossed the threshold.
+  void MaybeLogSlowQuery(const Query& canonical, Algorithm algorithm,
+                         const ServiceReply& reply);
 
   MiningEngine* engine_;
   PhraseServiceOptions options_;
+  /// Declared before the pool and caches: they are constructed with (and
+  /// publish into) this registry, and metric handles must outlive them.
+  MetricsRegistry registry_;
   /// Sharded serving target: the owned reshard (num_shards switch), the
   /// caller's ShardedEngine, or null for the single-engine path.
   std::unique_ptr<ShardedEngine> owned_sharded_;
@@ -277,16 +326,31 @@ class PhraseService {
       result_cache_;
   ShardedLruCache<uint64_t, CachedWordList> word_list_cache_;
 
-  mutable std::mutex stats_mu_;
-  uint64_t queries_ = 0;
-  uint64_t planned_ = 0;
-  uint64_t forced_ = 0;
-  uint64_t ingests_ = 0;
-  uint64_t rebuilds_ = 0;
-  std::array<uint64_t, 6> per_algorithm_{};
-  DiskIoStats disk_io_;
-  /// Log2 microsecond latency histogram (bucket i covers [2^i, 2^(i+1)) us).
-  std::array<uint64_t, 40> latency_buckets_{};
+  // Registry metric handles (stable pointers into registry_), resolved by
+  // InitMetrics(). RecordQuery and the ingest/rebuild paths touch only
+  // these relaxed-atomic handles -- no stats mutex.
+  Counter* queries_total_ = nullptr;
+  Counter* planned_total_ = nullptr;
+  Counter* forced_total_ = nullptr;
+  Counter* ingests_total_ = nullptr;
+  Counter* rebuilds_total_ = nullptr;
+  Counter* slow_queries_total_ = nullptr;
+  std::array<Counter*, 6> algorithm_total_{};
+  Counter* disk_blocks_total_ = nullptr;
+  Counter* disk_seeks_total_ = nullptr;
+  Counter* disk_bytes_total_ = nullptr;
+  Counter* exchange_pruned_total_ = nullptr;
+  Counter* fill_slots_total_ = nullptr;
+  /// Query latency in microseconds (log-scale; quantiles in stats()).
+  Histogram* latency_us_ = nullptr;
+  /// Per-shard disk-tier counters, indexed by shard (sharded path only).
+  std::vector<Counter*> shard_disk_blocks_;
+  std::vector<Counter*> shard_disk_seeks_;
+  std::vector<Counter*> shard_disk_bytes_;
+
+  /// Bounded slow-query log (options_.slow_query_ms threshold).
+  mutable std::mutex slow_mu_;
+  std::deque<SlowQueryEntry> slow_log_;
 
   /// One background rebuild at a time; set when scheduled, cleared by the
   /// pool task when the rebuild finishes.

@@ -8,6 +8,17 @@ namespace phrasemine {
 ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
   options_.num_threads = std::max<std::size_t>(1, options_.num_threads);
   options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  if (options_.registry == nullptr) {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  } else {
+    registry_ = options_.registry;
+  }
+  const std::string& p = options_.metric_prefix;
+  submitted_ = registry_->GetCounter(p + "_submitted_total");
+  executed_ = registry_->GetCounter(p + "_executed_total");
+  rejected_ = registry_->GetCounter(p + "_rejected_total");
+  depth_ = registry_->GetGauge(p + "_queue_depth");
   workers_.reserve(options_.num_threads);
   for (std::size_t i = 0; i < options_.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -32,13 +43,16 @@ bool ThreadPool::Enqueue(std::function<void()> task, bool block) {
     });
   }
   if (shutdown_ || queue_.size() >= options_.queue_capacity) {
-    ++stats_.rejected;
+    lock.unlock();
+    rejected_->Increment();
     return false;
   }
   queue_.push_back(std::move(task));
-  ++stats_.submitted;
-  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
   lock.unlock();
+  submitted_->Increment();
+  // The +1 feeds the gauge's high-water tracking: depth only rises here,
+  // so the gauge max is the true peak queue depth.
+  depth_->Add(1);
   not_empty_.notify_one();
   return true;
 }
@@ -53,12 +67,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    depth_->Add(-1);
     not_full_.notify_one();
     task();
-    {
-      std::scoped_lock lock(mu_);
-      ++stats_.executed;
-    }
+    executed_->Increment();
   }
 }
 
@@ -83,8 +95,14 @@ std::size_t ThreadPool::queue_depth() const {
 }
 
 ThreadPoolStats ThreadPool::stats() const {
-  std::scoped_lock lock(mu_);
-  return stats_;
+  ThreadPoolStats s;
+  s.submitted = submitted_->Value();
+  s.executed = executed_->Value();
+  s.rejected = rejected_->Value();
+  s.queue_depth =
+      static_cast<std::size_t>(std::max<int64_t>(0, depth_->Value()));
+  s.peak_queue_depth = static_cast<std::size_t>(depth_->Max());
+  return s;
 }
 
 }  // namespace phrasemine

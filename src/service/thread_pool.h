@@ -5,9 +5,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace phrasemine {
 
@@ -19,13 +23,26 @@ struct ThreadPoolOptions {
   /// is full, giving natural backpressure; TrySubmit fails instead.
   /// Clamped to at least 1.
   std::size_t queue_capacity = 256;
+  /// Registry the pool publishes its counters into (names below, prefixed
+  /// with `metric_prefix`). Null: the pool owns a private registry, so
+  /// ThreadPoolStats stays per-instance either way -- two pools given the
+  /// same shared registry and prefix would merge their counters.
+  MetricsRegistry* registry = nullptr;
+  /// Metric name prefix, e.g. "pool" -> pool_submitted_total.
+  std::string metric_prefix = "pool";
 };
 
-/// Counters exposed by ThreadPool::stats.
+/// Counters exposed by ThreadPool::stats -- a point-in-time view over the
+/// pool's registry metrics.
 struct ThreadPoolStats {
   uint64_t submitted = 0;  ///< Tasks accepted into the queue.
   uint64_t executed = 0;   ///< Tasks that finished running.
   uint64_t rejected = 0;   ///< TrySubmit failures plus post-shutdown submits.
+  std::size_t queue_depth = 0;  ///< Currently queued (excludes running).
+  /// High-water queue depth, from the depth gauge's max tracking. The
+  /// gauge moves on both submit and pop, so the live `queue_depth` above
+  /// is always current -- previously depth was only sampled at submit and
+  /// never reported.
   std::size_t peak_queue_depth = 0;
 };
 
@@ -62,7 +79,12 @@ class ThreadPool {
   /// Tasks currently queued (excludes tasks being executed).
   std::size_t queue_depth() const;
 
+  /// Point-in-time stats view over the pool's registry handles; lock-free.
   ThreadPoolStats stats() const;
+
+  /// Registry the pool's metrics live in (the caller-provided one, or the
+  /// pool's private fallback).
+  MetricsRegistry& registry() { return *registry_; }
 
  private:
   bool Enqueue(std::function<void()> task, bool block);
@@ -70,12 +92,19 @@ class ThreadPool {
 
   ThreadPoolOptions options_;
 
+  /// Set iff no registry was injected via options.
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* registry_ = nullptr;
+  Counter* submitted_ = nullptr;
+  Counter* executed_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Gauge* depth_ = nullptr;
+
   std::mutex shutdown_mu_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<std::function<void()>> queue_;
-  ThreadPoolStats stats_;
   bool shutdown_ = false;
 
   std::vector<std::thread> workers_;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <future>
+#include <memory>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -15,6 +17,7 @@
 #include "core/kernels.h"
 #include "core/scoring.h"
 #include "index/word_lists.h"
+#include "obs/trace.h"
 #include "phrase/phrase_extractor.h"
 
 namespace phrasemine {
@@ -286,6 +289,9 @@ bool TopKScatter(MiningEngine& engine, const Query& query,
                  ShardScatter* out) {
   MineOptions local = options;
   local.k = k_prime;
+  // The sharded merge narrates its own scatter/fill/gather story; a
+  // per-shard miner trace would be discarded unseen, so don't build one.
+  local.trace = false;
   // Local top-k' candidates are identities for the merge, never
   // materialized as text -- billing every shard device k' random phrase
   // lookups would add a constant per-device cost that does not
@@ -609,10 +615,31 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
       snaps[s] = shards_[s]->delta_snapshot();
     }
 
+    // Per-attempt trace: built from scratch each round and attached to the
+    // result only when the attempt survives to the gather, so a stale
+    // retry never leaks a half-told story into the final tree.
+    std::shared_ptr<TraceSpan> trace_root;
+    if (options.trace) {
+      trace_root = std::make_shared<TraceSpan>();
+      trace_root->name = "mine:sharded";
+      trace_root->detail = AlgorithmName(algorithm);
+    }
+    TraceSpan* trace = trace_root.get();
+    const double attempt_start = trace != nullptr ? watch.ElapsedMillis() : 0.0;
+
     // --- Scatter -------------------------------------------------------------
     std::vector<ShardScatter> scatter(n);
     std::atomic<bool> stale{false};
+    // Shard children are created up front so the pool workers each own a
+    // distinct, already-placed node -- no locking inside the lambda.
+    TraceSpan* scatter_span = AddSpan(trace, "scatter");
+    std::vector<TraceSpan*> scatter_shard_spans(n, nullptr);
+    for (std::size_t s = 0; s < n && scatter_span != nullptr; ++s) {
+      scatter_shard_spans[s] =
+          AddSpan(scatter_span, "shard " + std::to_string(s));
+    }
     ParallelOverShards([&](std::size_t s) {
+      SpanTimer span_timer(scatter_shard_spans[s]);
       bool ok = true;
       switch (mode) {
         case MergeMode::kCountExhaustive:
@@ -634,6 +661,25 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     if (stale.load(std::memory_order_relaxed)) {
       std::this_thread::yield();  // let the rebuild finish before retrying
       continue;
+    }
+    if (scatter_span != nullptr) {
+      scatter_span->wall_ms = watch.ElapsedMillis() - attempt_start;
+      for (std::size_t s = 0; s < n; ++s) {
+        TraceSpan* ss = scatter_shard_spans[s];
+        AddCounter(ss, "entries_read",
+                   static_cast<double>(scatter[s].entries_read));
+        AddCounter(ss, "candidates",
+                   static_cast<double>(scatter[s].candidates.size()));
+        if (scatter[s].disk_io.blocks_read > 0) {
+          AddCounter(ss, "disk_blocks",
+                     static_cast<double>(scatter[s].disk_io.blocks_read));
+          AddCounter(ss, "disk_seeks",
+                     static_cast<double>(scatter[s].disk_io.seeks));
+          AddCounter(ss, "disk_bytes",
+                     static_cast<double>(scatter[s].disk_io.bytes));
+          AddCounter(ss, "disk_ms", scatter[s].disk_ms);
+        }
+      }
     }
 
     // --- Union (join by global PhraseId) -------------------------------------
@@ -749,6 +795,10 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     // the fill round entirely. The ranked output is bitwise unchanged.
     std::vector<uint8_t> pruned;
     uint64_t pruned_count = 0;
+    std::size_t settled_count = 0;       // trace-only exchange accounting
+    double exchange_floor = 0.0;
+    bool have_exchange_floor = false;
+    const double exchange_start = trace != nullptr ? watch.ElapsedMillis() : 0.0;
     const bool df_monotone =
         IsCountMode(mode) || query.op == QueryOperator::kAnd ||
         options.or_order != OrExpansionOrder::kSecondOrder;
@@ -793,6 +843,20 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
           ++pruned_count;
         }
       }
+      settled_count = settled.size();
+      exchange_floor = floor_score;
+      have_exchange_floor = have_floor;
+    }
+    if (trace != nullptr) {
+      TraceSpan* exchange = AddSpan(trace, "exchange");
+      exchange->wall_ms = watch.ElapsedMillis() - exchange_start;
+      AddCounter(exchange, "candidates", static_cast<double>(cands.size()));
+      AddCounter(exchange, "settled", static_cast<double>(settled_count));
+      AddCounter(exchange, "pruned", static_cast<double>(pruned_count));
+      if (have_exchange_floor) AddCounter(exchange, "floor", exchange_floor);
+      if (!(options_.threshold_exchange && !IsTopKMode(mode) && df_monotone)) {
+        SetDetail(exchange, "skipped (not applicable)");
+      }
     }
 
     // --- Fill ----------------------------------------------------------------
@@ -805,8 +869,15 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     std::vector<std::vector<PartialSupport>> fill(n);
     std::vector<std::size_t> fill_subcollection(n, 0);
     std::size_t fill_slots = 0;
+    const double fill_start = trace != nullptr ? watch.ElapsedMillis() : 0.0;
+    TraceSpan* fill_span = AddSpan(trace, "fill");
     if (!cands.empty()) {
+      std::vector<TraceSpan*> fill_shard_spans(n, nullptr);
+      for (std::size_t s = 0; s < n && fill_span != nullptr; ++s) {
+        fill_shard_spans[s] = AddSpan(fill_span, "shard " + std::to_string(s));
+      }
       ParallelOverShards([&](std::size_t s) {
+        SpanTimer span_timer(fill_shard_spans[s]);
         std::vector<uint8_t> need(cands.size());
         for (std::size_t i = 0; i < cands.size(); ++i) {
           need[i] = IsTopKMode(mode)
@@ -853,6 +924,11 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
         }
       }
     }
+    if (fill_span != nullptr) {
+      fill_span->wall_ms = watch.ElapsedMillis() - fill_start;
+      AddCounter(fill_span, "fill_slots", static_cast<double>(fill_slots));
+    }
+    const double gather_start = trace != nullptr ? watch.ElapsedMillis() : 0.0;
 
     // --- Gather: global scores from summed supports --------------------------
     if (IsTopKMode(mode) && IsCountMode(mode)) {
@@ -883,6 +959,11 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
                 return cands[a.slot].phrase < cands[b.slot].phrase;
               });
     if (ranked.size() > options.k) ranked.resize(options.k);
+    if (trace != nullptr) {
+      TraceSpan* gather = AddSpan(trace, "gather");
+      gather->wall_ms = watch.ElapsedMillis() - gather_start;
+      AddCounter(gather, "results", static_cast<double>(ranked.size()));
+    }
 
     // --- Assemble ------------------------------------------------------------
     ShardedMineResult out;
@@ -892,6 +973,8 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     out.exact_merge = !IsTopKMode(mode);
     out.result.phrases.reserve(ranked.size());
     out.texts.reserve(ranked.size());
+    const double materialize_start =
+        trace != nullptr ? watch.ElapsedMillis() : 0.0;
     shards_[0]->WithSharedStructures([&] {
       for (std::size_t i = 0; i < ranked.size(); ++i) {
         const PhraseId id = cands[ranked[i].slot].phrase;
@@ -902,6 +985,11 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
                                 : std::string("<unresolved phrase>"));
       }
     });
+    if (trace != nullptr) {
+      TraceSpan* materialize = AddSpan(trace, "materialize");
+      materialize->wall_ms = watch.ElapsedMillis() - materialize_start;
+      AddCounter(materialize, "texts", static_cast<double>(out.texts.size()));
+    }
     out.result.peak_candidates = cands.size();
     out.result.subcollection_size =
         IsCountMode(mode) ? total_subcollection : 0;
@@ -923,6 +1011,14 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
       out.candidate_floor = std::max(out.candidate_floor, s.local_floor);
     }
     out.result.compute_ms = watch.ElapsedMillis();
+    if (trace != nullptr) {
+      trace->wall_ms = out.result.compute_ms;
+      AddCounter(trace, "shards", static_cast<double>(n));
+      AddCounter(trace, "candidates", static_cast<double>(cands.size()));
+      AddCounter(trace, "candidates_pruned",
+                 static_cast<double>(pruned_count));
+      out.result.trace = std::move(trace_root);
+    }
     return out;
   }
 }
