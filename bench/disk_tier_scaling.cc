@@ -41,6 +41,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -216,6 +217,63 @@ int Main() {
     return 3;
   }
 
+  // --- Measured tier: persist, reopen cold, replay the workload -------------
+  // Everything above *models* the paper's device. This section persists the
+  // monolithic engine to the single-file index format, reopens it via mmap,
+  // and reports what actually happened on the measured backend: cold-open
+  // wall time (validation touches every payload byte once through the
+  // checksums) and per-query first-touch I/O of the mapped word lists
+  // (each kNraDisk query resets the touch state, so every query is cold).
+  const std::string persist_path = "BENCH_engine.pmidx";
+  double cold_open_ms = 0.0;
+  uint64_t file_bytes = 0;
+  double measured_disk_ms = 0.0;
+  uint64_t measured_blocks = 0;
+  uint64_t measured_seeks = 0;
+  uint64_t measured_bytes = 0;
+  bool measured_ok = false;
+  {
+    // Materialize the workload's word lists so the persisted file carries
+    // them (and the reopened engine maps them instead of rebuilding).
+    for (const Query& q : queries) {
+      (void)mono.Mine(q, Algorithm::kSmj, MineOptions{.k = 1});
+    }
+    const Status saved = mono.SaveToFile(persist_path);
+    if (!saved.ok()) {
+      std::printf("\nmeasured tier skipped: persist failed (%s)\n",
+                  saved.message().c_str());
+    } else {
+      auto reopened = MiningEngine::LoadFromFile(persist_path);
+      if (!reopened.ok()) {
+        std::printf("\nmeasured tier skipped: reopen failed (%s)\n",
+                    reopened.status().message().c_str());
+      } else {
+        MiningEngine& cold = reopened.value();
+        cold_open_ms = cold.index_file()->open_ms();
+        file_bytes = cold.index_file()->file_bytes();
+        for (const Query& q : queries) {
+          const MineResult r =
+              cold.Mine(q, Algorithm::kNraDisk, MineOptions{.k = 5});
+          measured_disk_ms += r.disk_ms;
+          measured_blocks += r.disk_io.blocks_read;
+          measured_seeks += r.disk_io.seeks;
+          measured_bytes += r.disk_io.bytes;
+        }
+        measured_ok = true;
+        std::printf(
+            "\nmeasured (mmap-backed) tier: cold open %.2f ms over %llu "
+            "file bytes; %zu cold queries touched %llu blocks "
+            "(%llu seeks, %llu bytes) in %.2f ms\n",
+            cold_open_ms, static_cast<unsigned long long>(file_bytes),
+            queries.size(), static_cast<unsigned long long>(measured_blocks),
+            static_cast<unsigned long long>(measured_seeks),
+            static_cast<unsigned long long>(measured_bytes),
+            measured_disk_ms);
+      }
+    }
+    std::remove(persist_path.c_str());
+  }
+
   const double speedup_at_4 =
       modeled_at_1 > 0.0 ? modeled_at_4 / modeled_at_1 : 0.0;
   const bool meets_target = speedup_at_4 >= 2.0;
@@ -241,8 +299,18 @@ int Main() {
           static_cast<unsigned long long>(row.seeks),
           static_cast<unsigned long long>(row.bytes), row.verified);
     }
+    std::fprintf(
+        json,
+        "\n  ],\n  \"measured\": {\"ok\": %s, \"cold_open_ms\": %.3f, "
+        "\"file_bytes\": %llu, \"queries\": %zu, \"disk_ms\": %.3f, "
+        "\"blocks\": %llu, \"seeks\": %llu, \"bytes\": %llu},\n",
+        measured_ok ? "true" : "false", cold_open_ms,
+        static_cast<unsigned long long>(file_bytes), queries.size(),
+        measured_disk_ms, static_cast<unsigned long long>(measured_blocks),
+        static_cast<unsigned long long>(measured_seeks),
+        static_cast<unsigned long long>(measured_bytes));
     std::fprintf(json,
-                 "\n  ],\n  \"modeled_qps_at_4\": %.1f,\n"
+                 "  \"modeled_qps_at_4\": %.1f,\n"
                  "  \"speedup_at_4\": %.2f,\n  \"target_enforced\": %s,\n"
                  "  \"meets_target\": %s\n}\n",
                  modeled_at_4, speedup_at_4, enforced ? "true" : "false",

@@ -71,4 +71,14 @@ if ! "$BUILD_DIR/example_trace_explain" > /dev/null; then
   exit 1
 fi
 
+# Persist/reopen smoke: builds, persists and reopens both a monolithic
+# engine and a sharded fleet through the single-file index format, and
+# exits non-zero if any reopened instance ranks differently from its
+# original (the restart contract, gated at smoke scale).
+echo "== example_persist_roundtrip"
+if ! (cd "$BUILD_DIR" && ./example_persist_roundtrip > /dev/null); then
+  echo "FAIL: example_persist_roundtrip exited non-zero" >&2
+  exit 1
+fi
+
 echo "bench smoke OK (${#benches[@]} paper-figure binaries ran)"

@@ -84,6 +84,29 @@ def report_tail_latency(data, label):
                   f"informational): {line}")
 
 
+def report_measured_io(data, label):
+    """Prints the measured (mmap-backed) tier fields of BENCH_disk.json
+    informationally. Cold-open time and first-touch I/O are real wall
+    clock / page faults, so they vary with the runner's cache state and
+    are reported for the log and artifact diff but never gated."""
+    measured = data.get("measured")
+    if not isinstance(measured, dict) or not measured.get("ok"):
+        return
+    fields = []
+    for key, fmt in (("cold_open_ms", "cold_open=%.2fms"),
+                     ("file_bytes", "file=%dB"),
+                     ("queries", "queries=%d"),
+                     ("disk_ms", "io=%.2fms"),
+                     ("blocks", "blocks=%d"),
+                     ("seeks", "seeks=%d"),
+                     ("bytes", "bytes=%d")):
+        if isinstance(measured.get(key), (int, float)):
+            fields.append(fmt % measured[key])
+    if fields:
+        print(f"measured mmap tier ({label}, informational): "
+              + " ".join(fields))
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -182,6 +205,7 @@ def main():
         return 1
     name, new_value = new_metric
     report_tail_latency(new_data, "current")
+    report_measured_io(new_data, "current")
 
     status = check_single_step(args.old, name, new_value, args.threshold)
     if args.history:

@@ -1,6 +1,9 @@
 #include "common/io_util.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <system_error>
 
 namespace phrasemine {
 
@@ -21,16 +24,19 @@ Status BinaryWriter::WriteToFile(const std::string& path) const {
 }
 
 Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  // std::ftell returns long, which truncates sizes >= 2 GiB where long is
+  // 32 bits (LP32, Windows); filesystem::file_size is 64-bit everywhere.
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IOError("cannot stat: " + path + ": " + ec.message());
+  }
+  if (size > std::numeric_limits<std::size_t>::max()) {
+    return Status::IOError("file too large to load into memory: " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open for read: " + path);
-  }
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(f);
-    return Status::IOError("cannot stat: " + path);
   }
   std::vector<uint8_t> data(static_cast<std::size_t>(size));
   std::size_t got = 0;
@@ -51,7 +57,7 @@ Status BinaryReader::GetString(std::string* out) {
   if (len > Remaining()) {
     return Status::Corruption("string length exceeds remaining bytes");
   }
-  out->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
   pos_ += len;
   return Status::OK();
 }
@@ -66,7 +72,7 @@ Status BinaryReader::GetU32Vector(std::vector<uint32_t>* out) {
   }
   out->resize(len);
   if (len > 0) {
-    std::memcpy(out->data(), data_.data() + pos_, bytes);
+    std::memcpy(out->data(), data_ + pos_, bytes);
   }
   pos_ += bytes;
   return Status::OK();
@@ -76,7 +82,7 @@ Status BinaryReader::GetRaw(void* out, std::size_t n) {
   if (n > Remaining()) {
     return Status::Corruption("read past end of buffer");
   }
-  std::memcpy(out, data_.data() + pos_, n);
+  std::memcpy(out, data_ + pos_, n);
   pos_ += n;
   return Status::OK();
 }

@@ -1,14 +1,28 @@
 #ifndef PHRASEMINE_COMMON_IO_UTIL_H_
 #define PHRASEMINE_COMMON_IO_UTIL_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 
 namespace phrasemine {
+
+// The on-disk format is little-endian by declaration, but PutRaw/GetRaw
+// move host-order bytes: the contract only holds on little-endian hosts,
+// so it is enforced at compile time instead of being silently violated on
+// a big-endian build. The index-file superblock additionally stamps the
+// writer's endianness so a foreign file fails with a clean Corruption
+// error rather than deserializing garbage (see storage/index_file.h).
+static_assert(std::endian::native == std::endian::little,
+              "phrasemine's serialization writes host byte order and its "
+              "on-disk formats are defined little-endian; big-endian hosts "
+              "need byte-swapping Put*/Get* before this can build");
 
 /// Append-only little-endian binary encoder used by all index serializers.
 /// The encoding is fixed-width (no varints) for simplicity and O(1) seeks.
@@ -51,12 +65,39 @@ class BinaryWriter {
 
 /// Sequential little-endian decoder over an in-memory byte buffer. All Get*
 /// methods return Status so truncated or corrupt files surface as errors
-/// rather than undefined behaviour.
+/// rather than undefined behaviour. A reader either owns its bytes (the
+/// FromFile / vector constructors) or borrows them (the span constructor,
+/// used to decode sections of an mmapped index file without copying); a
+/// borrowing reader must not outlive the mapping it reads.
 class BinaryReader {
  public:
-  explicit BinaryReader(std::vector<uint8_t> data) : data_(std::move(data)) {}
+  explicit BinaryReader(std::vector<uint8_t> data)
+      : owned_(std::move(data)), data_(owned_.data()), size_(owned_.size()) {}
 
-  /// Loads the whole file into memory and wraps it in a reader.
+  /// Borrowed view: decodes in place, no copy. The underlying bytes (an
+  /// mmapped section, another buffer) must stay alive and unchanged for
+  /// the reader's lifetime.
+  explicit BinaryReader(std::span<const uint8_t> view)
+      : data_(view.data()), size_(view.size()) {}
+
+  // Move-only: a copy of an owning reader would alias the source's buffer
+  // through the raw cursor pointer.
+  BinaryReader(BinaryReader&& other) noexcept { *this = std::move(other); }
+  BinaryReader& operator=(BinaryReader&& other) noexcept {
+    const bool owning = other.data_ == other.owned_.data();
+    owned_ = std::move(other.owned_);
+    data_ = owning ? owned_.data() : other.data_;
+    size_ = other.size_;
+    pos_ = other.pos_;
+    return *this;
+  }
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  /// Loads the whole file into memory and wraps it in a reader. Uses a
+  /// 64-bit size query, so files >= 2 GiB load correctly on platforms
+  /// where long is 32 bits; files larger than the address space fail with
+  /// IOError instead of a silent truncation.
   static Result<BinaryReader> FromFile(const std::string& path);
 
   Status GetU8(uint8_t* out) { return GetRaw(out, sizeof(*out)); }
@@ -73,12 +114,19 @@ class BinaryReader {
   /// Reads n raw bytes into out.
   Status GetRaw(void* out, std::size_t n);
 
+  /// Byte offset of the read cursor from the start of the buffer. For a
+  /// borrowed section reader this is the local offset within the section
+  /// -- what the index-file loader records as each structure's layout.
+  std::size_t position() const { return pos_; }
+
   /// Bytes remaining after the read cursor.
-  std::size_t Remaining() const { return data_.size() - pos_; }
-  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t Remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
 
  private:
-  std::vector<uint8_t> data_;
+  std::vector<uint8_t> owned_;  // empty for borrowing readers
+  const uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t pos_ = 0;
 };
 

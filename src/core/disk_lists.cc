@@ -1,6 +1,7 @@
 #include "core/disk_lists.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "index/list_entry.h"
@@ -40,11 +41,16 @@ std::unordered_set<TermId> DiskResidentLists::ResidentSet(
 DiskResidentLists::DiskResidentLists(const WordScoreLists& lists,
                                      const PhraseListFile& phrase_file,
                                      const InvertedIndex& inverted,
-                                     DiskTierOptions options)
+                                     DiskTierOptions options,
+                                     std::unique_ptr<DiskBackend> device,
+                                     MappedListLayout layout)
     : lists_(lists),
       phrase_file_(phrase_file),
       options_(options),
-      disk_(options.disk),
+      device_(device != nullptr
+                  ? std::move(device)
+                  : std::make_unique<SimulatedDisk>(options.disk)),
+      layout_(std::move(layout)),
       resident_(ResidentSet(lists, inverted, options.resident_budget_bytes)) {
   PlaceAndRegister();
 }
@@ -52,7 +58,9 @@ DiskResidentLists::DiskResidentLists(const WordScoreLists& lists,
 DiskResidentLists::DiskResidentLists(const WordScoreLists& lists,
                                      const PhraseListFile& phrase_file,
                                      DiskOptions options)
-    : lists_(lists), phrase_file_(phrase_file), disk_(options) {
+    : lists_(lists),
+      phrase_file_(phrase_file),
+      device_(std::make_unique<SimulatedDisk>(options)) {
   options_.disk = options;  // budget 0: resident_ stays empty, all spills
   PlaceAndRegister();
 }
@@ -65,24 +73,41 @@ void DiskResidentLists::PlaceAndRegister() {
       continue;
     }
     const uint64_t bytes = entries * kListEntryBytes;
-    if (bytes == 0) continue;  // empty lists occupy no device file
+    if (bytes == 0) continue;  // empty lists occupy no device range
     spilled_bytes_ += bytes;
-    list_files_.emplace(t, disk_.RegisterFile(bytes));
+    // A persisted list is backed by its entry run in the mapped file
+    // (when the run length matches what is in memory); lists built after
+    // load have no bytes in the file and register unbacked.
+    uint64_t offset = DiskBackend::kNoOffset;
+    auto run = layout_.entry_runs.find(t);
+    if (run != layout_.entry_runs.end() && run->second.second == entries) {
+      offset = run->second.first;
+    }
+    list_files_.emplace(t, device_->RegisterRange(offset, bytes));
   }
-  phrase_file_id_ =
-      disk_.RegisterFile(std::max<uint64_t>(phrase_file_.SizeBytes(), 1));
+  phrase_file_id_ = device_->RegisterRange(
+      layout_.phrase_slots_offset,
+      std::max<uint64_t>(phrase_file_.SizeBytes(), 1));
 }
 
 void DiskResidentLists::ChargeListRead(TermId term, uint64_t pos) {
   if (resident_.contains(term)) return;  // pinned in RAM: no charge
   auto it = list_files_.find(term);
-  PM_CHECK_MSG(it != list_files_.end(), "no disk file for term list");
-  disk_.Read(it->second, pos * kListEntryBytes, kListEntryBytes);
+  PM_CHECK_MSG(it != list_files_.end(), "no disk range for term list");
+  device_->Read(it->second, pos * kListEntryBytes, kListEntryBytes);
+}
+
+void DiskResidentLists::ChargeListScan(TermId term, uint64_t entries) {
+  if (entries == 0) return;
+  if (resident_.contains(term)) return;  // pinned in RAM: no charge
+  auto it = list_files_.find(term);
+  PM_CHECK_MSG(it != list_files_.end(), "no disk range for term list");
+  device_->Read(it->second, 0, entries * kListEntryBytes);
 }
 
 void DiskResidentLists::ChargePhraseLookup(PhraseId id) {
-  disk_.Read(phrase_file_id_, phrase_file_.SlotOffset(id),
-             phrase_file_.slot_size());
+  device_->Read(phrase_file_id_, phrase_file_.SlotOffset(id),
+                phrase_file_.slot_size());
 }
 
 }  // namespace phrasemine

@@ -2,6 +2,7 @@
 #define PHRASEMINE_CORE_DISK_LISTS_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "index/inverted_index.h"
 #include "index/phrase_list_file.h"
 #include "index/word_lists.h"
+#include "storage/disk_backend.h"
 #include "storage/simulated_disk.h"
 #include "text/types.h"
 
@@ -18,7 +20,9 @@ namespace phrasemine {
 /// cost model plus the resident-memory budget its spill policy may pin.
 struct DiskTierOptions {
   /// Device parameters: block (page) size, LRU cache depth, and the
-  /// seek/transfer cost model (random vs sequential fetch charge).
+  /// seek/transfer cost model (random vs sequential fetch charge). Only
+  /// used by the modeled SimulatedDisk backend; a mapped backend measures
+  /// instead of charging.
   DiskOptions disk;
   /// RAM the tier may spend pinning word lists, in bytes of resident AoS
   /// entries (kListEntryInMemoryBytes each). The spill policy pins the
@@ -30,13 +34,29 @@ struct DiskTierOptions {
   uint64_t resident_budget_bytes = 0;
 };
 
-/// Disk residency wrapper for the NRA inputs: lays every *spilled*
-/// word-specific score-ordered list out as its own simulated file
+/// Where each persisted structure's bytes live inside an opened index
+/// file: absolute file offsets of the word-lists entry runs (per term)
+/// and of the phrase-list slots. MiningEngine captures this at load time
+/// and hands it to DiskResidentLists, which then backs its device ranges
+/// with the real mapped bytes instead of synthetic files.
+struct MappedListLayout {
+  /// term -> (absolute file offset of first entry, entry count).
+  std::unordered_map<TermId, std::pair<uint64_t, uint64_t>> entry_runs;
+  /// Absolute file offset of phrase slot 0 (kNoOffset when absent).
+  uint64_t phrase_slots_offset = DiskBackend::kNoOffset;
+};
+
+/// Disk residency wrapper for the NRA/SMJ inputs: lays every *spilled*
+/// word-specific score-ordered list out as its own device range
 /// (12-byte packed entries, Section 4.2.2) and the phrase list as one
-/// more file of fixed 50-byte slots (Section 4.2.1). The actual list
-/// *contents* stay in memory -- per the paper's simulation protocol only
-/// the I/O cost is modeled, and it is charged through the owned
-/// SimulatedDisk as the algorithm touches bytes.
+/// more range of fixed 50-byte slots (Section 4.2.1). The list *contents*
+/// used for mining stay in memory; what the device does when the
+/// algorithm touches bytes depends on the backend:
+///   * SimulatedDisk (default) -- the paper's Section 5.5 protocol: only
+///     the I/O cost is modeled, charged per touched page.
+///   * MappedDisk over a persisted index file -- the ranges address the
+///     structure's real bytes in the mapping, reads fault them in, and
+///     the stats report measured blocks/bytes/time.
 ///
 /// Placement is decided once at construction by the ResidentSet spill
 /// policy below: lists inside the resident budget are pinned (their
@@ -50,10 +70,16 @@ struct DiskTierOptions {
 class DiskResidentLists {
  public:
   /// Places `lists` on the tier under `options`, using `inverted` for
-  /// the term-df hotness order of the spill policy.
+  /// the term-df hotness order of the spill policy. When `device` is
+  /// null a SimulatedDisk over options.disk is created (modeled tier);
+  /// otherwise the given backend is used, with `layout` mapping each
+  /// structure to its on-device offsets (ranges without layout entries
+  /// are registered unbacked and accounted arithmetically).
   DiskResidentLists(const WordScoreLists& lists,
                     const PhraseListFile& phrase_file,
-                    const InvertedIndex& inverted, DiskTierOptions options);
+                    const InvertedIndex& inverted, DiskTierOptions options,
+                    std::unique_ptr<DiskBackend> device = nullptr,
+                    MappedListLayout layout = {});
 
   /// Fully disk-resident tier (budget 0): every list spills, no hotness
   /// order needed. The pre-tier construction path, kept for callers that
@@ -79,6 +105,12 @@ class DiskResidentLists {
   /// the spill policy pinned the list.
   void ChargeListRead(TermId term, uint64_t pos);
 
+  /// Charges the I/O for streaming the first `entries` entries of a
+  /// term's list sequentially (the SMJ construction/scan access pattern);
+  /// free when pinned. One Read covering the whole prefix, so the device
+  /// sees the sequential access instead of per-entry touches.
+  void ChargeListScan(TermId term, uint64_t entries);
+
   /// Charges the I/O for the final phrase-text lookup of a result id
   /// (a random access into the phrase list file; always device-resident).
   void ChargePhraseLookup(PhraseId id);
@@ -93,20 +125,27 @@ class DiskResidentLists {
   std::size_t num_resident() const { return resident_.size(); }
   std::size_t num_spilled() const { return list_files_.size(); }
 
-  SimulatedDisk& disk() { return disk_; }
+  /// The charging backend (modeled or measured).
+  DiskBackend& device() { return *device_; }
+  /// True when device() measures real mapped reads rather than charging
+  /// the Section 5.5 cost model.
+  bool measured() const { return device_->measured(); }
+
   const WordScoreLists& lists() const { return lists_; }
   const DiskTierOptions& tier_options() const { return options_; }
 
  private:
   /// Shared ctor tail: accounts resident bytes for pinned lists and
-  /// registers a device file per spilled non-empty list plus the phrase
-  /// file. Reads resident_ (empty on the all-spill path).
+  /// registers a device range per spilled non-empty list plus the phrase
+  /// file. Reads resident_ (empty on the all-spill path) and layout_ for
+  /// the on-device offsets of backed ranges.
   void PlaceAndRegister();
 
   const WordScoreLists& lists_;
   const PhraseListFile& phrase_file_;
   DiskTierOptions options_;
-  SimulatedDisk disk_;
+  std::unique_ptr<DiskBackend> device_;
+  MappedListLayout layout_;
   std::unordered_set<TermId> resident_;
   std::unordered_map<TermId, uint32_t> list_files_;  // spilled lists only
   uint64_t resident_bytes_ = 0;

@@ -1,11 +1,15 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "obs/trace.h"
@@ -14,9 +18,29 @@ namespace phrasemine {
 
 namespace {
 
-/// Snapshot format version; bump on any layout change.
-constexpr uint32_t kSnapshotMagic = 0x504D534E;  // "PMSN"
-constexpr uint32_t kSnapshotVersion = 1;
+/// File name of an engine persisted into a directory.
+constexpr const char* kIndexFileName = "engine.pmidx";
+
+/// Serializes one structure into a detached payload buffer.
+template <typename Fn>
+std::vector<uint8_t> SerializeSection(Fn&& serialize) {
+  BinaryWriter writer;
+  serialize(&writer);
+  return writer.TakeBuffer();
+}
+
+/// Borrowed reader over a required section; missing sections are
+/// Corruption (an engine file always carries all eight).
+Status SectionReader(const IndexFile& file, IndexSection type,
+                     std::optional<BinaryReader>* out) {
+  if (!file.has_section(type)) {
+    return Status::Corruption("index file missing engine section " +
+                              std::to_string(static_cast<uint32_t>(type)) +
+                              ": " + file.path());
+  }
+  out->emplace(file.section(type));
+  return Status::OK();
+}
 
 /// Clones a fixed phrase set (identical ids, parents and token
 /// sequences -- extraction registers parents before children, so the
@@ -110,84 +134,133 @@ MiningEngine MiningEngine::Build(Corpus corpus, Options options) {
       PhraseListFile::Build(engine.dict_, engine.corpus_.vocab());
   engine.word_lists_ = std::make_unique<WordScoreLists>();
   engine.smj_fraction_ = options.default_smj_fraction;
+  if (!options.persist_path.empty()) {
+    engine.persist_status_ = engine.SaveToFile(options.persist_path);
+  }
   return engine;
 }
 
-Status MiningEngine::SaveToDirectory(const std::string& dir) const {
+Status MiningEngine::SaveToFile(const std::string& path) const {
   std::shared_lock lists_lock(sync_->lists_mu);
-  BinaryWriter writer;
-  writer.PutU32(kSnapshotMagic);
-  writer.PutU32(kSnapshotVersion);
-  corpus_.Serialize(&writer);
-  dict_.Serialize(&writer);
-  inverted_.Serialize(&writer);
-  forward_full_.Serialize(&writer);
-  forward_compressed_.Serialize(&writer);
-  phrase_file_.Serialize(&writer);
-  word_lists_->Serialize(&writer);
-  return writer.WriteToFile(dir + "/engine.pmsnap");
+  IndexFileWriter writer;
+  {
+    // Shared against ingest-time interning of unseen terms.
+    std::shared_lock vocab_lock(sync_->vocab_mu);
+    writer.AddSection(IndexSection::kVocabulary, SerializeSection([&](
+        BinaryWriter* w) { corpus_.vocab().Serialize(w); }));
+  }
+  writer.AddSection(IndexSection::kCorpusDocs, SerializeSection([&](
+      BinaryWriter* w) { corpus_.SerializeDocs(w); }));
+  writer.AddSection(IndexSection::kPhraseDictionary, SerializeSection([&](
+      BinaryWriter* w) { dict_.Serialize(w); }));
+  writer.AddSection(IndexSection::kInvertedIndex, SerializeSection([&](
+      BinaryWriter* w) { inverted_.Serialize(w); }));
+  writer.AddSection(IndexSection::kForwardIndexFull, SerializeSection([&](
+      BinaryWriter* w) { forward_full_.Serialize(w); }));
+  writer.AddSection(IndexSection::kForwardIndexCompressed, SerializeSection([&](
+      BinaryWriter* w) { forward_compressed_.Serialize(w); }));
+  writer.AddSection(IndexSection::kPhraseListFile, SerializeSection([&](
+      BinaryWriter* w) { phrase_file_.Serialize(w); }));
+  writer.AddSection(IndexSection::kWordScoreLists, SerializeSection([&](
+      BinaryWriter* w) { word_lists_->Serialize(w); }));
+  return writer.WriteTo(path);
 }
 
-Result<MiningEngine> MiningEngine::LoadFromDirectory(const std::string& dir,
-                                                     Options options) {
-  Result<BinaryReader> reader_or =
-      BinaryReader::FromFile(dir + "/engine.pmsnap");
-  if (!reader_or.ok()) return reader_or.status();
-  BinaryReader& reader = reader_or.value();
-
-  uint32_t magic = 0;
-  uint32_t version = 0;
-  Status s = reader.GetU32(&magic);
-  if (!s.ok()) return s;
-  s = reader.GetU32(&version);
-  if (!s.ok()) return s;
-  if (magic != kSnapshotMagic) {
-    return Status::Corruption("not a phrasemine snapshot");
-  }
-  if (version != kSnapshotVersion) {
-    return Status::Corruption("unsupported snapshot version");
-  }
+Result<MiningEngine> MiningEngine::LoadFromFile(const std::string& path,
+                                                Options options) {
+  Result<IndexFile> file_or = IndexFile::Open(path);
+  if (!file_or.ok()) return file_or.status();
+  auto file = std::make_unique<IndexFile>(std::move(file_or.value()));
 
   MiningEngine engine;
   engine.options_ = options;
+  Status s;
+  std::optional<BinaryReader> reader;
   {
-    Result<Corpus> part = Corpus::Deserialize(&reader);
+    if (!(s = SectionReader(*file, IndexSection::kVocabulary, &reader)).ok())
+      return s;
+    Result<Vocabulary> part = Vocabulary::Deserialize(&*reader);
     if (!part.ok()) return part.status();
-    engine.corpus_ = std::move(part.value());
+    engine.corpus_.SetVocab(std::move(part.value()));
   }
   {
-    Result<PhraseDictionary> part = PhraseDictionary::Deserialize(&reader);
+    if (!(s = SectionReader(*file, IndexSection::kCorpusDocs, &reader)).ok())
+      return s;
+    if (!(s = Corpus::DeserializeDocs(&*reader, &engine.corpus_)).ok())
+      return s;
+  }
+  {
+    if (!(s = SectionReader(*file, IndexSection::kPhraseDictionary, &reader))
+             .ok())
+      return s;
+    Result<PhraseDictionary> part = PhraseDictionary::Deserialize(&*reader);
     if (!part.ok()) return part.status();
     engine.dict_ = std::move(part.value());
   }
   {
-    Result<InvertedIndex> part = InvertedIndex::Deserialize(&reader);
+    if (!(s = SectionReader(*file, IndexSection::kInvertedIndex, &reader)).ok())
+      return s;
+    Result<InvertedIndex> part = InvertedIndex::Deserialize(&*reader);
     if (!part.ok()) return part.status();
     engine.inverted_ = std::move(part.value());
   }
   {
-    Result<ForwardIndex> part = ForwardIndex::Deserialize(&reader);
+    if (!(s = SectionReader(*file, IndexSection::kForwardIndexFull, &reader))
+             .ok())
+      return s;
+    Result<ForwardIndex> part = ForwardIndex::Deserialize(&*reader);
     if (!part.ok()) return part.status();
     engine.forward_full_ = std::move(part.value());
   }
   {
-    Result<ForwardIndex> part = ForwardIndex::Deserialize(&reader);
+    if (!(s = SectionReader(*file, IndexSection::kForwardIndexCompressed,
+                            &reader))
+             .ok())
+      return s;
+    Result<ForwardIndex> part = ForwardIndex::Deserialize(&*reader);
     if (!part.ok()) return part.status();
     engine.forward_compressed_ = std::move(part.value());
   }
   {
-    Result<PhraseListFile> part = PhraseListFile::Deserialize(&reader);
+    if (!(s = SectionReader(*file, IndexSection::kPhraseListFile, &reader))
+             .ok())
+      return s;
+    Result<PhraseListFile> part = PhraseListFile::Deserialize(&*reader);
     if (!part.ok()) return part.status();
     engine.phrase_file_ = std::move(part.value());
   }
   {
-    Result<WordScoreLists> part = WordScoreLists::Deserialize(&reader);
+    if (!(s = SectionReader(*file, IndexSection::kWordScoreLists, &reader))
+             .ok())
+      return s;
+    WordScoreLists::SerializedLayout local;
+    Result<WordScoreLists> part =
+        WordScoreLists::Deserialize(&*reader, &local);
     if (!part.ok()) return part.status();
     engine.word_lists_ =
         std::make_unique<WordScoreLists>(std::move(part.value()));
+    // Rebase the captured entry runs from section-local to absolute file
+    // offsets: these are the byte ranges the measured disk tier serves.
+    const uint64_t base = file->section_offset(IndexSection::kWordScoreLists);
+    for (const auto& [term, run] : local.entry_runs) {
+      engine.mapped_layout_.entry_runs[term] = {base + run.first, run.second};
+    }
   }
+  engine.mapped_layout_.phrase_slots_offset =
+      file->section_offset(IndexSection::kPhraseListFile) +
+      PhraseListFile::kSerializedSlotsOffset;
+  engine.index_file_ = std::move(file);
   engine.smj_fraction_ = options.default_smj_fraction;
   return engine;
+}
+
+Status MiningEngine::SaveToDirectory(const std::string& dir) const {
+  return SaveToFile(dir + "/" + kIndexFileName);
+}
+
+Result<MiningEngine> MiningEngine::LoadFromDirectory(const std::string& dir,
+                                                     Options options) {
+  return LoadFromFile(dir + "/" + kIndexFileName, options);
 }
 
 Result<Query> MiningEngine::ParseQuery(std::string_view text,
@@ -274,6 +347,23 @@ void MiningEngine::EnsureIdOrderedLists(std::span<const TermId> terms) {
 void MiningEngine::InvalidateDerivedLists() {
   id_lists_.reset();
   disk_lists_.reset();
+}
+
+DiskResidentLists& MiningEngine::EnsureDiskTierLocked() {
+  if (disk_lists_ == nullptr) {
+    // Loaded engines back the tier with the mapped index file: reads
+    // fault the structures' real bytes and the stats are measured.
+    // Built-in-memory engines fall back to the modeled SimulatedDisk.
+    std::unique_ptr<DiskBackend> device;
+    if (index_file_ != nullptr) {
+      device = std::make_unique<MappedDisk>(index_file_.get());
+    }
+    disk_lists_ = std::make_unique<DiskResidentLists>(
+        *word_lists_, phrase_file_, inverted_,
+        DiskTierOptions{options_.disk, options_.disk_resident_budget},
+        std::move(device), mapped_layout_);
+  }
+  return *disk_lists_;
 }
 
 void MiningEngine::SetSmjFraction(double fraction) {
@@ -393,16 +483,11 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
       break;
     }
     case Algorithm::kNraDisk: {
-      // disk_mu serializes the whole mine (the SimulatedDisk accumulates
-      // charged I/O); the shared structure lock keeps a concurrent merge
-      // or rebuild from resetting disk_lists_ mid-mine.
+      // disk_mu serializes the whole mine (the device accumulates charged
+      // or measured I/O); the shared structure lock keeps a concurrent
+      // merge or rebuild from resetting disk_lists_ mid-mine.
       std::scoped_lock disk_lock(sync_->disk_mu);
-      if (disk_lists_ == nullptr) {
-        disk_lists_ = std::make_unique<DiskResidentLists>(
-            *word_lists_, phrase_file_, inverted_,
-            DiskTierOptions{options_.disk, options_.disk_resident_budget});
-      }
-      NraMiner miner(disk_lists_.get(), dict_);
+      NraMiner miner(&EnsureDiskTierLocked(), dict_);
       result = miner.Mine(query, effective);
       break;
     }
@@ -429,6 +514,28 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
       } else {
         SmjMiner miner(*id_lists_, dict_);
         result = miner.Mine(query, effective);
+      }
+      if (options_.disk_backed) {
+        // Disk-backed SMJ streams each spilled list through the tier as
+        // one sequential scan of its construction prefix (Section 4.4.1:
+        // SMJ reads whole id-ordered lists): charge (or measure) that
+        // I/O on the shared device. Resident lists stay free, mirroring
+        // the NRA-disk protocol, and the cold-cache-per-query rule of
+        // the tier applies here too.
+        std::scoped_lock disk_lock(sync_->disk_mu);
+        DiskResidentLists& tier = EnsureDiskTierLocked();
+        tier.device().Reset();  // Cold cache per query.
+        std::unordered_set<TermId> charged;
+        for (TermId t : query.terms) {
+          if (!charged.insert(t).second) continue;
+          tier.ChargeListScan(
+              t, word_lists_->Partial(t, smj_fraction_).size());
+        }
+        const DiskStats& stats = tier.device().stats();
+        result.disk_ms = stats.cost_ms;
+        result.disk_io.blocks_read = stats.BlocksRead();
+        result.disk_io.seeks = stats.Seeks();
+        result.disk_io.bytes = stats.bytes_read;
       }
       break;
     }
@@ -591,8 +698,12 @@ void MiningEngine::Rebuild() {
   }
 
   // The expensive part runs against a private engine; readers are
-  // untouched until the swap below.
-  MiningEngine fresh = Build(std::move(updated), options_);
+  // untouched until the swap below. The persist path is cleared for the
+  // intermediate Build -- the re-persist happens once, below, after the
+  // warm lists are in (so the persisted file backs them on a reload).
+  Options build_options = options_;
+  build_options.persist_path.clear();
+  MiningEngine fresh = Build(std::move(updated), build_options);
   fresh.EnsureWordLists(warm_terms);
 
   std::unique_lock lists_lock(sync_->lists_mu);
@@ -611,6 +722,10 @@ void MiningEngine::Rebuild() {
   exact_.reset();
   gm_.reset();
   simitsis_.reset();
+  // Any open mapping describes the pre-rebuild structures; drop it (the
+  // disk tier falls back to unbacked ranges until a reload).
+  index_file_.reset();
+  mapped_layout_ = MappedListLayout{};
   pending_inserts_.clear();
   insert_deleted_.clear();
   base_deleted_.clear();
@@ -623,6 +738,13 @@ void MiningEngine::Rebuild() {
     last_update_stats_ = UpdateStats{};
     last_update_stats_.epoch = epoch_;
     last_update_stats_.live_docs = corpus_.size();
+  }
+  lists_lock.unlock();
+  vocab_lock.unlock();
+  // Re-persist the rebuilt engine (update_mu is still held, so no new
+  // batch can interleave between the swap and the file write).
+  if (!options_.persist_path.empty()) {
+    persist_status_ = SaveToFile(options_.persist_path);
   }
 }
 

@@ -26,6 +26,7 @@
 #include "index/word_lists.h"
 #include "phrase/phrase_dictionary.h"
 #include "phrase/phrase_extractor.h"
+#include "storage/index_file.h"
 #include "storage/simulated_disk.h"
 #include "text/corpus.h"
 
@@ -141,6 +142,15 @@ struct MiningEngineOptions {
   /// Construction fraction used when an SMJ mine is issued before
   /// SetSmjFraction was called.
   double default_smj_fraction = 1.0;
+  /// When non-empty, Build() persists the engine to this index file
+  /// (storage/index_file.h page format) right after construction, and
+  /// Rebuild() re-persists after every swap, so a restart can
+  /// LoadFromFile() instead of re-extracting. Persistence is best-effort
+  /// from Build's perspective -- the engine is returned fully functional
+  /// either way, with the write outcome in persist_status(). An engine
+  /// loaded from a file keeps the file mmapped and backs its disk tier
+  /// with the mapped bytes (measured I/O, see MappedDisk).
+  std::string persist_path;
   /// When the delta overlay exceeds this fraction of the live corpus,
   /// ApplyUpdate flags rebuild_recommended. <= 0 disables the
   /// recommendation (updates then accumulate until a caller rebuilds
@@ -206,19 +216,42 @@ class MiningEngine {
   using Options = MiningEngineOptions;
 
   /// Builds all eagerly-needed structures: dictionary, inverted index,
-  /// full + prefix-compressed forward indexes, phrase list file.
+  /// full + prefix-compressed forward indexes, phrase list file. When
+  /// options.persist_path is set, also writes the index file there (see
+  /// persist_status() for the outcome).
   static MiningEngine Build(Corpus corpus, Options options = {});
 
   /// Persists the engine (corpus, dictionary, every index and the word
-  /// lists built so far) into a directory so later sessions can skip the
-  /// extraction/indexing cost. The directory must already exist.
-  Status SaveToDirectory(const std::string& dir) const;
+  /// lists built so far) as one page-based index file -- a versioned,
+  /// checksummed superblock plus one typed section per structure
+  /// (storage/index_file.h) -- so later sessions can skip the
+  /// extraction/indexing cost. Call EnsureWordLists first if the word
+  /// lists should ride along (they back the measured disk tier after a
+  /// reload).
+  Status SaveToFile(const std::string& path) const;
 
-  /// Restores an engine persisted by SaveToDirectory. The snapshot format
-  /// is versioned; loading a snapshot from an incompatible version fails
-  /// with Corruption.
+  /// Restores an engine persisted by SaveToFile: validates the file
+  /// (magic, version, endianness, checksums -- malformed input fails with
+  /// Corruption, never crashes), decodes every section, and keeps the
+  /// file mmapped so the disk tier can serve measured reads from the
+  /// mapped structure bytes (index_file(), MappedDisk).
+  static Result<MiningEngine> LoadFromFile(const std::string& path,
+                                           Options options = {});
+
+  /// SaveToFile/LoadFromFile at the fixed name "engine.pmidx" inside an
+  /// existing directory.
+  Status SaveToDirectory(const std::string& dir) const;
   static Result<MiningEngine> LoadFromDirectory(const std::string& dir,
                                                 Options options = {});
+
+  /// Outcome of the last options-driven persist (Build / Rebuild with
+  /// persist_path set); OK when no persist was requested.
+  const Status& persist_status() const { return persist_status_; }
+
+  /// The opened index file this engine was loaded from, or nullptr when
+  /// it was built in memory. Its open_ms() is the measured cold-open
+  /// cost (mapping + full checksum validation).
+  const IndexFile* index_file() const { return index_file_.get(); }
 
   MiningEngine(MiningEngine&&) = default;
   MiningEngine& operator=(MiningEngine&&) = default;
@@ -410,6 +443,12 @@ class MiningEngine {
   /// Caller must hold lists_mu exclusively.
   void InvalidateDerivedLists();
 
+  /// Lazily constructs the disk tier over the current word lists. When
+  /// the engine was loaded from an index file the tier runs on a
+  /// MappedDisk over the mapping (measured I/O); otherwise on the modeled
+  /// SimulatedDisk. Caller must hold lists_mu (shared) and disk_mu.
+  DiskResidentLists& EnsureDiskTierLocked();
+
   /// Lazy postings construction; caller must hold lists_mu (shared is
   /// enough -- postings_mu serializes the build itself).
   const PhrasePostingIndex& PostingsLocked();
@@ -425,6 +464,15 @@ class MiningEngine {
   ForwardIndex forward_full_;
   ForwardIndex forward_compressed_;
   PhraseListFile phrase_file_;
+
+  /// Set when the engine was loaded from a persisted index file: the open
+  /// mapping plus the absolute offsets of the persisted word-list entry
+  /// runs and phrase slots, which back the disk tier's measured ranges.
+  /// Cleared by Rebuild (the mapping describes the pre-rebuild bytes).
+  std::unique_ptr<IndexFile> index_file_;
+  MappedListLayout mapped_layout_;
+  /// Outcome of the last persist_path-driven SaveToFile.
+  Status persist_status_;
 
   std::unique_ptr<PhrasePostingIndex> postings_;  // lazy
   std::unique_ptr<WordScoreLists> word_lists_;

@@ -48,7 +48,7 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
   PM_CHECK_MSG(query.terms.size() <= 32, "NRA supports up to 32 query terms");
   MineResult result;
   if (disk_lists_ != nullptr) {
-    disk_lists_->disk().Reset();  // Cold cache per query.
+    disk_lists_->device().Reset();  // Cold cache per query.
   }
   if (options.trace) {
     result.trace = std::make_shared<TraceSpan>();
@@ -262,7 +262,7 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
 
   result.compute_ms = watch.ElapsedMillis();
   if (disk_lists_ != nullptr) {
-    const DiskStats& stats = disk_lists_->disk().stats();
+    const DiskStats& stats = disk_lists_->device().stats();
     result.disk_ms = stats.cost_ms;
     result.disk_io.blocks_read = stats.BlocksRead();
     result.disk_io.seeks = stats.Seeks();

@@ -52,6 +52,11 @@ Result<PhraseListFile> PhraseListFile::Deserialize(BinaryReader* reader) {
   if (num_bytes % slot_size != 0) {
     return Status::Corruption("phrase list byte count not slot-aligned");
   }
+  // Guard before resize: an oversize length prefix must fail with a clean
+  // Status, not an allocation of corrupt-length gigabytes.
+  if (num_bytes > reader->Remaining()) {
+    return Status::Corruption("phrase list byte count exceeds remaining bytes");
+  }
   PhraseListFile file;
   file.slot_size_ = slot_size;
   file.truncated_ = static_cast<std::size_t>(truncated);

@@ -49,6 +49,14 @@ class PhraseListFile {
   void Serialize(BinaryWriter* writer) const;
   static Result<PhraseListFile> Deserialize(BinaryReader* reader);
 
+  /// Byte offset of slot 0 within a serialized payload (after the u32
+  /// slot size, u64 truncated count and u64 byte count headers). The disk
+  /// tier registers [offset, offset + SizeBytes()) of the index file's
+  /// phrase-list section as its device-resident phrase file, so phrase
+  /// lookups touch the real mapped slot bytes.
+  static constexpr std::size_t kSerializedSlotsOffset =
+      sizeof(uint32_t) + 2 * sizeof(uint64_t);
+
  private:
   std::size_t slot_size_ = kDefaultSlotSize;
   std::size_t truncated_ = 0;

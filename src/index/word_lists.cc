@@ -146,8 +146,14 @@ std::vector<TermId> WordScoreLists::Terms() const {
 }
 
 void WordScoreLists::Serialize(BinaryWriter* writer) const {
-  writer->PutU32(static_cast<uint32_t>(lists_.size()));
-  for (const auto& [term, list] : lists_) {
+  // Terms in ascending id order: iteration over the unordered_map is not
+  // deterministic, and the serialized bytes feed checksummed index file
+  // sections where the same lists must always hash the same.
+  std::vector<TermId> terms = Terms();
+  std::sort(terms.begin(), terms.end());
+  writer->PutU32(static_cast<uint32_t>(terms.size()));
+  for (TermId term : terms) {
+    const auto& list = lists_.at(term);
     writer->PutU32(term);
     writer->PutU64(list->size());
     for (const ListEntry& e : *list) {
@@ -157,7 +163,9 @@ void WordScoreLists::Serialize(BinaryWriter* writer) const {
   }
 }
 
-Result<WordScoreLists> WordScoreLists::Deserialize(BinaryReader* reader) {
+Result<WordScoreLists> WordScoreLists::Deserialize(BinaryReader* reader,
+                                                   SerializedLayout* layout) {
+  const std::size_t origin = reader->position();
   uint32_t num_terms = 0;
   Status s = reader->GetU32(&num_terms);
   if (!s.ok()) return s;
@@ -169,6 +177,14 @@ Result<WordScoreLists> WordScoreLists::Deserialize(BinaryReader* reader) {
     if (!s.ok()) return s;
     s = reader->GetU64(&len);
     if (!s.ok()) return s;
+    // Oversize guard before allocating: each entry consumes kListEntryBytes
+    // of payload, so a length prefix beyond the remaining bytes is corrupt.
+    if (len > reader->Remaining() / kListEntryBytes) {
+      return Status::Corruption("word list length exceeds remaining bytes");
+    }
+    if (layout != nullptr) {
+      layout->entry_runs[term] = {reader->position() - origin, len};
+    }
     std::vector<ListEntry> list(static_cast<std::size_t>(len));
     for (ListEntry& e : list) {
       s = reader->GetU32(&e.phrase);

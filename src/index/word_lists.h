@@ -100,9 +100,25 @@ class WordScoreLists {
   /// indexed term set as new query workloads arrive.
   void Merge(WordScoreLists&& other);
 
-  /// Serialization to/from the library's binary format.
+  /// Per-term location of the packed 12-byte entry runs inside a
+  /// serialized WordScoreLists payload, as captured by Deserialize:
+  /// byte offset of the term's first entry (local to the payload start)
+  /// and its entry count. The entries of one term are contiguous at
+  /// kListEntryBytes each, so the disk tier can register each run as a
+  /// mapped byte range and stream it straight out of the index file.
+  struct SerializedLayout {
+    std::unordered_map<TermId, std::pair<uint64_t, uint64_t>> entry_runs;
+  };
+
+  /// Serialization to/from the library's binary format. The serialized
+  /// form is deterministic (terms written in ascending id order), so the
+  /// same lists always produce the same bytes -- a requirement for the
+  /// checksummed index file sections.
   void Serialize(BinaryWriter* writer) const;
-  static Result<WordScoreLists> Deserialize(BinaryReader* reader);
+  /// When `layout` is non-null, records each term's entry-run location
+  /// (offsets relative to the reader's position at call time).
+  static Result<WordScoreLists> Deserialize(BinaryReader* reader,
+                                            SerializedLayout* layout = nullptr);
 
  private:
   /// Entries across all lists at a partial fraction (ceil per list), the

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/io_util.h"
 #include "common/stopwatch.h"
 #include "core/delta_index.h"
 #include "core/interestingness.h"
@@ -19,6 +20,7 @@
 #include "index/word_lists.h"
 #include "obs/trace.h"
 #include "phrase/phrase_extractor.h"
+#include "storage/index_file.h"
 
 namespace phrasemine {
 
@@ -490,6 +492,10 @@ ShardedEngine ShardedEngine::Build(Corpus corpus, Options options) {
   }
   options.engine.disk_backed = options.disk_backed;
   options.engine.disk_resident_budget = options.disk_budget_per_shard;
+  // Per-shard persist paths always derive from the fleet-level prefix: an
+  // engine-level persist_path would send every shard to the same file, so
+  // it is cleared unconditionally (see Options::persist_path).
+  options.engine.persist_path.clear();
   ShardedEngine sharded;
   sharded.options_ = std::move(options);
   const std::size_t n = sharded.options_.num_shards;
@@ -527,10 +533,177 @@ ShardedEngine ShardedEngine::Build(Corpus corpus, Options options) {
   sharded.shards_.resize(n);
   sharded.shard_avg_doc_phrases_.resize(n);
   sharded.ParallelOverShards([&](std::size_t s) {
+    MiningEngineOptions opts = shard_options;
+    if (!sharded.options_.persist_path.empty()) {
+      opts.persist_path = ShardFilePath(sharded.options_.persist_path, s);
+    }
     sharded.shards_[s] = std::make_unique<MiningEngine>(
-        MiningEngine::Build(std::move(parts[s]), shard_options));
+        MiningEngine::Build(std::move(parts[s]), opts));
     sharded.shard_avg_doc_phrases_[s] = AvgDocPhrases(*sharded.shards_[s]);
   });
+  sharded.rebuild_recommended_.assign(n, 0);
+  if (!sharded.options_.persist_path.empty()) {
+    // Each shard already persisted itself during its Build; surface the
+    // first failure, then write the fleet manifest alongside them.
+    for (std::size_t s = 0; s < n && sharded.persist_status_.ok(); ++s) {
+      sharded.persist_status_ = sharded.shards_[s]->persist_status();
+    }
+    if (sharded.persist_status_.ok()) {
+      sharded.persist_status_ =
+          sharded.SaveManifestLocked(sharded.options_.persist_path);
+    }
+  }
+  return sharded;
+}
+
+std::string ShardedEngine::ShardFilePath(const std::string& prefix,
+                                         std::size_t shard) {
+  return prefix + ".shard" + std::to_string(shard) + ".pmidx";
+}
+
+std::string ShardedEngine::FleetManifestPath(const std::string& prefix) {
+  return prefix + ".fleet.pmidx";
+}
+
+Status ShardedEngine::SaveManifestLocked(const std::string& prefix) const {
+  // The manifest is what the shard files cannot carry: the frozen global
+  // dictionary (global dfs; every shard file stores its per-shard clone)
+  // and the global document numbering. shard_globals_ is the source of
+  // truth for the mapping -- locate_ is derived from it at load, and the
+  // stale locate_ entries of compacted dead documents are never read.
+  BinaryWriter payload;
+  payload.PutU32(static_cast<uint32_t>(shards_.size()));
+  global_set_->Serialize(&payload);
+  payload.PutU64(locate_.size());
+  for (uint8_t flag : dead_) payload.PutU8(flag);
+  for (const std::vector<DocId>& globals : shard_globals_) {
+    payload.PutU64(globals.size());
+    for (DocId g : globals) payload.PutU32(g);
+  }
+  IndexFileWriter writer;
+  writer.AddSection(IndexSection::kManifest, payload.TakeBuffer());
+  return writer.WriteTo(FleetManifestPath(prefix));
+}
+
+Status ShardedEngine::SaveToFiles(const std::string& prefix) const {
+  std::scoped_lock update_lock(*update_mu_);
+  std::shared_lock fleet_lock(*shards_mu_);
+  // Engine files carry base structures only, so a family written with
+  // deltas pending would disagree with the manifest's document roster
+  // (ingested documents have no bytes anywhere). Refuse rather than
+  // persist a fleet that cannot be reopened faithfully.
+  for (const std::unique_ptr<MiningEngine>& shard : shards_) {
+    if (shard->update_stats().pending_updates != 0) {
+      return Status::FailedPrecondition(
+          "fleet has pending deltas; call Rebuild() before SaveToFiles");
+    }
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Status status = shards_[s]->SaveToFile(ShardFilePath(prefix, s));
+    if (!status.ok()) return status;
+  }
+  return SaveManifestLocked(prefix);
+}
+
+Result<ShardedEngine> ShardedEngine::LoadFromFiles(const std::string& prefix,
+                                                   Options options) {
+  auto fleet_file = IndexFile::Open(FleetManifestPath(prefix));
+  if (!fleet_file.ok()) return fleet_file.status();
+  if (!fleet_file.value().has_section(IndexSection::kManifest)) {
+    return Status::Corruption("fleet manifest section missing");
+  }
+  BinaryReader reader(fleet_file.value().section(IndexSection::kManifest));
+
+  uint32_t num_shards = 0;
+  if (Status s = reader.GetU32(&num_shards); !s.ok()) return s;
+  if (num_shards == 0 || num_shards > 65536) {
+    return Status::Corruption("fleet manifest shard count out of range");
+  }
+  auto dict = PhraseDictionary::Deserialize(&reader);
+  if (!dict.ok()) return dict.status();
+  uint64_t num_docs = 0;
+  if (Status s = reader.GetU64(&num_docs); !s.ok()) return s;
+  if (num_docs > reader.Remaining()) {
+    return Status::Corruption("fleet manifest document count exceeds payload");
+  }
+
+  // Same option-surface merging as Build, with the structural knobs
+  // (shard count, phrase set, persist paths) pinned by the files.
+  options.num_shards = num_shards;
+  options.disk_backed = options.disk_backed || options.engine.disk_backed;
+  if (options.disk_budget_per_shard == 0) {
+    options.disk_budget_per_shard = options.engine.disk_resident_budget;
+  }
+  options.engine.disk_backed = options.disk_backed;
+  options.engine.disk_resident_budget = options.disk_budget_per_shard;
+  options.engine.persist_path.clear();
+  options.persist_path = prefix;
+
+  ShardedEngine sharded;
+  sharded.options_ = std::move(options);
+  sharded.global_set_ =
+      std::make_shared<const PhraseDictionary>(std::move(dict.value()));
+  const std::size_t n = num_shards;
+
+  sharded.dead_.resize(num_docs);
+  for (uint64_t g = 0; g < num_docs; ++g) {
+    if (Status s = reader.GetU8(&sharded.dead_[g]); !s.ok()) return s;
+    if (sharded.dead_[g]) ++sharded.num_dead_;
+  }
+  sharded.locate_.resize(num_docs);
+  sharded.shard_globals_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    uint64_t count = 0;
+    if (Status st = reader.GetU64(&count); !st.ok()) return st;
+    if (count > reader.Remaining() / sizeof(DocId)) {
+      return Status::Corruption("fleet manifest shard roster exceeds payload");
+    }
+    std::vector<DocId>& globals = sharded.shard_globals_[s];
+    globals.resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      if (Status st = reader.GetU32(&globals[i]); !st.ok()) return st;
+      if (globals[i] >= num_docs) {
+        return Status::Corruption("fleet manifest document id out of range");
+      }
+      sharded.locate_[globals[i]] = {static_cast<uint32_t>(s),
+                                     static_cast<DocId>(i)};
+    }
+  }
+
+  ThreadPoolOptions pool_options;
+  pool_options.num_threads =
+      sharded.options_.mine_threads != 0 ? sharded.options_.mine_threads : n;
+  pool_options.queue_capacity = std::max<std::size_t>(4 * n, 64);
+  sharded.pool_ = std::make_unique<ThreadPool>(pool_options);
+
+  sharded.shards_.resize(n);
+  sharded.shard_avg_doc_phrases_.resize(n);
+  std::vector<Status> shard_status(n);
+  sharded.ParallelOverShards([&](std::size_t s) {
+    MiningEngineOptions opts = sharded.options_.engine;
+    opts.fixed_phrase_set = sharded.global_set_;
+    opts.persist_path = ShardFilePath(prefix, s);
+    auto loaded = MiningEngine::LoadFromFile(opts.persist_path, opts);
+    if (!loaded.ok()) {
+      shard_status[s] = loaded.status();
+      return;
+    }
+    sharded.shards_[s] =
+        std::make_unique<MiningEngine>(std::move(loaded.value()));
+    sharded.shard_avg_doc_phrases_[s] = AvgDocPhrases(*sharded.shards_[s]);
+  });
+  for (const Status& st : shard_status) {
+    if (!st.ok()) return st;
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    // Cross-file consistency: a shard file from another fleet generation
+    // would silently desynchronize the document routing or phrase ids.
+    if (sharded.shards_[s]->corpus().size() !=
+            sharded.shard_globals_[s].size() ||
+        sharded.shards_[s]->dict().size() != sharded.global_set_->size()) {
+      return Status::Corruption("shard file disagrees with fleet manifest");
+    }
+  }
   sharded.rebuild_recommended_.assign(n, 0);
   return sharded;
 }
@@ -1116,6 +1289,14 @@ void ShardedEngine::RebuildShardLocked(std::size_t shard) {
     live.push_back(g);
   }
   globals = std::move(live);
+  if (!options_.persist_path.empty()) {
+    // The shard engine re-persisted its own file inside Rebuild; the
+    // compaction above changed the roster, so refresh the manifest too.
+    persist_status_ = shards_[shard]->persist_status();
+    if (persist_status_.ok()) {
+      persist_status_ = SaveManifestLocked(options_.persist_path);
+    }
+  }
 }
 
 void ShardedEngine::RefreshDictionary() {
@@ -1152,8 +1333,12 @@ void ShardedEngine::RefreshDictionary() {
   std::vector<std::unique_ptr<MiningEngine>> fresh(n);
   std::vector<double> fresh_avg(n, 0.0);
   ParallelOverShards([&](std::size_t s) {
+    MiningEngineOptions opts = shard_options;
+    if (!options_.persist_path.empty()) {
+      opts.persist_path = ShardFilePath(options_.persist_path, s);
+    }
     fresh[s] = std::make_unique<MiningEngine>(
-        MiningEngine::Build(std::move(parts[s]), shard_options));
+        MiningEngine::Build(std::move(parts[s]), opts));
     fresh[s]->AdvanceEpoch(shards_[s]->epoch() + 1);
     fresh_avg[s] = AvgDocPhrases(*fresh[s]);
   });
@@ -1166,6 +1351,17 @@ void ShardedEngine::RefreshDictionary() {
     global_set_ = std::move(fresh_set);
   }
   std::fill(rebuild_recommended_.begin(), rebuild_recommended_.end(), 0);
+  if (!options_.persist_path.empty()) {
+    // Shard files were rewritten by the offline builds (new dictionary,
+    // new ids); stamp a manifest that matches the swapped fleet.
+    persist_status_ = Status::OK();
+    for (std::size_t s = 0; s < n && persist_status_.ok(); ++s) {
+      persist_status_ = shards_[s]->persist_status();
+    }
+    if (persist_status_.ok()) {
+      persist_status_ = SaveManifestLocked(options_.persist_path);
+    }
+  }
 }
 
 void ShardedEngine::SetDiskBudgetPerShard(uint64_t budget_bytes) {

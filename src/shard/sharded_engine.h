@@ -71,6 +71,17 @@ struct ShardedEngineOptions {
   /// engine.disk_resident_budget at Build (a nonzero value on either
   /// surface wins, fleet-level first) and written back to both.
   uint64_t disk_budget_per_shard = 0;
+  /// When non-empty, the fleet persists itself as a family of index files
+  /// under this path prefix: one "<prefix>.shardK.pmidx" engine file per
+  /// shard plus a "<prefix>.fleet.pmidx" manifest recording the global
+  /// phrase set and the global->shard document mapping. Build persists the
+  /// family automatically and per-shard rebuilds re-persist their file;
+  /// LoadFromFiles reopens the whole fleet from the mapped files. Any
+  /// persist_path set on the embedded `engine` options is cleared at Build
+  /// -- per-shard paths always derive from this prefix, so N shards can
+  /// never race on one file (the service reshard path inherits engine
+  /// options from a monolith, where that field addresses a single file).
+  std::string persist_path;
   /// Test seam: maps a global document id to its owning shard (second
   /// argument is num_shards). Defaults to a SplitMix64 hash of the id.
   std::function<std::size_t(DocId, std::size_t)> partitioner;
@@ -196,6 +207,34 @@ class ShardedEngine {
   /// full copy of the source vocabulary so term ids stay global.
   static ShardedEngine Build(Corpus corpus, Options options = {});
 
+  /// Reopens a fleet persisted under `prefix` (see Options::persist_path):
+  /// the manifest restores the global phrase set and the global->shard
+  /// document mapping, and every shard engine is reconstructed from its
+  /// own mapped index file (in parallel on the mining pool). `options`
+  /// supplies the runtime knobs (threads, merge headroom, disk tier...);
+  /// num_shards and persist_path are overridden by the manifest/prefix and
+  /// engine.fixed_phrase_set by the restored global set. Pending deltas
+  /// were never part of the files: the reopened fleet serves the state as
+  /// of the last build/rebuild/SaveToFiles.
+  static Result<ShardedEngine> LoadFromFiles(const std::string& prefix,
+                                             Options options = {});
+
+  /// Writes the whole family under `prefix` now: every shard's engine file
+  /// plus the fleet manifest. Serializes with updates and rebuilds. Base
+  /// structures only -- per-shard pending deltas are not persisted (call
+  /// Rebuild() first for a checkpoint that includes them).
+  Status SaveToFiles(const std::string& prefix) const;
+
+  /// Outcome of the last automatic persist (Build and the rebuild tiers
+  /// re-persist when Options::persist_path is set); OK when persistence
+  /// is off.
+  const Status& persist_status() const { return persist_status_; }
+
+  /// File names of a fleet persisted under `prefix`.
+  static std::string ShardFilePath(const std::string& prefix,
+                                   std::size_t shard);
+  static std::string FleetManifestPath(const std::string& prefix);
+
   ShardedEngine(ShardedEngine&&) = default;
   ShardedEngine& operator=(ShardedEngine&&) = default;
 
@@ -312,7 +351,12 @@ class ShardedEngine {
   /// RebuildShard body; caller holds update_mu_.
   void RebuildShardLocked(std::size_t shard);
 
+  /// Writes the fleet manifest file (global dictionary + document
+  /// mapping); caller holds update_mu_ or has exclusive access.
+  Status SaveManifestLocked(const std::string& prefix) const;
+
   Options options_;
+  Status persist_status_;
   std::shared_ptr<const PhraseDictionary> global_set_;
   std::vector<std::unique_ptr<MiningEngine>> shards_;
   /// Cached sum_p df(p) / |D_s| per shard for the cost model; refreshed

@@ -10,6 +10,8 @@ SimulatedDisk::SimulatedDisk(DiskOptions options) : options_(options) {
 }
 
 uint32_t SimulatedDisk::RegisterFile(uint64_t size_bytes) {
+  PM_CHECK_MSG(file_pages_.size() < kMaxFiles,
+               "too many registered files for PageKey width");
   const uint32_t id = static_cast<uint32_t>(file_pages_.size());
   file_pages_.push_back(PagesForBytes(size_bytes));
   return id;
@@ -38,23 +40,25 @@ void SimulatedDisk::AccessPage(uint32_t file, uint64_t page) {
     ++stats_.cache_hits;
     TouchLru(key);
   } else {
-    Fetch(file, page, /*is_lookahead=*/false);
+    Fetch(file, page);
   }
-  // One-page lookahead on every page access (the Section 5.5 cache): the
-  // prefetch trails the head sequentially, so it is charged at the
-  // sequential rate.
+  // One-page lookahead on every page access (the Section 5.5 cache). The
+  // prefetch pays whatever the head position dictates: after a miss the
+  // head sits on `page`, so the prefetch is sequential; after a cache hit
+  // the head has not moved, so a prefetch that does not trail it pays the
+  // random rate like any other out-of-order fetch.
   if (options_.lookahead && page + 1 < file_pages_[file]) {
     const uint64_t next_key = PageKey(file, page + 1);
     if (!InCache(next_key)) {
-      Fetch(file, page + 1, /*is_lookahead=*/true);
+      Fetch(file, page + 1);
     }
   }
 }
 
-void SimulatedDisk::Fetch(uint32_t file, uint64_t page, bool is_lookahead) {
+void SimulatedDisk::Fetch(uint32_t file, uint64_t page) {
   const bool sequential =
       has_last_fetch_ && file == last_file_ && page == last_page_ + 1;
-  if (sequential || is_lookahead) {
+  if (sequential) {
     ++stats_.sequential_fetches;
     stats_.cost_ms += options_.sequential_ms;
   } else {

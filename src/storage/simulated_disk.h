@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
+#include "storage/disk_backend.h"
+
 namespace phrasemine {
 
 /// Cost model of the disk simulation used in Section 5.5 of the paper
@@ -20,44 +23,37 @@ struct DiskOptions {
   bool lookahead = true;
 };
 
-/// Aggregate I/O statistics for one simulated run.
-struct DiskStats {
-  uint64_t page_requests = 0;    ///< Logical page touches.
-  uint64_t cache_hits = 0;       ///< Served from the LRU cache.
-  uint64_t sequential_fetches = 0;
-  uint64_t random_fetches = 0;
-  /// Logical bytes requested through Read() (AccessPage touches whole
-  /// pages and is not counted here).
-  uint64_t bytes_read = 0;
-  double cost_ms = 0.0;          ///< Total charged I/O time.
-
-  /// Device blocks actually fetched (cache misses, prefetches included).
-  uint64_t BlocksRead() const { return sequential_fetches + random_fetches; }
-  /// Fetches that paid the random (seek) rate.
-  uint64_t Seeks() const { return random_fetches; }
-};
-
 /// Simulates disk-resident index files. Callers register files (sized in
 /// bytes), then issue byte-range reads; the simulator translates ranges to
 /// page accesses, runs them through the LRU cache + lookahead, and charges
 /// sequential/random fetch costs. Computation time is *not* included here:
 /// the harness adds charged I/O time to the measured in-memory compute time,
-/// exactly the simulation protocol of the paper.
-class SimulatedDisk {
+/// exactly the simulation protocol of the paper. This is the model-only
+/// DiskBackend; MappedDisk (storage/index_file.h) is the measured one.
+class SimulatedDisk final : public DiskBackend {
  public:
   explicit SimulatedDisk(DiskOptions options = {});
 
-  /// Registers a file of `size_bytes`; returns its file id.
+  /// Registers a file of `size_bytes`; returns its file id. At most 2^24
+  /// files may be registered (the PageKey width budget below).
   uint32_t RegisterFile(uint64_t size_bytes);
 
+  /// DiskBackend range registration; the offset is meaningless for a
+  /// modeled device and ignored.
+  uint32_t RegisterRange(uint64_t /*offset*/, uint64_t size_bytes) override {
+    return RegisterFile(size_bytes);
+  }
+
   /// Reads [offset, offset + n) from `file`, touching each covered page.
-  void Read(uint32_t file, uint64_t offset, uint64_t n);
+  void Read(uint32_t file, uint64_t offset, uint64_t n) override;
 
   /// Touches a single page (used by list cursors that track entry->page
   /// mapping themselves).
   void AccessPage(uint32_t file, uint64_t page);
 
-  const DiskStats& stats() const { return stats_; }
+  const DiskStats& stats() const override { return stats_; }
+
+  bool measured() const override { return false; }
 
   /// Clears counters but keeps cache contents (use between measurement
   /// phases of one run).
@@ -65,7 +61,7 @@ class SimulatedDisk {
 
   /// Clears counters *and* cache (use between independent runs, i.e. a cold
   /// cache).
-  void Reset();
+  void Reset() override;
 
   const DiskOptions& options() const { return options_; }
 
@@ -73,13 +69,22 @@ class SimulatedDisk {
   uint64_t PagesForBytes(uint64_t size_bytes) const;
 
  private:
+  // PageKey packs (file, page) into one cache key: file in the top 24
+  // bits, page in the bottom 40. RegisterFile and PageKey enforce those
+  // widths -- an overflowing file id or page number would silently alias
+  // cache entries across files otherwise.
+  static constexpr uint32_t kMaxFiles = 1u << 24;
+  static constexpr uint64_t kMaxPages = 1ull << 40;
+
   /// Globally unique page key: file id in the high bits, page number below.
   static uint64_t PageKey(uint32_t file, uint64_t page) {
+    PM_CHECK_MSG(file < kMaxFiles, "file id exceeds PageKey width");
+    PM_CHECK_MSG(page < kMaxPages, "page number exceeds PageKey width");
     return (static_cast<uint64_t>(file) << 40) | page;
   }
 
   /// Loads a page into the cache, charging its fetch cost.
-  void Fetch(uint32_t file, uint64_t page, bool is_lookahead);
+  void Fetch(uint32_t file, uint64_t page);
 
   bool InCache(uint64_t key) const { return cache_index_.contains(key); }
   void TouchLru(uint64_t key);

@@ -45,6 +45,10 @@ uint64_t Corpus::TotalTokens() const {
 
 void Corpus::Serialize(BinaryWriter* writer) const {
   vocab_.Serialize(writer);
+  SerializeDocs(writer);
+}
+
+void Corpus::SerializeDocs(BinaryWriter* writer) const {
   writer->PutU32(static_cast<uint32_t>(docs_.size()));
   for (const Document& d : docs_) {
     writer->PutU32Vector(d.tokens);
@@ -52,21 +56,27 @@ void Corpus::Serialize(BinaryWriter* writer) const {
   }
 }
 
+Status Corpus::DeserializeDocs(BinaryReader* reader, Corpus* corpus) {
+  uint32_t n = 0;
+  Status s = reader->GetU32(&n);
+  if (!s.ok()) return s;
+  corpus->docs_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    s = reader->GetU32Vector(&corpus->docs_[i].tokens);
+    if (!s.ok()) return s;
+    s = reader->GetU32Vector(&corpus->docs_[i].facets);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 Result<Corpus> Corpus::Deserialize(BinaryReader* reader) {
   Result<Vocabulary> vocab = Vocabulary::Deserialize(reader);
   if (!vocab.ok()) return vocab.status();
   Corpus corpus;
   corpus.vocab_ = std::move(vocab.value());
-  uint32_t n = 0;
-  Status s = reader->GetU32(&n);
+  Status s = DeserializeDocs(reader, &corpus);
   if (!s.ok()) return s;
-  corpus.docs_.resize(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    s = reader->GetU32Vector(&corpus.docs_[i].tokens);
-    if (!s.ok()) return s;
-    s = reader->GetU32Vector(&corpus.docs_[i].facets);
-    if (!s.ok()) return s;
-  }
   return corpus;
 }
 

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/io_util.h"
@@ -57,6 +58,18 @@ class Corpus {
   /// Serialization to/from the library's binary format.
   void Serialize(BinaryWriter* writer) const;
   static Result<Corpus> Deserialize(BinaryReader* reader);
+
+  /// Document-only halves of Serialize/Deserialize, without the leading
+  /// vocabulary. The index file stores the vocabulary and the documents as
+  /// separate sections (the vocabulary is also needed alone, e.g. by a
+  /// sharded manifest), so each half must be addressable on its own;
+  /// Serialize remains SerializeVocab-then-SerializeDocs.
+  void SerializeDocs(BinaryWriter* writer) const;
+  static Status DeserializeDocs(BinaryReader* reader, Corpus* corpus);
+
+  /// Replaces the vocabulary (used when assembling a corpus from separate
+  /// vocabulary and document sections).
+  void SetVocab(Vocabulary vocab) { vocab_ = std::move(vocab); }
 
   /// Convenience wrappers over Serialize/Deserialize for files.
   Status SaveToFile(const std::string& path) const;

@@ -136,13 +136,13 @@ TEST(DiskTierTest, ResidentReadsChargeNothingSpilledReadsCharge) {
   EXPECT_GT(tier.spilled_bytes(), 0u);
 
   tier.ChargeListRead(hottest, 0);
-  EXPECT_EQ(tier.disk().stats().page_requests, 0u);
-  EXPECT_DOUBLE_EQ(tier.disk().stats().cost_ms, 0.0);
+  EXPECT_EQ(tier.device().stats().page_requests, 0u);
+  EXPECT_DOUBLE_EQ(tier.device().stats().cost_ms, 0.0);
 
   tier.ChargeListRead(coldest, 0);
-  EXPECT_GT(tier.disk().stats().page_requests, 0u);
-  EXPECT_GT(tier.disk().stats().cost_ms, 0.0);
-  EXPECT_EQ(tier.disk().stats().bytes_read, kListEntryBytes);
+  EXPECT_GT(tier.device().stats().page_requests, 0u);
+  EXPECT_GT(tier.device().stats().cost_ms, 0.0);
+  EXPECT_EQ(tier.device().stats().bytes_read, kListEntryBytes);
 }
 
 TEST(DiskTierTest, BudgetZeroMatchesLegacyAllSpillConstruction) {
@@ -162,10 +162,10 @@ TEST(DiskTierTest, BudgetZeroMatchesLegacyAllSpillConstruction) {
     legacy.ChargeListRead(t, 0);
     tier.ChargeListRead(t, 0);
   }
-  EXPECT_DOUBLE_EQ(legacy.disk().stats().cost_ms,
-                   tier.disk().stats().cost_ms);
-  EXPECT_EQ(legacy.disk().stats().page_requests,
-            tier.disk().stats().page_requests);
+  EXPECT_DOUBLE_EQ(legacy.device().stats().cost_ms,
+                   tier.device().stats().cost_ms);
+  EXPECT_EQ(legacy.device().stats().page_requests,
+            tier.device().stats().page_requests);
 }
 
 TEST(DiskTierTest, EngineResultsIdenticalAcrossBudgets) {

@@ -97,7 +97,7 @@ TEST(EngineTest, SnapshotRoundTripPreservesResults) {
     EXPECT_EQ(testing::Ids(from_loaded), testing::Ids(from_original))
         << AlgorithmName(a);
   }
-  std::remove((dir + "/engine.pmsnap").c_str());
+  std::remove((dir + "/engine.pmidx").c_str());
 }
 
 TEST(EngineTest, LoadMissingSnapshotFails) {
@@ -108,11 +108,11 @@ TEST(EngineTest, LoadMissingSnapshotFails) {
 
 TEST(EngineTest, LoadRejectsGarbageFile) {
   const std::string dir = ::testing::TempDir();
-  const std::string path = dir + "/engine.pmsnap";
+  const std::string path = dir + "/engine.pmidx";
   {
     BinaryWriter w;
     w.PutU32(0xDEADBEEF);  // wrong magic
-    w.PutU32(1);
+    for (int i = 0; i < 60; ++i) w.PutU8(0);  // past the minimum file size
     ASSERT_TRUE(w.WriteToFile(path).ok());
   }
   auto loaded = MiningEngine::LoadFromDirectory(dir);
@@ -123,11 +123,12 @@ TEST(EngineTest, LoadRejectsGarbageFile) {
 
 TEST(EngineTest, LoadRejectsWrongVersion) {
   const std::string dir = ::testing::TempDir();
-  const std::string path = dir + "/engine.pmsnap";
+  const std::string path = dir + "/engine.pmidx";
   {
     BinaryWriter w;
-    w.PutU32(0x504D534E);
-    w.PutU32(999);
+    w.PutU32(kIndexFileMagic);
+    w.PutU32(999);  // unsupported version
+    for (int i = 0; i < 60; ++i) w.PutU8(0);
     ASSERT_TRUE(w.WriteToFile(path).ok());
   }
   auto loaded = MiningEngine::LoadFromDirectory(dir);
@@ -138,7 +139,7 @@ TEST(EngineTest, LoadRejectsWrongVersion) {
 
 TEST(EngineTest, TruncatedSnapshotFailsCleanly) {
   const std::string dir = ::testing::TempDir();
-  const std::string path = dir + "/engine.pmsnap";
+  const std::string path = dir + "/engine.pmidx";
   MiningEngine original = testing::MakeTinyEngine();
   ASSERT_TRUE(original.SaveToDirectory(dir).ok());
   // Truncate the snapshot to its first half and expect a clean error.

@@ -161,6 +161,33 @@ TEST(SimulatedDiskTest, BytesReadCountsLogicalRequests) {
   EXPECT_EQ(disk.stats().bytes_read, 0u);
 }
 
+TEST(SimulatedDiskTest, PrefetchAfterHitPaysRealHeadPosition) {
+  // Regression: a lookahead fetch is only sequential when it actually
+  // trails the head. After a cache hit the head has not moved, so a
+  // prefetch jumping back from the head's position pays the random rate
+  // (the old simulator charged every prefetch as sequential).
+  SimulatedDisk disk{DiskOptions{}};  // lookahead on
+  const uint32_t f = disk.RegisterFile(1 << 20);
+  disk.AccessPage(f, 0);  // fetch 0 (random) + prefetch 1 (sequential)
+  disk.AccessPage(f, 5);  // fetch 5 (random) + prefetch 6 (sequential)
+  disk.ResetStats();
+  disk.AccessPage(f, 1);  // hit; prefetch of page 2 seeks back from 6
+  EXPECT_EQ(disk.stats().cache_hits, 1u);
+  EXPECT_EQ(disk.stats().random_fetches, 1u);
+  EXPECT_EQ(disk.stats().sequential_fetches, 0u);
+  EXPECT_DOUBLE_EQ(disk.stats().cost_ms, 10.0);
+}
+
+TEST(SimulatedDiskDeathTest, PageBeyondKeyWidthAborts) {
+  // PageKey packs (file, page) as 24 + 40 bits; a page number at the
+  // boundary must abort instead of silently colliding with another file's
+  // key space.
+  SimulatedDisk disk(NoLookahead());
+  const uint32_t f =
+      disk.RegisterFile(((1ull << 40) + 2) * (32ull << 10));  // > 2^40 pages
+  EXPECT_DEATH(disk.AccessPage(f, 1ull << 40), "PageKey width");
+}
+
 TEST(SimulatedDiskTest, PagesForBytesRoundsUp) {
   SimulatedDisk disk{DiskOptions{}};
   EXPECT_EQ(disk.PagesForBytes(1), 1u);
