@@ -1,0 +1,83 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace phrasemine::workload {
+
+std::vector<WorkloadQuerySpec> PoolFromQueries(std::span<const Query> queries,
+                                               const Vocabulary& vocab,
+                                               std::size_t k) {
+  std::vector<WorkloadQuerySpec> pool;
+  pool.reserve(queries.size());
+  for (const Query& q : queries) {
+    WorkloadQuerySpec spec;
+    spec.op = q.op;
+    spec.k = k;
+    spec.terms.reserve(q.terms.size());
+    for (TermId t : q.terms) spec.terms.push_back(vocab.TermText(t));
+    pool.push_back(std::move(spec));
+  }
+  return pool;
+}
+
+WorkloadTrace GenerateTrace(std::span<const WorkloadQuerySpec> pool,
+                            const WorkloadOptions& options) {
+  PM_CHECK_MSG(!pool.empty(), "workload pool must not be empty");
+  WorkloadTrace trace;
+  trace.seed = options.seed;
+  trace.zipf_s = options.zipf_s;
+  trace.drift_cadence = options.drift_cadence;
+  trace.drift_rotate = options.drift_rotate;
+  trace.burst_period = options.burst_period;
+  trace.burst_len = options.burst_len;
+  trace.burst_height = options.burst_height;
+  trace.mean_interarrival_us = options.mean_interarrival_us;
+
+  Rng rng(options.seed);
+  // rank -> pool index. Seeded Fisher-Yates decorrelates popularity from
+  // pool order (harvest order correlates with term df, and the placement
+  // differential should measure feedback vs static df, not a lucky
+  // alignment of the two).
+  std::vector<std::size_t> perm(pool.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBelow(i)]);
+  }
+
+  const ZipfSampler zipf(pool.size(), options.zipf_s);
+  double arrival_us = 0.0;
+  trace.queries.reserve(options.num_queries);
+  for (std::size_t i = 0; i < options.num_queries; ++i) {
+    if (options.drift_cadence > 0 && i > 0 &&
+        i % options.drift_cadence == 0) {
+      // Hot-set drift: rotate the rank->query assignment so the head of
+      // the Zipf lands on different pool entries each phase.
+      const std::size_t shift = options.drift_rotate % perm.size();
+      std::rotate(perm.begin(), perm.begin() + shift, perm.end());
+    }
+    double mean = options.mean_interarrival_us;
+    if (options.burst_period > 0 &&
+        i % options.burst_period < options.burst_len &&
+        options.burst_height > 0.0) {
+      mean /= options.burst_height;  // inside a burst: compressed gaps
+    }
+    // Exponential interarrival via inverse CDF; NextDouble() < 1 keeps
+    // the log argument positive.
+    arrival_us += -mean * std::log(1.0 - rng.NextDouble());
+
+    const WorkloadQuerySpec& spec = pool[perm[zipf.Sample(rng)]];
+    TraceQuery q;
+    q.arrival_us = static_cast<uint64_t>(arrival_us);
+    q.op = spec.op;
+    q.k = spec.k;
+    q.terms = spec.terms;
+    trace.queries.push_back(std::move(q));
+  }
+  return trace;
+}
+
+}  // namespace phrasemine::workload

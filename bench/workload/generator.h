@@ -1,0 +1,71 @@
+#ifndef PHRASEMINE_BENCH_WORKLOAD_GENERATOR_H_
+#define PHRASEMINE_BENCH_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "text/vocabulary.h"
+#include "workload/trace.h"
+
+namespace phrasemine::workload {
+
+/// One distinct query of the workload pool the generator draws from
+/// (typically harvested via QuerySetGenerator and resolved to texts with
+/// PoolFromQueries below).
+struct WorkloadQuerySpec {
+  QueryOperator op = QueryOperator::kAnd;
+  std::size_t k = 5;
+  std::vector<std::string> terms;
+};
+
+/// Generator knobs. Every field here is a documented knob of
+/// docs/workloads.md; keep the two in sync.
+struct WorkloadOptions {
+  /// Seeds the single SplitMix64 stream behind popularity assignment,
+  /// Zipf draws and interarrival sampling: same seed + same pool ->
+  /// bitwise-identical trace (the determinism contract).
+  uint64_t seed = 42;
+  /// Events to generate.
+  std::size_t num_queries = 600;
+  /// Zipf exponent of the popularity distribution over the pool (rank 0
+  /// is hottest). ~1.0 is natural-language shaped; higher is spikier.
+  double zipf_s = 1.1;
+  /// Events between hot-set rotations (0 = no drift): every cadence the
+  /// rank->query assignment rotates by drift_rotate slots, so the
+  /// hottest queries become different pool entries while the *shape* of
+  /// the distribution stays fixed.
+  std::size_t drift_cadence = 0;
+  /// Pool slots the popularity ranks shift per drift step.
+  std::size_t drift_rotate = 1;
+  /// Open-loop arrival shape: every burst_period events, the first
+  /// burst_len of them arrive at burst_height times the base rate
+  /// (0 period = steady Poisson arrivals).
+  std::size_t burst_period = 0;
+  std::size_t burst_len = 0;
+  double burst_height = 4.0;
+  /// Mean of the exponential interarrival gap outside bursts.
+  double mean_interarrival_us = 400.0;
+};
+
+/// Resolves harvested TermId queries to text-form pool specs (traces
+/// store texts; see TraceQuery). Every query keeps its operator; `k` is
+/// stamped uniformly.
+std::vector<WorkloadQuerySpec> PoolFromQueries(std::span<const Query> queries,
+                                               const Vocabulary& vocab,
+                                               std::size_t k);
+
+/// Generates a trace over `pool`: per event, draw a Zipf rank, map it
+/// through the (seeded, drift-rotated) rank->pool permutation, and
+/// advance the arrival clock by an exponential gap (compressed inside
+/// bursts). Deterministic: a pure function of (pool, options), using
+/// only the repo's cross-platform Rng -- never std::shuffle or
+/// libstdc++ distributions, whose streams differ across platforms.
+WorkloadTrace GenerateTrace(std::span<const WorkloadQuerySpec> pool,
+                            const WorkloadOptions& options);
+
+}  // namespace phrasemine::workload
+
+#endif  // PHRASEMINE_BENCH_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,180 @@
+#include "workload/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace phrasemine::workload {
+
+namespace {
+
+/// Canonical result rendering for bitwise comparisons. Sharded replies
+/// carry phrase texts (ids are shard-local); single-engine replies carry
+/// global PhraseIds. %.17g prints doubles round-trip exact.
+std::string SignatureOf(const ServiceReply& reply) {
+  std::string sig;
+  char buf[64];
+  for (std::size_t i = 0; i < reply.result.phrases.size(); ++i) {
+    const MinedPhrase& p = reply.result.phrases[i];
+    if (i < reply.phrase_texts.size()) {
+      sig += reply.phrase_texts[i];
+    } else {
+      sig += std::to_string(p.phrase);
+    }
+    std::snprintf(buf, sizeof(buf), ":%.17g;", p.score);
+    sig += buf;
+  }
+  return sig;
+}
+
+double Percentile(std::vector<double> sorted_samples, double q) {
+  if (sorted_samples.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_samples.size()));
+  return sorted_samples[std::min(rank, sorted_samples.size() - 1)];
+}
+
+/// Resolves one trace event against the service's engine vocabulary.
+std::optional<ServiceRequest> ResolveEvent(const PhraseService& service,
+                                           const TraceQuery& event,
+                                           const ReplayOptions& options) {
+  std::string text;
+  for (const std::string& term : event.terms) {
+    if (!text.empty()) text += ' ';
+    text += term;
+  }
+  Result<Query> parsed = service.engine().ParseQuery(text, event.op);
+  if (!parsed.ok()) return std::nullopt;
+  ServiceRequest request;
+  request.query = std::move(parsed).value();
+  request.options.k = event.k;
+  request.algorithm = options.algorithm;
+  return request;
+}
+
+void Finalize(ReplayResult* result, std::vector<double> latencies) {
+  std::sort(latencies.begin(), latencies.end());
+  result->p50_ms = Percentile(latencies, 0.50);
+  result->p95_ms = Percentile(latencies, 0.95);
+  result->p99_ms = Percentile(latencies, 0.99);
+  if (result->wall_ms > 0.0) {
+    result->qps = 1000.0 * static_cast<double>(result->queries -
+                                               result->unresolved) /
+                  result->wall_ms;
+  }
+}
+
+ReplayResult ReplaySequential(PhraseService& service,
+                              const WorkloadTrace& trace,
+                              const ReplayOptions& options) {
+  ReplayResult result;
+  result.queries = trace.queries.size();
+  result.signatures.reserve(trace.queries.size());
+  std::vector<double> latencies;
+  latencies.reserve(trace.queries.size());
+  StopWatch watch;
+  for (const TraceQuery& event : trace.queries) {
+    std::optional<ServiceRequest> request =
+        ResolveEvent(service, event, options);
+    if (!request.has_value()) {
+      ++result.unresolved;
+      result.signatures.emplace_back("unresolved");
+      continue;
+    }
+    const ServiceReply reply = service.MineSync(*request);
+    latencies.push_back(reply.latency_ms);
+    result.signatures.push_back(SignatureOf(reply));
+  }
+  result.wall_ms = watch.ElapsedMillis();
+  Finalize(&result, std::move(latencies));
+  return result;
+}
+
+ReplayResult ReplayPaced(PhraseService& service, const WorkloadTrace& trace,
+                         const ReplayOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const double speed = options.speed > 0.0 ? options.speed : 1.0;
+  const std::size_t n = trace.queries.size();
+
+  ReplayResult result;
+  result.queries = n;
+  result.signatures.assign(n, std::string());
+  std::vector<std::future<ServiceReply>> futures(n);
+  std::vector<Clock::time_point> scheduled(n);
+  std::vector<uint8_t> resolved(n, 0);
+  std::vector<double> latencies;
+  latencies.reserve(n);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t submitted = 0;
+
+  const Clock::time_point start = Clock::now();
+  // Collector: waits futures in submission order and timestamps each
+  // completion. With out-of-order completions across pool workers a
+  // later-finished predecessor delays the observation of its successors,
+  // so per-query sojourn is an upper bound -- fine for open-loop tail
+  // reporting, and it keeps the harness free of completion hooks.
+  std::thread collector([&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return submitted > i; });
+      }
+      if (!resolved[i]) {
+        result.signatures[i] = "unresolved";
+        continue;
+      }
+      const ServiceReply reply = futures[i].get();
+      const Clock::time_point done = Clock::now();
+      const double sojourn_ms =
+          std::chrono::duration<double, std::milli>(done - scheduled[i])
+              .count();
+      latencies.push_back(std::max(sojourn_ms, 0.0));
+      result.signatures[i] = SignatureOf(reply);
+    }
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto offset = std::chrono::microseconds(static_cast<int64_t>(
+        static_cast<double>(trace.queries[i].arrival_us) / speed));
+    const Clock::time_point target = start + offset;
+    std::this_thread::sleep_until(target);  // open loop: never waits on
+                                            // completions, only the clock
+    std::optional<ServiceRequest> request =
+        ResolveEvent(service, trace.queries[i], options);
+    if (request.has_value()) {
+      scheduled[i] = target;
+      futures[i] = service.Submit(std::move(*request));
+      resolved[i] = 1;
+    } else {
+      ++result.unresolved;
+    }
+    {
+      std::scoped_lock lock(mu);
+      submitted = i + 1;
+    }
+    cv.notify_one();
+  }
+  collector.join();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  Finalize(&result, std::move(latencies));
+  return result;
+}
+
+}  // namespace
+
+ReplayResult ReplayTrace(PhraseService& service, const WorkloadTrace& trace,
+                         const ReplayOptions& options) {
+  return options.paced ? ReplayPaced(service, trace, options)
+                       : ReplaySequential(service, trace, options);
+}
+
+}  // namespace phrasemine::workload

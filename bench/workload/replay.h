@@ -1,0 +1,62 @@
+#ifndef PHRASEMINE_BENCH_WORKLOAD_REPLAY_H_
+#define PHRASEMINE_BENCH_WORKLOAD_REPLAY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/service.h"
+#include "workload/trace.h"
+
+namespace phrasemine::workload {
+
+/// Replay knobs.
+struct ReplayOptions {
+  /// Forces every query down one algorithm; nullopt lets the service's
+  /// cost planner choose per query.
+  std::optional<Algorithm> algorithm;
+  /// false (default): closed-loop sequential replay -- each query runs
+  /// to completion on the calling thread before the next starts, so
+  /// qps measures service capacity and the latency percentiles are
+  /// per-query execution time. true: open-loop paced replay -- queries
+  /// are submitted at their trace arrival times (scaled by `speed`)
+  /// regardless of completions, and latency is measured from the
+  /// *scheduled* arrival to observed completion, so queue delay under
+  /// bursts is included (the tail-realism mode).
+  bool paced = false;
+  /// Paced mode: arrival times are divided by this (2.0 = replay twice
+  /// as fast as recorded).
+  double speed = 1.0;
+};
+
+/// What one replay measured. `signatures` is the bitwise determinism
+/// surface: one canonical "<phrase>:<score>;..." rendering per trace
+/// event, in trace order, with scores printed round-trip exact (%.17g).
+/// Two replays of the same trace against equivalently-built services
+/// must produce identical vectors (tested), and re-placement must never
+/// change them (placement moves cost, not results).
+struct ReplayResult {
+  std::size_t queries = 0;
+  /// Events whose terms the engine's vocabulary could not resolve; they
+  /// contribute an "unresolved" signature and no latency sample.
+  std::size_t unresolved = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::vector<std::string> signatures;
+};
+
+/// Replays `trace` against `service` (see ReplayOptions for the two
+/// pacing modes). The caller owns service configuration -- notably,
+/// measuring placement effects needs the result cache off, or repeats
+/// of a hot query are absorbed before they touch the disk tier.
+ReplayResult ReplayTrace(PhraseService& service, const WorkloadTrace& trace,
+                         const ReplayOptions& options = {});
+
+}  // namespace phrasemine::workload
+
+#endif  // PHRASEMINE_BENCH_WORKLOAD_REPLAY_H_

@@ -1,0 +1,202 @@
+#include "workload/trace.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace phrasemine::workload {
+
+namespace {
+
+constexpr const char* kMagic = "phrasemine-trace";
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// Splits one line into whitespace-separated fields.
+std::vector<std::string> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string field;
+  while (in >> field) out.push_back(std::move(field));
+  return out;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string WorkloadTrace::Serialize() const {
+  std::string out;
+  out.reserve(64 * (queries.size() + 10));
+  out += kMagic;
+  out += " v";
+  out += std::to_string(kTraceFormatVersion);
+  out += '\n';
+  out += "seed " + std::to_string(seed) + "\n";
+  out += "zipf_s " + FormatDouble(zipf_s) + "\n";
+  out += "drift_cadence " + std::to_string(drift_cadence) + "\n";
+  out += "drift_rotate " + std::to_string(drift_rotate) + "\n";
+  out += "burst_period " + std::to_string(burst_period) + "\n";
+  out += "burst_len " + std::to_string(burst_len) + "\n";
+  out += "burst_height " + FormatDouble(burst_height) + "\n";
+  out += "mean_interarrival_us " + FormatDouble(mean_interarrival_us) + "\n";
+  out += "queries " + std::to_string(queries.size()) + "\n";
+  for (const TraceQuery& q : queries) {
+    out += "q ";
+    out += std::to_string(q.arrival_us);
+    out += q.op == QueryOperator::kAnd ? " AND " : " OR ";
+    out += std::to_string(q.k);
+    for (const std::string& term : q.terms) {
+      out += ' ';
+      out += term;
+    }
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<WorkloadTrace> WorkloadTrace::Parse(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty trace");
+  }
+  {
+    const std::vector<std::string> head = Fields(line);
+    if (head.size() != 2 || head[0] != kMagic) {
+      return Status::InvalidArgument("not a phrasemine trace: '" + line + "'");
+    }
+    const std::string want = "v" + std::to_string(kTraceFormatVersion);
+    if (head[1] != want) {
+      return Status::InvalidArgument("unsupported trace version " + head[1] +
+                                     " (reader speaks " + want + ")");
+    }
+  }
+
+  WorkloadTrace trace;
+  uint64_t declared_queries = 0;
+  bool saw_queries = false;
+  // Header: fixed "key value" lines until the declared query count.
+  while (!saw_queries) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("trace header truncated");
+    }
+    const std::vector<std::string> kv = Fields(line);
+    if (kv.size() != 2) {
+      return Status::InvalidArgument("malformed header line: '" + line + "'");
+    }
+    const std::string& key = kv[0];
+    const std::string& value = kv[1];
+    bool ok = true;
+    uint64_t u = 0;
+    if (key == "seed") {
+      ok = ParseU64(value, &trace.seed);
+    } else if (key == "zipf_s") {
+      ok = ParseF64(value, &trace.zipf_s);
+    } else if (key == "drift_cadence") {
+      ok = ParseU64(value, &u), trace.drift_cadence = u;
+    } else if (key == "drift_rotate") {
+      ok = ParseU64(value, &u), trace.drift_rotate = u;
+    } else if (key == "burst_period") {
+      ok = ParseU64(value, &u), trace.burst_period = u;
+    } else if (key == "burst_len") {
+      ok = ParseU64(value, &u), trace.burst_len = u;
+    } else if (key == "burst_height") {
+      ok = ParseF64(value, &trace.burst_height);
+    } else if (key == "mean_interarrival_us") {
+      ok = ParseF64(value, &trace.mean_interarrival_us);
+    } else if (key == "queries") {
+      ok = ParseU64(value, &declared_queries);
+      saw_queries = true;
+    } else {
+      return Status::InvalidArgument("unknown header key '" + key + "'");
+    }
+    if (!ok) {
+      return Status::InvalidArgument("bad header value: '" + line + "'");
+    }
+  }
+
+  trace.queries.reserve(declared_queries);
+  uint64_t last_arrival = 0;
+  for (uint64_t i = 0; i < declared_queries; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("trace events truncated");
+    }
+    const std::vector<std::string> f = Fields(line);
+    // "q <arrival_us> <AND|OR> <k> <term>..." with at least one term.
+    if (f.size() < 5 || f[0] != "q") {
+      return Status::InvalidArgument("malformed event: '" + line + "'");
+    }
+    TraceQuery q;
+    uint64_t k = 0;
+    if (!ParseU64(f[1], &q.arrival_us) || !ParseU64(f[3], &k)) {
+      return Status::InvalidArgument("malformed event numbers: '" + line +
+                                     "'");
+    }
+    q.k = k;
+    if (f[2] == "AND") {
+      q.op = QueryOperator::kAnd;
+    } else if (f[2] == "OR") {
+      q.op = QueryOperator::kOr;
+    } else {
+      return Status::InvalidArgument("unknown operator '" + f[2] + "'");
+    }
+    if (q.arrival_us < last_arrival) {
+      return Status::InvalidArgument("arrival times must be non-decreasing");
+    }
+    last_arrival = q.arrival_us;
+    q.terms.assign(f.begin() + 4, f.end());
+    trace.queries.push_back(std::move(q));
+  }
+  if (!std::getline(in, line) || Fields(line) != std::vector<std::string>{
+                                                     "end"}) {
+    return Status::InvalidArgument("missing 'end' trailer");
+  }
+  return trace;
+}
+
+Status WorkloadTrace::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const std::string text = Serialize();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<WorkloadTrace> WorkloadTrace::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return Status::IOError("read failed: " + path);
+  return Parse(buffer.str());
+}
+
+}  // namespace phrasemine::workload

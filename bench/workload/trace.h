@@ -1,0 +1,69 @@
+#ifndef PHRASEMINE_BENCH_WORKLOAD_TRACE_H_
+#define PHRASEMINE_BENCH_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace phrasemine::workload {
+
+/// Schema version written into (and required from) every trace file.
+/// Bump only with a reader that still accepts every older version it
+/// claims to; goldens checked into the repository pin the format.
+inline constexpr int kTraceFormatVersion = 1;
+
+/// One query arrival of a recorded workload. Terms are stored as texts,
+/// not TermIds: the trace stays replayable against any engine whose
+/// vocabulary contains the words (ids are an engine-build artifact), and
+/// the checked-in goldens stay human-readable.
+struct TraceQuery {
+  /// Scheduled arrival, microseconds from trace start (non-decreasing).
+  uint64_t arrival_us = 0;
+  QueryOperator op = QueryOperator::kAnd;
+  /// Requested result depth (MineOptions::k).
+  std::size_t k = 0;
+  std::vector<std::string> terms;
+
+  bool operator==(const TraceQuery&) const = default;
+};
+
+/// A deterministic, versioned query trace: the generator knobs that
+/// produced it (provenance, echoed into the header) plus the fully
+/// materialized arrival stream. The events are self-contained -- a
+/// replayer never re-derives anything from the header, so a hand-edited
+/// or externally recorded trace replays just as well.
+struct WorkloadTrace {
+  uint64_t seed = 0;
+  double zipf_s = 0.0;
+  std::size_t drift_cadence = 0;
+  std::size_t drift_rotate = 0;
+  std::size_t burst_period = 0;
+  std::size_t burst_len = 0;
+  double burst_height = 1.0;
+  double mean_interarrival_us = 0.0;
+  std::vector<TraceQuery> queries;
+
+  bool operator==(const WorkloadTrace&) const = default;
+
+  /// Renders the canonical line-based text form. Deterministic: equal
+  /// traces serialize to identical bytes (fixed "%.6f" float rendering,
+  /// LF line endings), which is what the golden tests compare.
+  std::string Serialize() const;
+
+  /// Parses Serialize()'s format. Rejects unknown magic/version, header
+  /// keys, malformed events, and arrival-time regressions with
+  /// InvalidArgument -- a trace that parses is replayable.
+  static Result<WorkloadTrace> Parse(std::string_view text);
+
+  /// Serialize() to / Parse() from a file.
+  Status WriteFile(const std::string& path) const;
+  static Result<WorkloadTrace> ReadFile(const std::string& path);
+};
+
+}  // namespace phrasemine::workload
+
+#endif  // PHRASEMINE_BENCH_WORKLOAD_TRACE_H_

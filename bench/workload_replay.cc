@@ -1,0 +1,313 @@
+// Trace-driven workload replay: feedback placement vs static df.
+//
+// Generates (or loads, PM_WORKLOAD_TRACE) a Zipfian trace with hot-set
+// drift over a pool of harvested queries, persists the engine to the
+// single-file index format, and replays the identical trace against two
+// cold mmap-backed services forced down kNraDisk with the result cache
+// off:
+//
+//   static   -- resident sets placed by the default df-descending
+//               hotness order, never re-derived.
+//   feedback -- the service re-derives placement from the per-term
+//               query counters every PM_WORKLOAD_REFRESH served queries
+//               (PhraseService::RefreshPlacement), so the resident
+//               prefix tracks what the trace actually asks for, drift
+//               included.
+//
+// Every kNraDisk mine resets the mapped device's touch state, so each
+// query pays full first-touch I/O for its spilled lists: the measured
+// block counts are a deterministic, per-placement quantity, and the
+// bench's differential target is that feedback touches strictly fewer
+// blocks than static on the same trace. Like the disk bench's 2x
+// target, the differential needs enough trace mass per placement phase
+// to be meaningful, so it is enforced -- exit 2 -- only when
+// PM_WORKLOAD_ENFORCE=1 (the dedicated CI step); tiny smoke runs report
+// it informationally.
+//
+// Correctness is enforced at every scale (exit 3): replaying the trace
+// twice against the static service must produce bitwise-identical
+// result signatures (the determinism contract), and the feedback
+// service's signatures must equal the static service's (placement moves
+// cost, never results).
+//
+// The headline columns for the regression gate are the feedback phase's
+// sequential-replay qps and p50/p95/p99 execution latency; a paced
+// open-loop replay (arrivals at trace timestamps, queue delay included
+// in the sojourn tail) is reported informationally.
+//
+// Writes BENCH_workload.json.
+//
+// Knobs: PM_WORKLOAD_DOCS    corpus size          (default 4000)
+//        PM_WORKLOAD_POOL    distinct queries     (default 32)
+//        PM_WORKLOAD_EVENTS  trace length         (default 600)
+//        PM_WORKLOAD_ZIPF_S  popularity exponent  (default 1.2)
+//        PM_WORKLOAD_DRIFT   events per hot-set rotation (default events/4)
+//        PM_WORKLOAD_REFRESH feedback cadence     (default drift/2)
+//        PM_WORKLOAD_RESIDENT percent of list bytes pinned (default 50)
+//        PM_WORKLOAD_PAGE    device block bytes   (default 1024)
+//        PM_WORKLOAD_TRACE   replay this trace file instead of generating
+//        PM_WORKLOAD_ENFORCE 1 = exit 2 unless feedback beats static
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "eval/query_gen.h"
+#include "service/service.h"
+#include "text/synthetic.h"
+#include "workload/generator.h"
+#include "workload/replay.h"
+#include "workload/trace.h"
+
+namespace phrasemine::bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value && parsed > 0.0 ? parsed : fallback;
+}
+
+Corpus MakeCorpus(std::size_t num_docs) {
+  SyntheticCorpusOptions options = SyntheticCorpusGenerator::ReutersLike();
+  options.num_docs = num_docs;
+  SyntheticCorpusGenerator generator(options);
+  return generator.Generate();
+}
+
+void PrintPhase(const char* name, const workload::ReplayResult& r,
+                uint64_t blocks) {
+  std::printf("%9s: %5zu queries (%zu unresolved)  %8.1f q/s  "
+              "p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  %llu blocks\n",
+              name, r.queries, r.unresolved, r.qps, r.p50_ms, r.p95_ms,
+              r.p99_ms, static_cast<unsigned long long>(blocks));
+}
+
+int Main() {
+  PrintHeader("Trace-driven workload replay: feedback placement vs static df",
+              "feedback placement touches strictly fewer first-touch blocks "
+              "than static df on the same Zipf+drift trace; results bitwise "
+              "identical across placements and replays (verified per run)");
+
+  const std::size_t num_docs = EnvSize("PM_WORKLOAD_DOCS", 4000);
+  const std::size_t pool_size = EnvSize("PM_WORKLOAD_POOL", 32);
+  const std::size_t num_events = EnvSize("PM_WORKLOAD_EVENTS", 600);
+  const double zipf_s = EnvDouble("PM_WORKLOAD_ZIPF_S", 1.2);
+  const std::size_t drift = EnvSize("PM_WORKLOAD_DRIFT", num_events / 4);
+  const std::size_t refresh =
+      EnvSize("PM_WORKLOAD_REFRESH", std::max<std::size_t>(1, drift / 2));
+  const std::size_t resident_pct = EnvSize("PM_WORKLOAD_RESIDENT", 50);
+  const std::size_t page_bytes = EnvSize("PM_WORKLOAD_PAGE", 1024);
+  const char* enforce = std::getenv("PM_WORKLOAD_ENFORCE");
+  const bool enforced = enforce != nullptr && enforce[0] == '1';
+
+  // Harvest the query pool from a throwaway in-memory engine; the trace
+  // stores term texts so it replays against any engine over this corpus.
+  MiningEngine mono = MiningEngine::Build(MakeCorpus(num_docs));
+  QueryGenOptions gen_options;
+  gen_options.num_queries = pool_size;
+  gen_options.min_term_df = 8;
+  gen_options.min_pairwise_codf = 3;
+  gen_options.min_and_matches = 3;
+  std::vector<Query> queries = QuerySetGenerator(gen_options).Generate(
+      mono.dict(), mono.inverted(), mono.corpus().size());
+  if (queries.empty()) {
+    std::printf("no usable queries harvested; corpus too small\n");
+    return 1;
+  }
+  queries = WithOperator(std::move(queries), QueryOperator::kOr);
+  const std::vector<workload::WorkloadQuerySpec> pool =
+      workload::PoolFromQueries(queries, mono.corpus().vocab(), 5);
+
+  workload::WorkloadTrace trace;
+  if (const char* trace_path = std::getenv("PM_WORKLOAD_TRACE");
+      trace_path != nullptr && trace_path[0] != '\0') {
+    Result<workload::WorkloadTrace> loaded =
+        workload::WorkloadTrace::ReadFile(trace_path);
+    if (!loaded.ok()) {
+      std::printf("cannot read PM_WORKLOAD_TRACE %s: %s\n", trace_path,
+                  loaded.status().message().c_str());
+      return 1;
+    }
+    trace = std::move(loaded).value();
+    std::printf("replaying recorded trace %s: %zu events\n\n", trace_path,
+                trace.queries.size());
+  } else {
+    workload::WorkloadOptions wopts;
+    wopts.num_queries = num_events;
+    wopts.zipf_s = zipf_s;
+    wopts.drift_cadence = drift;
+    wopts.drift_rotate = std::max<std::size_t>(1, pool.size() / 3);
+    wopts.burst_period = 60;
+    wopts.burst_len = 12;
+    trace = workload::GenerateTrace(pool, wopts);
+    std::printf("generated trace: %zu events over %zu distinct queries, "
+                "zipf s=%.2f, drift every %zu events\n\n",
+                trace.queries.size(), pool.size(), zipf_s, drift);
+  }
+
+  // Persist once; both services reopen the same file cold so placement is
+  // the only degree of freedom between them.
+  const std::string persist_path = "BENCH_workload.pmidx";
+  for (const Query& q : queries) {
+    (void)mono.Mine(q, Algorithm::kSmj, MineOptions{.k = 1});
+  }
+  if (const Status saved = mono.SaveToFile(persist_path); !saved.ok()) {
+    std::printf("persist failed: %s\n", saved.message().c_str());
+    return 1;
+  }
+
+  MiningEngine::Options load_options;
+  load_options.disk.page_size_bytes = page_bytes;
+  auto reopen = [&]() -> Result<MiningEngine> {
+    return MiningEngine::LoadFromFile(persist_path, load_options);
+  };
+
+  workload::ReplayOptions replay_options;
+  replay_options.algorithm = Algorithm::kNraDisk;
+  PhraseServiceOptions base_service;
+  base_service.enable_result_cache = false;  // repeats must touch the tier
+
+  bool diverged = false;
+
+  // --- Phase A: static df placement, replayed twice ------------------------
+  workload::ReplayResult static_run;
+  workload::ReplayResult static_repeat;
+  uint64_t static_blocks = 0;
+  uint64_t budget = 0;
+  {
+    Result<MiningEngine> engine = reopen();
+    if (!engine.ok()) {
+      std::printf("reopen failed: %s\n", engine.status().message().c_str());
+      return 1;
+    }
+    budget = static_cast<uint64_t>(
+        static_cast<double>(resident_pct) / 100.0 *
+        static_cast<double>(engine.value().word_lists().InMemoryBytes()));
+    engine.value().SetDiskResidentBudget(budget);
+    PhraseService service(&engine.value(), base_service);
+    static_run = workload::ReplayTrace(service, trace, replay_options);
+    static_blocks = service.stats().disk_io.blocks_read;
+    static_repeat = workload::ReplayTrace(service, trace, replay_options);
+  }
+  const bool deterministic = static_run.signatures == static_repeat.signatures;
+  if (!deterministic) {
+    std::printf("DETERMINISM FAILURE: two replays of the same trace against "
+                "the same service produced different result signatures\n");
+    diverged = true;
+  }
+  PrintPhase("static", static_run, static_blocks);
+
+  // --- Phase B: feedback placement on the service's own counters -----------
+  workload::ReplayResult feedback_run;
+  workload::ReplayResult paced_run;
+  uint64_t feedback_blocks = 0;
+  uint64_t refreshes = 0;
+  {
+    Result<MiningEngine> engine = reopen();
+    if (!engine.ok()) {
+      std::printf("reopen failed: %s\n", engine.status().message().c_str());
+      return 1;
+    }
+    engine.value().SetDiskResidentBudget(budget);
+    PhraseServiceOptions feedback_service = base_service;
+    feedback_service.placement_refresh_interval = refresh;
+    PhraseService service(&engine.value(), feedback_service);
+    feedback_run = workload::ReplayTrace(service, trace, replay_options);
+    feedback_blocks = service.stats().disk_io.blocks_read;
+    refreshes = service.stats().placement_refreshes;
+
+    // Informational open-loop pass on the now-adapted service: arrivals at
+    // trace timestamps, so the tail includes queue delay under bursts.
+    workload::ReplayOptions paced_options = replay_options;
+    paced_options.paced = true;
+    paced_run = workload::ReplayTrace(service, trace, paced_options);
+  }
+  if (feedback_run.signatures != static_run.signatures) {
+    std::printf("DIFFERENTIAL FAILURE: feedback placement changed ranked "
+                "output -- placement must move cost, never results\n");
+    diverged = true;
+  }
+  PrintPhase("feedback", feedback_run, feedback_blocks);
+  PrintPhase("paced", paced_run, 0);
+  std::printf("\nplacement refreshes installed: %llu (cadence %zu)\n",
+              static_cast<unsigned long long>(refreshes), refresh);
+
+  const double ratio =
+      feedback_blocks > 0
+          ? static_cast<double>(static_blocks) /
+                static_cast<double>(feedback_blocks)
+          : 0.0;
+  const bool meets_target = feedback_blocks > 0 &&
+                            feedback_blocks < static_blocks;
+
+  // --- JSON report ----------------------------------------------------------
+  if (std::FILE* json = std::fopen("BENCH_workload.json", "w")) {
+    std::fprintf(json,
+                 "{\n  \"workload\": {\"docs\": %zu, \"pool\": %zu, "
+                 "\"events\": %zu, \"zipf_s\": %.2f, \"drift_cadence\": %zu, "
+                 "\"refresh_interval\": %zu, \"resident_pct\": %zu, "
+                 "\"budget_bytes\": %llu, \"seed\": %llu},\n",
+                 num_docs, pool.size(), trace.queries.size(), trace.zipf_s,
+                 trace.drift_cadence, refresh, resident_pct,
+                 static_cast<unsigned long long>(budget),
+                 static_cast<unsigned long long>(trace.seed));
+    std::fprintf(json,
+                 "  \"replay\": {\"qps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"wall_ms\": %.1f, "
+                 "\"queries\": %zu, \"unresolved\": %zu},\n",
+                 feedback_run.qps, feedback_run.p50_ms, feedback_run.p95_ms,
+                 feedback_run.p99_ms, feedback_run.wall_ms,
+                 feedback_run.queries, feedback_run.unresolved);
+    std::fprintf(json,
+                 "  \"static\": {\"qps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f},\n",
+                 static_run.qps, static_run.p50_ms, static_run.p95_ms,
+                 static_run.p99_ms);
+    std::fprintf(json,
+                 "  \"paced\": {\"qps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f},\n",
+                 paced_run.qps, paced_run.p50_ms, paced_run.p95_ms,
+                 paced_run.p99_ms);
+    std::fprintf(json,
+                 "  \"placement\": {\"static_blocks\": %llu, "
+                 "\"feedback_blocks\": %llu, \"ratio\": %.3f, "
+                 "\"refreshes\": %llu, \"identical_results\": %s, "
+                 "\"deterministic_replay\": %s},\n",
+                 static_cast<unsigned long long>(static_blocks),
+                 static_cast<unsigned long long>(feedback_blocks), ratio,
+                 static_cast<unsigned long long>(refreshes),
+                 feedback_run.signatures == static_run.signatures ? "true"
+                                                                  : "false",
+                 deterministic ? "true" : "false");
+    std::fprintf(json,
+                 "  \"target_enforced\": %s,\n  \"meets_target\": %s\n}\n",
+                 enforced ? "true" : "false",
+                 meets_target ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_workload.json\n");
+  }
+  std::remove(persist_path.c_str());
+
+  if (diverged) return 3;
+  std::printf("placement differential: %llu static vs %llu feedback blocks "
+              "(%.2fx) %s\n",
+              static_cast<unsigned long long>(static_blocks),
+              static_cast<unsigned long long>(feedback_blocks), ratio,
+              meets_target ? "(feedback wins)"
+              : enforced   ? "(FEEDBACK DID NOT WIN)"
+                           : "(informational without PM_WORKLOAD_ENFORCE=1)");
+  if (!enforced) return 0;
+  return meets_target ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace phrasemine::bench
+
+int main() { return phrasemine::bench::Main(); }

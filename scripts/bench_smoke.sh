@@ -30,10 +30,18 @@ export PM_KERNEL_MS=20
 export PM_DISK_DOCS=250
 export PM_DISK_QUERIES=4
 export PM_DISK_PASSES=1
+# Workload replay: a tiny trace keeps the placement differential
+# informational (enforced only under PM_WORKLOAD_ENFORCE=1 in its
+# dedicated CI step), but the determinism and placement-invariance
+# checks (exit 3) still gate at this scale.
+export PM_WORKLOAD_DOCS=250
+export PM_WORKLOAD_POOL=6
+export PM_WORKLOAD_EVENTS=60
 
 benches=(
   kernel_microbench
   disk_tier_scaling
+  workload_replay
   fig05_06_quality
   fig07_08_smj_vs_gm
   fig09_10_nra_breakdown

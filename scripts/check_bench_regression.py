@@ -10,12 +10,24 @@ Usage:
         [--history hist/service.json] [--window 10]
 
 The headline metric is auto-detected from the file shape:
-  * BENCH_service.json -> warm-cache q/s of the widest thread sweep row
+  * BENCH_service.json  -> warm-cache q/s of the widest thread sweep row
     (the 8-thread warm serving number the service optimizes for).
-  * BENCH_shard.json   -> uncached Exact q/s at 4 shards.
-  * BENCH_kernels.json -> kernel-path AND q/s on the skewed microbench.
-  * BENCH_disk.json    -> modeled NRA-disk q/s at 4 shards, resident
+  * BENCH_shard.json    -> uncached Exact q/s at 4 shards.
+  * BENCH_kernels.json  -> kernel-path AND q/s on the skewed microbench.
+  * BENCH_disk.json     -> modeled NRA-disk q/s at 4 shards, resident
     fraction 0 (the fully disk-resident per-shard-device row).
+  * BENCH_workload.json -> sequential-replay q/s of the feedback-placement
+    phase on the recorded trace.
+
+Latency gate: tail latency is part of the serving contract, so some
+percentile columns are gated alongside throughput (lower is better; fail
+when the new value exceeds the baseline by more than the threshold AND by
+more than a small absolute floor, so micro-run jitter on near-zero values
+cannot fail CI):
+  * BENCH_workload.json -> replay p50/p95/p99.
+  * BENCH_service.json  -> warm p95/p99 of the widest thread sweep row.
+p999 and the mixed read/update block stay informational -- too few
+samples per run to gate.
 
 A missing or unparsable baseline skips the single-step gate (exit 0) -- the
 first run of a repository has nothing to compare against; the freshly
@@ -33,8 +45,14 @@ import json
 import sys
 
 
+LATENCY_FLOOR_MS = 0.05
+
+
 def headline(data):
     """Returns (metric_name, value) for a parsed bench JSON."""
+    if "placement" in data and "replay" in data:
+        return ("feedback-placement replay q/s on the workload trace",
+                data["replay"]["qps"])
     if "warm_sweep" in data:
         rows = data["warm_sweep"]
         if not rows:
@@ -58,13 +76,33 @@ def headline(data):
     return None
 
 
+def gated_latencies(data):
+    """Returns {column_name: value_ms} for the latency columns under the
+    regression gate (see the module docstring for which and why)."""
+    out = {}
+    if "placement" in data and isinstance(data.get("replay"), dict):
+        replay = data["replay"]
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            if isinstance(replay.get(key), (int, float)):
+                out[f"workload replay {key[:-3]}"] = replay[key]
+    rows = data.get("warm_sweep")
+    if isinstance(rows, list) and rows:
+        row = max(rows, key=lambda r: r.get("threads", 0))
+        for key in ("p95_ms", "p99_ms"):
+            if isinstance(row.get(key), (int, float)):
+                out[f"warm {key[:-3]} at {row.get('threads')} threads"] = \
+                    row[key]
+    return out
+
+
 def report_tail_latency(data, label):
-    """Prints tail-latency columns (p95/p99/p999) informationally. Tail
-    percentiles are noisy on CI runners, so they are reported for the log
-    and the artifact diff but never gated."""
-    def fmt(row):
+    """Prints the non-gated tail-latency columns informationally: warm
+    p50/p999 (the gated warm p95/p99 print from check_latency_gates) and
+    every percentile of the mixed read/update block -- too few samples
+    per run to gate."""
+    def fmt(row, keys):
         cols = []
-        for key in ("p50_ms", "p95_ms", "p99_ms", "p999_ms"):
+        for key in keys:
             if isinstance(row.get(key), (int, float)):
                 cols.append(f"{key[:-3]}={row[key]:.3f}ms")
         return " ".join(cols)
@@ -72,16 +110,73 @@ def report_tail_latency(data, label):
     rows = data.get("warm_sweep")
     if isinstance(rows, list) and rows:
         row = max(rows, key=lambda r: r.get("threads", 0))
-        line = fmt(row)
+        line = fmt(row, ("p50_ms", "p999_ms"))
         if line:
             print(f"tail latency ({label}, warm at {row.get('threads')} "
                   f"threads, informational): {line}")
     mixed = data.get("mixed")
     if isinstance(mixed, dict):
-        line = fmt(mixed)
+        line = fmt(mixed, ("p50_ms", "p95_ms", "p99_ms", "p999_ms"))
         if line:
             print(f"tail latency ({label}, mixed read/update, "
                   f"informational): {line}")
+
+
+def report_placement(data, label):
+    """Prints BENCH_workload.json's placement differential and paced
+    open-loop columns informationally (the bench itself enforces the
+    differential under PM_WORKLOAD_ENFORCE; paced sojourns include queue
+    delay and vary with runner load, so neither is re-gated here)."""
+    placement = data.get("placement")
+    if isinstance(placement, dict):
+        print(f"placement ({label}, informational): "
+              f"static={placement.get('static_blocks')} "
+              f"feedback={placement.get('feedback_blocks')} blocks "
+              f"(ratio {placement.get('ratio')}, "
+              f"refreshes {placement.get('refreshes')}, "
+              f"identical_results={placement.get('identical_results')}, "
+              f"deterministic_replay={placement.get('deterministic_replay')})")
+    paced = data.get("paced")
+    if isinstance(paced, dict):
+        cols = " ".join(f"{k[:-3]}={paced[k]:.3f}ms"
+                        for k in ("p50_ms", "p95_ms", "p99_ms")
+                        if isinstance(paced.get(k), (int, float)))
+        if cols:
+            print(f"paced open-loop sojourn ({label}, informational): {cols}")
+
+
+def check_latency_gates(old_path, new_data, threshold):
+    """Latency counterpart of check_single_step: lower is better, so the
+    gate fails when a gated column exceeds the baseline by more than the
+    threshold AND by more than LATENCY_FLOOR_MS absolute (sub-floor
+    values are pure scheduler jitter at bench scale). Returns 1 on
+    regression, else 0."""
+    new_latencies = gated_latencies(new_data)
+    if not new_latencies:
+        return 0
+    old_data = load(old_path)
+    if old_data is None:
+        print("no baseline; skipping latency gate")
+        return 0
+    old_latencies = gated_latencies(old_data)
+    status = 0
+    for name, new_value in new_latencies.items():
+        old_value = old_latencies.get(name)
+        if not isinstance(old_value, (int, float)) or old_value <= 0:
+            print(f"{name}: current {new_value:.3f}ms (no baseline column; "
+                  "not gated this run)")
+            continue
+        change = (new_value - old_value) / old_value
+        print(f"{name}: previous {old_value:.3f}ms -> current "
+              f"{new_value:.3f}ms ({change:+.1%}, gated at +{threshold:.0%} "
+              f"and +{LATENCY_FLOOR_MS:.2f}ms)")
+        if (new_value > old_value * (1.0 + threshold)
+                and new_value - old_value > LATENCY_FLOOR_MS):
+            print(f"FAIL: {name} regressed beyond {threshold:.0%}")
+            status = 1
+    if status == 0:
+        print("OK: gated latency columns within budget")
+    return status
 
 
 def report_measured_io(data, label):
@@ -206,8 +301,10 @@ def main():
     name, new_value = new_metric
     report_tail_latency(new_data, "current")
     report_measured_io(new_data, "current")
+    report_placement(new_data, "current")
 
     status = check_single_step(args.old, name, new_value, args.threshold)
+    status |= check_latency_gates(args.old, new_data, args.threshold)
     if args.history:
         status |= check_trajectory(args.history, name, new_value,
                                    args.threshold, max(args.window, 1))

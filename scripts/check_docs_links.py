@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Docs link check: every relative markdown link in README.md and docs/
 must resolve to a file (or a directory) in the repository, so the
-architecture book cannot silently rot as files move.
+architecture book cannot silently rot as files move. Additionally, every
+docs/*.md page must be *reachable* -- linked from README.md or from
+another docs page -- so new chapters cannot be orphaned off the book's
+navigation.
 
 Checked: inline links/images `[text](target)` whose target is neither an
 absolute URL (scheme://... or mailto:) nor a pure in-page anchor (#...).
@@ -42,6 +45,7 @@ def main():
     sources = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
     broken = []
     checked = 0
+    linked = {}  # resolved target -> set of source pages linking to it
     for source in sources:
         if not source.exists():
             broken.append(f"{source}: expected file missing")
@@ -52,6 +56,13 @@ def main():
             if not resolved.exists():
                 rel = source.relative_to(root)
                 broken.append(f"{rel}:{lineno}: broken link -> {target}")
+            else:
+                linked.setdefault(resolved, set()).add(source)
+    for page in sorted((root / "docs").glob("*.md")):
+        inbound = linked.get(page.resolve(), set()) - {page}
+        if not inbound:
+            broken.append(f"{page.relative_to(root)}: orphan page -- not "
+                          "linked from README.md or any other docs page")
     for line in broken:
         print(line)
     if broken:

@@ -8,22 +8,38 @@
 
 namespace phrasemine {
 
-std::unordered_set<TermId> DiskResidentLists::ResidentSet(
+std::vector<TermId> DiskResidentLists::HotnessOrder(
     const WordScoreLists& lists, const InvertedIndex& inverted,
-    uint64_t budget_bytes) {
-  std::unordered_set<TermId> resident;
-  if (budget_bytes == 0) return resident;
+    const TermPopularity* observed) {
   std::vector<TermId> terms = lists.Terms();
-  // Hotness order: term df descending (a list is touched once per query
-  // naming its term, and high-df terms dominate harvested workloads),
-  // ties to the smaller TermId so placement is a pure function of the
-  // corpus and budget.
+  // Static hotness order: term df descending (a list is touched once per
+  // query naming its term, and high-df terms dominate harvested
+  // workloads), ties to the smaller TermId so placement is a pure
+  // function of the corpus and budget. With observed counts installed
+  // the count leads and df only breaks ties: terms the workload never
+  // named all carry count 0 and keep their static relative order.
   std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
+    if (observed != nullptr) {
+      auto ita = observed->find(a);
+      auto itb = observed->find(b);
+      const uint64_t ca = ita != observed->end() ? ita->second : 0;
+      const uint64_t cb = itb != observed->end() ? itb->second : 0;
+      if (ca != cb) return ca > cb;
+    }
     const uint32_t da = inverted.df(a);
     const uint32_t db = inverted.df(b);
     if (da != db) return da > db;
     return a < b;
   });
+  return terms;
+}
+
+std::unordered_set<TermId> DiskResidentLists::ResidentSet(
+    const WordScoreLists& lists, const InvertedIndex& inverted,
+    uint64_t budget_bytes, const TermPopularity* observed) {
+  std::unordered_set<TermId> resident;
+  if (budget_bytes == 0) return resident;
+  const std::vector<TermId> terms = HotnessOrder(lists, inverted, observed);
   uint64_t remaining = budget_bytes;
   for (TermId t : terms) {
     const uint64_t bytes = static_cast<uint64_t>(lists.list(t).size()) *
@@ -51,7 +67,8 @@ DiskResidentLists::DiskResidentLists(const WordScoreLists& lists,
                   ? std::move(device)
                   : std::make_unique<SimulatedDisk>(options.disk)),
       layout_(std::move(layout)),
-      resident_(ResidentSet(lists, inverted, options.resident_budget_bytes)) {
+      resident_(ResidentSet(lists, inverted, options.resident_budget_bytes,
+                            options_.observed_popularity.get())) {
   PlaceAndRegister();
 }
 

@@ -16,6 +16,13 @@
 
 namespace phrasemine {
 
+/// Observed per-term query counts (term -> queries naming it), the
+/// feedback signal of workload-aware placement. PhraseService accumulates
+/// these in its metrics registry and installs a snapshot through
+/// MiningEngine::SetTermPopularity; the spill policy then orders lists by
+/// observed demand instead of static document frequency.
+using TermPopularity = std::unordered_map<TermId, uint64_t>;
+
 /// Configuration of one engine's (or one shard's) disk tier: the device
 /// cost model plus the resident-memory budget its spill policy may pin.
 struct DiskTierOptions {
@@ -32,6 +39,14 @@ struct DiskTierOptions {
   /// the device (the "cold tail"). 0 means every list is disk-resident,
   /// the paper's Section 5.5 protocol.
   uint64_t resident_budget_bytes = 0;
+  /// Observed query counts driving the hotness order (see HotnessOrder).
+  /// Null (the default) keeps the static df order; when set, terms with
+  /// higher observed counts pin first and df only breaks ties, so a
+  /// re-placement after traffic shifted moves the budget to the lists the
+  /// workload actually touches. Held as a shared immutable snapshot: the
+  /// installer (MiningEngine::SetTermPopularity) may publish a newer map
+  /// concurrently without invalidating a tier built from this one.
+  std::shared_ptr<const TermPopularity> observed_popularity;
 };
 
 /// Where each persisted structure's bytes live inside an opened index
@@ -91,15 +106,28 @@ class DiskResidentLists {
   DiskResidentLists(const DiskResidentLists&) = delete;
   DiskResidentLists& operator=(const DiskResidentLists&) = delete;
 
+  /// The hotness order the spill policy pins by: terms of `lists` sorted
+  /// hottest-first. With `observed` null the order is static -- df
+  /// descending, ties to the smaller TermId (a pure function of the
+  /// corpus). With observed counts the primary key becomes the count
+  /// (descending): never-queried terms all carry count 0 and keep their
+  /// relative df order, so feedback re-placement degrades gracefully to
+  /// the static policy where the workload is silent.
+  static std::vector<TermId> HotnessOrder(
+      const WordScoreLists& lists, const InvertedIndex& inverted,
+      const TermPopularity* observed = nullptr);
+
   /// The spill policy, exposed so CostPlanner can predict placement
-  /// without building a tier: terms of `lists` sorted hottest-first by
-  /// `inverted` df (ties to the smaller TermId), pinned while the next
-  /// list's resident bytes (entries * kListEntryInMemoryBytes) still fit
-  /// the remaining budget; the first list that does not fit ends the
-  /// pinning and the whole tail spills. Returns the pinned set.
-  static std::unordered_set<TermId> ResidentSet(const WordScoreLists& lists,
-                                                const InvertedIndex& inverted,
-                                                uint64_t budget_bytes);
+  /// without building a tier: terms of `lists` in HotnessOrder, pinned
+  /// while the next list's resident bytes
+  /// (entries * kListEntryInMemoryBytes) still fit the remaining budget;
+  /// the first list that does not fit ends the pinning and the whole tail
+  /// spills. Returns the pinned set -- always a strict prefix of
+  /// HotnessOrder(lists, inverted, observed), which is the invariant
+  /// feedback re-placement preserves (and tests assert).
+  static std::unordered_set<TermId> ResidentSet(
+      const WordScoreLists& lists, const InvertedIndex& inverted,
+      uint64_t budget_bytes, const TermPopularity* observed = nullptr);
 
   /// Charges the I/O for reading entry `pos` of a term's list; free when
   /// the spill policy pinned the list.

@@ -360,7 +360,8 @@ DiskResidentLists& MiningEngine::EnsureDiskTierLocked() {
     }
     disk_lists_ = std::make_unique<DiskResidentLists>(
         *word_lists_, phrase_file_, inverted_,
-        DiskTierOptions{options_.disk, options_.disk_resident_budget},
+        DiskTierOptions{options_.disk, options_.disk_resident_budget,
+                        term_popularity_},
         std::move(device), mapped_layout_);
   }
   return *disk_lists_;
@@ -378,6 +379,18 @@ void MiningEngine::SetDiskResidentBudget(uint64_t budget_bytes) {
   disk_lists_.reset();  // next kNraDisk mine re-places under the new budget
 }
 
+void MiningEngine::SetTermPopularity(
+    std::shared_ptr<const TermPopularity> observed) {
+  // Exclusive structure lock: in-flight mines hold it shared for their
+  // whole run, so the install (and the tier teardown below) can never
+  // pull a DiskResidentLists out from under a running query -- the next
+  // kNraDisk mine lazily re-places under the new hotness order.
+  std::unique_lock lock(sync_->lists_mu);
+  term_popularity_ = std::move(observed);
+  ++popularity_version_;
+  disk_lists_.reset();
+}
+
 std::shared_ptr<const std::unordered_set<TermId>>
 MiningEngine::ResidentSetLocked() const {
   // Key fields are stable under the caller's shared structure lock
@@ -388,12 +401,15 @@ MiningEngine::ResidentSetLocked() const {
   const std::size_t terms = word_lists_->num_terms();
   std::scoped_lock memo_lock(sync_->resident_mu);
   if (resident_memo_ == nullptr || resident_memo_generation_ != generation_ ||
-      resident_memo_terms_ != terms || resident_memo_budget_ != budget) {
+      resident_memo_terms_ != terms || resident_memo_budget_ != budget ||
+      resident_memo_popularity_ != popularity_version_) {
     resident_memo_ = std::make_shared<const std::unordered_set<TermId>>(
-        DiskResidentLists::ResidentSet(*word_lists_, inverted_, budget));
+        DiskResidentLists::ResidentSet(*word_lists_, inverted_, budget,
+                                       term_popularity_.get()));
     resident_memo_generation_ = generation_;
     resident_memo_terms_ = terms;
     resident_memo_budget_ = budget;
+    resident_memo_popularity_ = popularity_version_;
   }
   return resident_memo_;
 }

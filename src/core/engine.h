@@ -368,6 +368,32 @@ class MiningEngine {
   /// mutations: no concurrent Mine/ApplyUpdate/Rebuild in flight.
   void SetDiskResidentBudget(uint64_t budget_bytes);
 
+  /// Installs observed per-term query counts as the disk tier's hotness
+  /// signal: the next kNraDisk mine lazily re-places the resident set in
+  /// observed-count order (df breaks ties; see
+  /// DiskResidentLists::HotnessOrder), and ResidentSetLocked() predicts
+  /// the same placement for the planner. Null restores the static df
+  /// order. Unlike the other structural mutations this is safe against
+  /// concurrent mines -- it takes the exclusive structure lock itself, so
+  /// PhraseService can re-place on a cadence while queries are in flight.
+  /// Re-placement moves cost, never results: ranked output is bitwise
+  /// identical before and after (tested).
+  void SetTermPopularity(std::shared_ptr<const TermPopularity> observed);
+
+  /// The installed observed-count snapshot (null when placement is
+  /// static). Takes the shared structure lock itself; from inside
+  /// WithSharedStructures use TermPopularityLocked() instead.
+  std::shared_ptr<const TermPopularity> term_popularity() const {
+    std::shared_lock lock(sync_->lists_mu);
+    return term_popularity_;
+  }
+
+  /// Lock-free variant for callers already under the shared structure
+  /// lock (WithSharedStructures), e.g. the planner's input gathering.
+  std::shared_ptr<const TermPopularity> TermPopularityLocked() const {
+    return term_popularity_;
+  }
+
   /// The spill policy's placement over the currently built word lists
   /// at the current resident budget -- exactly what the next kNraDisk
   /// mine will pin (DiskResidentLists::ResidentSet). Memoized: the
@@ -480,6 +506,13 @@ class MiningEngine {
   std::unique_ptr<WordIdOrderedLists> id_lists_;      // at smj_fraction_
   std::unique_ptr<DiskResidentLists> disk_lists_;     // lazy, tracks word_lists_
 
+  /// Observed per-term query counts feeding the spill policy's hotness
+  /// order (null = static df placement), plus a version bumped per
+  /// install so the placement memo below invalidates. Guarded by
+  /// lists_mu: exclusive to install, shared to read.
+  std::shared_ptr<const TermPopularity> term_popularity_;
+  uint64_t popularity_version_ = 0;
+
   // Memoized ResidentSetLocked() placement and its cache key (guarded by
   // Sync::resident_mu; the key fields are read under the caller's shared
   // structure lock).
@@ -487,6 +520,7 @@ class MiningEngine {
   mutable uint64_t resident_memo_generation_ = 0;
   mutable std::size_t resident_memo_terms_ = 0;
   mutable uint64_t resident_memo_budget_ = 0;
+  mutable uint64_t resident_memo_popularity_ = 0;
 
   // Persistent miners so their scratch arrays are reused across queries.
   std::unique_ptr<ExactMiner> exact_;

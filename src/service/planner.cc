@@ -121,6 +121,11 @@ PlannerInputs CostPlanner::GatherInputs(const MiningEngine& engine,
     // under the shared structure lock.
     std::shared_ptr<const std::unordered_set<TermId>> resident;
     if (gathered.disk_backed) resident = engine.ResidentSetLocked();
+    // Observed-popularity priors (feedback-driven placement): the same
+    // snapshot the spill policy orders by, so on_disk below predicts the
+    // re-placed tier, not the static-df one.
+    const std::shared_ptr<const TermPopularity> observed =
+        engine.TermPopularityLocked();
     const std::size_t block_bytes =
         std::max<std::size_t>(engine.options().disk.page_size_bytes, 1);
     gathered.terms.reserve(query.terms.size());
@@ -130,6 +135,10 @@ PlannerInputs CostPlanner::GatherInputs(const MiningEngine& engine,
       int64_t df = engine.inverted().df(t);
       if (delta != nullptr) df += delta->TermDfDelta(t);
       stats.df = static_cast<uint32_t>(std::max<int64_t>(df, 0));
+      if (observed != nullptr) {
+        auto it = observed->find(t);
+        if (it != observed->end()) stats.observed_queries = it->second;
+      }
       std::optional<std::size_t> len;
       if (probe) {
         len = probe(t);
@@ -407,6 +416,12 @@ PlanDecision CostPlanner::PlanAcrossShards(
       // costs; the makespan below charges each shard its own blocks).
       aggregate.terms[i].on_disk |= shard.terms[i].on_disk;
       aggregate.terms[i].disk_blocks += shard.terms[i].disk_blocks;
+      // Observed counts are broadcast fleet-wide (one service-level
+      // snapshot per shard), so max -- not sum -- recovers the global
+      // prior without multiplying it by the shard count.
+      aggregate.terms[i].observed_queries =
+          std::max(aggregate.terms[i].observed_queries,
+                   shard.terms[i].observed_queries);
     }
   }
   if (aggregate.num_docs > 0) {

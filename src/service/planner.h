@@ -32,6 +32,13 @@ struct TermPlanStats {
   /// Device blocks the full spilled list occupies (packed 12-byte
   /// entries over the tier's block size); 0 when resident or in-memory.
   uint64_t disk_blocks = 0;
+  /// Observed queries naming this term, from the engine's installed
+  /// popularity snapshot (MiningEngine::SetTermPopularity); 0 when no
+  /// feedback is installed or the term was never queried. This is the
+  /// prior behind the on_disk prediction above -- the spill policy pins
+  /// by observed count once a snapshot is installed -- surfaced here so
+  /// plan audits show *why* a hot term stopped charging device I/O.
+  uint64_t observed_queries = 0;
 };
 
 /// The planner's explainable output: the chosen algorithm plus everything

@@ -62,6 +62,11 @@ std::string ServiceStats::ToString() const {
                 static_cast<unsigned long long>(rebuilds),
                 update.pending_updates, 100.0 * update.delta_fraction);
   out += buf;
+  if (placement_refreshes > 0) {
+    std::snprintf(buf, sizeof(buf), " placement_refreshes=%llu",
+                  static_cast<unsigned long long>(placement_refreshes));
+    out += buf;
+  }
   out += "\n  per-algorithm:";
   for (std::size_t i = 0; i < per_algorithm.size(); ++i) {
     if (per_algorithm[i] == 0) continue;
@@ -155,6 +160,8 @@ void PhraseService::InitMetrics() {
   ingests_total_ = registry_.GetCounter("service_ingests_total");
   rebuilds_total_ = registry_.GetCounter("service_rebuilds_total");
   slow_queries_total_ = registry_.GetCounter("service_slow_queries_total");
+  placement_refreshes_total_ =
+      registry_.GetCounter("service_placement_refreshes_total");
   for (std::size_t i = 0; i < algorithm_total_.size(); ++i) {
     algorithm_total_[i] = registry_.GetCounter(
         std::string("service_executions_total{algorithm=\"") +
@@ -239,6 +246,7 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
   }
   TraceSpan* troot = reply.trace.get();
   const Query canonical = CanonicalizeQuery(request.query);
+  CountTermQueries(canonical);
 
   // One update snapshot per request: the epoch keys the result cache, the
   // generation keys the word lists, and the overlay delta-corrects the
@@ -339,6 +347,7 @@ ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
   }
   TraceSpan* troot = reply.trace.get();
   const Query canonical = CanonicalizeQuery(request.query);
+  CountTermQueries(canonical);
   // Caller-supplied overlays are a single-engine concept; the sharded
   // engine applies its own per-shard overlays internally (and would
   // refuse an external one). Drop it and say so rather than aborting.
@@ -619,6 +628,60 @@ void PhraseService::MaybeScheduleRebuild(std::vector<uint8_t> shard_flags) {
   if (!pool_.Submit(rebuild)) rebuild();
 }
 
+void PhraseService::CountTermQueries(const Query& canonical) {
+  {
+    // The handle map is tiny (distinct queried terms) and the critical
+    // section is pointer lookups plus relaxed atomic adds; GetCounter is
+    // find-or-create, so every term keeps one stable registry counter
+    // under the labels-in-name convention.
+    std::scoped_lock lock(term_counts_mu_);
+    for (TermId t : canonical.terms) {
+      Counter*& counter = term_counters_[t];
+      if (counter == nullptr) {
+        counter = registry_.GetCounter("service_term_queries_total{term=\"" +
+                                       std::to_string(t) + "\"}");
+      }
+      counter->Increment();
+    }
+  }
+  const std::size_t interval = options_.placement_refresh_interval;
+  if (interval == 0) return;
+  if (queries_since_refresh_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      interval) {
+    // Benign race: two threads crossing the boundary together both reset
+    // and both refresh -- the second install sees an empty window and
+    // keeps the placement, so the cadence never double-moves the tier.
+    queries_since_refresh_.store(0, std::memory_order_relaxed);
+    RefreshPlacement();
+  }
+}
+
+bool PhraseService::RefreshPlacement() {
+  auto observed = std::make_shared<TermPopularity>();
+  {
+    std::scoped_lock lock(term_counts_mu_);
+    for (const auto& [term, counter] : term_counters_) {
+      // Window counts: only demand since the previous refresh moves the
+      // placement, so the tier tracks hot-set drift instead of being
+      // anchored by stale cumulative history.
+      const uint64_t total = counter->Value();
+      const uint64_t installed = installed_counts_[term];
+      if (total > installed) (*observed)[term] = total - installed;
+    }
+    if (observed->empty()) return false;  // no new traffic: keep placement
+    for (const auto& [term, delta] : *observed) {
+      installed_counts_[term] += delta;
+    }
+  }
+  if (sharded_ != nullptr) {
+    sharded_->SetTermPopularity(std::move(observed));
+  } else {
+    engine_->SetTermPopularity(std::move(observed));
+  }
+  placement_refreshes_total_->Increment();
+  return true;
+}
+
 void PhraseService::RecordQuery(Algorithm algorithm, bool forced,
                                 bool executed, double latency_ms,
                                 const DiskIoStats& disk_io) {
@@ -684,6 +747,8 @@ ServiceStats PhraseService::stats() const {
   stats.forced = snap.counter("service_forced_total");
   stats.ingests = snap.counter("service_ingests_total");
   stats.rebuilds = snap.counter("service_rebuilds_total");
+  stats.placement_refreshes =
+      snap.counter("service_placement_refreshes_total");
   for (std::size_t i = 0; i < stats.per_algorithm.size(); ++i) {
     stats.per_algorithm[i] = snap.counter(
         std::string("service_executions_total{algorithm=\"") +

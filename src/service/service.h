@@ -10,6 +10,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
@@ -67,6 +68,14 @@ struct PhraseServiceOptions {
   double slow_query_ms = 0.0;
   /// Entries the slow-query log retains (oldest evicted first).
   std::size_t slow_query_log_capacity = 64;
+  /// Feedback-driven placement cadence: every this many served queries
+  /// the service re-derives the disk tier's hotness order from the
+  /// per-term query counters (service_term_queries_total{term=...}) and
+  /// installs it via SetTermPopularity -- see RefreshPlacement(). 0 (the
+  /// default) disables the automatic cadence; RefreshPlacement() can
+  /// still be called explicitly. Only useful on disk-backed engines;
+  /// harmless (placement is simply never consulted) otherwise.
+  std::size_t placement_refresh_interval = 0;
 };
 
 /// One unit of work for the service.
@@ -136,6 +145,9 @@ struct ServiceStats {
   uint64_t epoch = 0;
   uint64_t ingests = 0;
   uint64_t rebuilds = 0;
+  /// Feedback-placement refreshes installed (manual RefreshPlacement
+  /// calls plus automatic cadence firings that had fresh counts).
+  uint64_t placement_refreshes = 0;
   UpdateStats update;
 
   std::string ToString() const;
@@ -221,6 +233,19 @@ class PhraseService {
   /// May schedule a background rebuild (see enable_auto_rebuild).
   UpdateStats IngestBatch(const UpdateBatch& batch);
 
+  /// Re-derives the disk tier's placement from observed traffic: reads
+  /// the per-term query counters accumulated since the previous refresh
+  /// (a drift-tracking window, not the lifetime cumulative), installs
+  /// them through SetTermPopularity (broadcast to every shard on the
+  /// sharded path), and bumps service_placement_refreshes_total. The
+  /// next kNraDisk mine lazily re-places its resident sets in
+  /// observed-count order; the planner's priors follow the same
+  /// snapshot. A refresh with no new queries since the last one keeps
+  /// the current placement (returns false, no counter bump). Safe from
+  /// any thread, including concurrently with queries -- this is the
+  /// explicit form of the placement_refresh_interval cadence.
+  bool RefreshPlacement();
+
   /// Stops intake and drains in-flight work; idempotent.
   void Shutdown();
 
@@ -303,6 +328,10 @@ class PhraseService {
   /// in-memory algorithms and cache hits); accumulated into stats().
   void RecordQuery(Algorithm algorithm, bool forced, bool executed,
                    double latency_ms, const DiskIoStats& disk_io = {});
+  /// Bumps service_term_queries_total{term=...} for every canonical
+  /// query term (cache hits included -- the signal is demand, not
+  /// compute) and fires RefreshPlacement() when the cadence elapses.
+  void CountTermQueries(const Query& canonical);
   /// Resolves the service's registry metric handles (both constructors).
   void InitMetrics();
   /// Appends to the slow-query log when the reply crossed the threshold.
@@ -335,6 +364,7 @@ class PhraseService {
   Counter* ingests_total_ = nullptr;
   Counter* rebuilds_total_ = nullptr;
   Counter* slow_queries_total_ = nullptr;
+  Counter* placement_refreshes_total_ = nullptr;
   std::array<Counter*, 6> algorithm_total_{};
   Counter* disk_blocks_total_ = nullptr;
   Counter* disk_seeks_total_ = nullptr;
@@ -347,6 +377,17 @@ class PhraseService {
   std::vector<Counter*> shard_disk_blocks_;
   std::vector<Counter*> shard_disk_seeks_;
   std::vector<Counter*> shard_disk_bytes_;
+
+  /// Feedback-placement state: per-term counter handles (stable registry
+  /// pointers, keyed by TermId so RefreshPlacement can read values back
+  /// without parsing metric names) and the per-term counts already
+  /// installed by the previous refresh -- the delta between a counter
+  /// and its installed floor is the refresh window's observed demand.
+  mutable std::mutex term_counts_mu_;
+  std::unordered_map<TermId, Counter*> term_counters_;
+  std::unordered_map<TermId, uint64_t> installed_counts_;
+  /// Queries since the cadence last fired (placement_refresh_interval).
+  std::atomic<uint64_t> queries_since_refresh_{0};
 
   /// Bounded slow-query log (options_.slow_query_ms threshold).
   mutable std::mutex slow_mu_;

@@ -1372,6 +1372,20 @@ void ShardedEngine::SetDiskBudgetPerShard(uint64_t budget_bytes) {
   }
 }
 
+void ShardedEngine::SetTermPopularity(
+    std::shared_ptr<const TermPopularity> observed) {
+  // Term ids are global across the fleet (identical vocabularies by
+  // construction), so every shard re-places from the same snapshot; each
+  // shard pins the observed-hot prefix of *its own* built lists under its
+  // own budget. Fleet lock shared: the per-shard install synchronizes on
+  // the shard's structure lock, and only RefreshDictionary (exclusive)
+  // may swap the fleet.
+  std::shared_lock fleet_lock(*shards_mu_);
+  for (const std::unique_ptr<MiningEngine>& shard : shards_) {
+    shard->SetTermPopularity(observed);
+  }
+}
+
 std::vector<uint64_t> ShardedEngine::epochs() const {
   std::shared_lock fleet_lock(*shards_mu_);
   std::vector<uint64_t> out;

@@ -333,6 +333,15 @@ class ShardedEngine {
   /// rebuild calls in flight.
   void SetDiskBudgetPerShard(uint64_t budget_bytes);
 
+  /// Broadcasts observed per-term query counts to every shard's disk
+  /// tier (MiningEngine::SetTermPopularity): each shard re-derives its
+  /// hotness order from the shared snapshot and lazily re-places its own
+  /// resident set on the next kNraDisk mine. TermIds are global across
+  /// the fleet, so one service-level count map serves all shards. Safe
+  /// against concurrent mines (the per-shard install takes each shard's
+  /// exclusive structure lock).
+  void SetTermPopularity(std::shared_ptr<const TermPopularity> observed);
+
  private:
   ShardedEngine() = default;
 

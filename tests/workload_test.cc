@@ -1,0 +1,259 @@
+// Workload harness: generator determinism and knob semantics (Zipf
+// skew, hot-set drift, bursts), the versioned trace format's round-trip
+// and rejection behavior, the checked-in golden trace's byte stability,
+// and the replay determinism contract (same trace -> bitwise-identical
+// result signatures, pacing included).
+//
+// The golden lives at bench/workload/goldens/tiny_zipf.trace; regenerate
+// it after an intentional format or generator change with
+//   PM_UPDATE_GOLDEN=1 ./workload_test
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/service.h"
+#include "test_util.h"
+#include "workload/generator.h"
+#include "workload/replay.h"
+#include "workload/trace.h"
+
+namespace phrasemine {
+namespace {
+
+using workload::GenerateTrace;
+using workload::TraceQuery;
+using workload::WorkloadOptions;
+using workload::WorkloadQuerySpec;
+using workload::WorkloadTrace;
+
+/// Fixed literal pool over MakeTinyCorpus vocabulary, so the golden
+/// trace is human-readable and replayable against MakeTinyEngine.
+std::vector<WorkloadQuerySpec> TinyPool() {
+  return {
+      {QueryOperator::kOr, 5, {"query", "optimization"}},
+      {QueryOperator::kAnd, 5, {"join", "order"}},
+      {QueryOperator::kOr, 5, {"kernel", "systems"}},
+      {QueryOperator::kOr, 5, {"db"}},
+      {QueryOperator::kAnd, 5, {"the", "of"}},
+      {QueryOperator::kOr, 5, {"scheduling", "kernel"}},
+  };
+}
+
+/// The exact recipe behind the checked-in golden. Every knob pinned:
+/// changing any of them (or the generator's draw order) changes the
+/// bytes and the golden test fails, which is the point.
+WorkloadOptions GoldenOptions() {
+  WorkloadOptions options;
+  options.seed = 7;
+  options.num_queries = 40;
+  options.zipf_s = 1.1;
+  options.drift_cadence = 16;
+  options.drift_rotate = 2;
+  options.burst_period = 10;
+  options.burst_len = 3;
+  options.burst_height = 4.0;
+  options.mean_interarrival_us = 250.0;
+  return options;
+}
+
+std::string GoldenPath() {
+  return std::string(PHRASEMINE_SOURCE_DIR) +
+         "/bench/workload/goldens/tiny_zipf.trace";
+}
+
+TEST(WorkloadGeneratorTest, SameSeedSamePoolIsBitwiseDeterministic) {
+  const std::vector<WorkloadQuerySpec> pool = TinyPool();
+  WorkloadOptions options = GoldenOptions();
+  const WorkloadTrace a = GenerateTrace(pool, options);
+  const WorkloadTrace b = GenerateTrace(pool, options);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+
+  options.seed = 8;
+  const WorkloadTrace c = GenerateTrace(pool, options);
+  EXPECT_NE(a, c) << "a different seed must change the trace";
+}
+
+TEST(WorkloadGeneratorTest, ZipfSkewsQueryPopularity) {
+  WorkloadOptions options;
+  options.seed = 11;
+  options.num_queries = 300;
+  options.zipf_s = 1.1;
+  const WorkloadTrace trace = GenerateTrace(TinyPool(), options);
+
+  std::map<std::vector<std::string>, std::size_t> counts;
+  for (const TraceQuery& q : trace.queries) ++counts[q.terms];
+  std::size_t hottest = 0;
+  std::size_t coldest = trace.queries.size();
+  for (const auto& [terms, n] : counts) {
+    hottest = std::max(hottest, n);
+    coldest = std::min(coldest, n);
+  }
+  EXPECT_GE(hottest, 3 * std::max<std::size_t>(coldest, 1))
+      << "s=1.1 over a 6-query pool must be visibly head-heavy";
+}
+
+TEST(WorkloadGeneratorTest, DriftRotatesTheHotSetAtTheCadence) {
+  WorkloadOptions steady;
+  steady.seed = 11;
+  steady.num_queries = 120;
+  steady.drift_cadence = 0;
+  WorkloadOptions drifting = steady;
+  drifting.drift_cadence = 30;
+  drifting.drift_rotate = 2;
+
+  const WorkloadTrace a = GenerateTrace(TinyPool(), steady);
+  const WorkloadTrace b = GenerateTrace(TinyPool(), drifting);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  // Rotation consumes no randomness: the first phase is identical, and
+  // some later event must name a different query.
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(a.queries[i].terms, b.queries[i].terms) << "event " << i;
+  }
+  bool diverged = false;
+  for (std::size_t i = 30; i < a.queries.size(); ++i) {
+    diverged |= a.queries[i].terms != b.queries[i].terms;
+  }
+  EXPECT_TRUE(diverged) << "drift never changed the hot set";
+}
+
+TEST(WorkloadGeneratorTest, BurstsCompressInterarrivalGaps) {
+  WorkloadOptions options;
+  options.seed = 3;
+  options.num_queries = 400;
+  options.burst_period = 20;
+  options.burst_len = 5;
+  options.burst_height = 8.0;
+  options.mean_interarrival_us = 400.0;
+  const WorkloadTrace trace = GenerateTrace(TinyPool(), options);
+
+  double burst_gap = 0.0, steady_gap = 0.0;
+  std::size_t burst_n = 0, steady_n = 0;
+  for (std::size_t i = 1; i < trace.queries.size(); ++i) {
+    const double gap = static_cast<double>(trace.queries[i].arrival_us -
+                                           trace.queries[i - 1].arrival_us);
+    if (i % options.burst_period < options.burst_len) {
+      burst_gap += gap;
+      ++burst_n;
+    } else {
+      steady_gap += gap;
+      ++steady_n;
+    }
+  }
+  ASSERT_GT(burst_n, 0u);
+  ASSERT_GT(steady_n, 0u);
+  EXPECT_LT(burst_gap / static_cast<double>(burst_n),
+            0.5 * steady_gap / static_cast<double>(steady_n))
+      << "8x burst height must visibly compress in-burst gaps";
+}
+
+TEST(WorkloadTraceTest, SerializeParseRoundTripsExactly) {
+  const WorkloadTrace trace = GenerateTrace(TinyPool(), GoldenOptions());
+  const std::string text = trace.Serialize();
+  Result<WorkloadTrace> parsed = WorkloadTrace::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value(), trace);
+  EXPECT_EQ(parsed.value().Serialize(), text);
+
+  const std::string path = ::testing::TempDir() + "/roundtrip.trace";
+  ASSERT_TRUE(trace.WriteFile(path).ok());
+  Result<WorkloadTrace> reread = WorkloadTrace::ReadFile(path);
+  ASSERT_TRUE(reread.ok()) << reread.status().message();
+  EXPECT_EQ(reread.value(), trace);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTraceTest, ParseRejectsMalformedInput) {
+  const std::string good = GenerateTrace(TinyPool(), GoldenOptions())
+                               .Serialize();
+  EXPECT_FALSE(WorkloadTrace::Parse("").ok());
+  EXPECT_FALSE(WorkloadTrace::Parse("not-a-trace v1\nend\n").ok());
+  // Unsupported future version.
+  std::string bad_version = good;
+  bad_version.replace(bad_version.find("v1"), 2, "v9");
+  EXPECT_FALSE(WorkloadTrace::Parse(bad_version).ok());
+  // Unknown header key.
+  std::string bad_key = good;
+  bad_key.insert(bad_key.find("seed"), "mystery 3\n");
+  EXPECT_FALSE(WorkloadTrace::Parse(bad_key).ok());
+  // Truncated: missing the end marker.
+  std::string truncated = good.substr(0, good.rfind("end"));
+  EXPECT_FALSE(WorkloadTrace::Parse(truncated).ok());
+  // Arrival regression.
+  WorkloadTrace regressed = GenerateTrace(TinyPool(), GoldenOptions());
+  ASSERT_GE(regressed.queries.size(), 2u);
+  std::swap(regressed.queries.front().arrival_us,
+            regressed.queries.back().arrival_us);
+  EXPECT_FALSE(WorkloadTrace::Parse(regressed.Serialize()).ok());
+}
+
+TEST(WorkloadTraceTest, GoldenTraceIsByteStable) {
+  const WorkloadTrace trace = GenerateTrace(TinyPool(), GoldenOptions());
+  const std::string path = GoldenPath();
+  if (const char* update = std::getenv("PM_UPDATE_GOLDEN");
+      update != nullptr && update[0] == '1') {
+    ASSERT_TRUE(trace.WriteFile(path).ok());
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden " << path
+      << " -- regenerate with PM_UPDATE_GOLDEN=1 ./workload_test";
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  EXPECT_EQ(bytes.str(), trace.Serialize())
+      << "generator or format drifted from the checked-in golden; if "
+         "intentional, bump kTraceFormatVersion semantics deliberately and "
+         "regenerate with PM_UPDATE_GOLDEN=1";
+}
+
+TEST(WorkloadReplayTest, ReplayingTheGoldenTwiceIsBitwiseIdentical) {
+  Result<WorkloadTrace> golden = WorkloadTrace::ReadFile(GoldenPath());
+  ASSERT_TRUE(golden.ok()) << golden.status().message();
+
+  MiningEngine engine = testing::MakeTinyEngine();
+  PhraseServiceOptions options;
+  options.enable_result_cache = false;
+  PhraseService service(&engine, options);
+
+  const workload::ReplayResult a =
+      workload::ReplayTrace(service, golden.value());
+  const workload::ReplayResult b =
+      workload::ReplayTrace(service, golden.value());
+  EXPECT_EQ(a.queries, golden.value().queries.size());
+  EXPECT_LT(a.unresolved, a.queries) << "golden terms must resolve";
+  ASSERT_EQ(a.signatures.size(), b.signatures.size());
+  EXPECT_EQ(a.signatures, b.signatures)
+      << "same trace, same service: replay must be deterministic";
+}
+
+TEST(WorkloadReplayTest, PacedReplayMatchesSequentialSignatures) {
+  Result<WorkloadTrace> golden = WorkloadTrace::ReadFile(GoldenPath());
+  ASSERT_TRUE(golden.ok()) << golden.status().message();
+
+  MiningEngine engine = testing::MakeTinyEngine();
+  PhraseServiceOptions options;
+  options.enable_result_cache = false;
+  PhraseService service(&engine, options);
+
+  const workload::ReplayResult sequential =
+      workload::ReplayTrace(service, golden.value());
+  workload::ReplayOptions paced;
+  paced.paced = true;
+  paced.speed = 10.0;
+  const workload::ReplayResult open_loop =
+      workload::ReplayTrace(service, golden.value(), paced);
+  EXPECT_EQ(sequential.signatures, open_loop.signatures)
+      << "pacing changes when queries run, never what they return";
+}
+
+}  // namespace
+}  // namespace phrasemine
