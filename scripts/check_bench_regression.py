@@ -122,6 +122,30 @@ def report_tail_latency(data, label):
                   f"informational): {line}")
 
 
+def report_overload(data, label):
+    """Prints BENCH_service.json's overload block informationally: the
+    shed rate under 2x-capacity open-loop arrivals and the p99 of the
+    queries the admission gate let through. Both depend on the runner's
+    momentary capacity measurement, so they are reported for the log and
+    artifact diff but never gated."""
+    overload = data.get("overload")
+    if not isinstance(overload, dict):
+        return
+    fields = []
+    for key, fmt in (("offered_qps", "offered=%.0fq/s"),
+                     ("shed_rate", "shed_rate=%.1f%%"),
+                     ("deadline_rate", "deadline_rate=%.1f%%"),
+                     ("p99_admitted_ms", "p99_admitted=%.3fms")):
+        value = overload.get(key)
+        if isinstance(value, (int, float)):
+            if key.endswith("_rate"):
+                value *= 100.0
+            fields.append(fmt % value)
+    if fields:
+        print(f"overload at 2x capacity ({label}, informational): "
+              + " ".join(fields))
+
+
 def report_placement(data, label):
     """Prints BENCH_workload.json's placement differential and paced
     open-loop columns informationally (the bench itself enforces the
@@ -300,6 +324,7 @@ def main():
         return 1
     name, new_value = new_metric
     report_tail_latency(new_data, "current")
+    report_overload(new_data, "current")
     report_measured_io(new_data, "current")
     report_placement(new_data, "current")
 

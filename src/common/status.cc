@@ -25,6 +25,12 @@ const char* CodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

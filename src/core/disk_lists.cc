@@ -5,8 +5,29 @@
 
 #include "common/check.h"
 #include "index/list_entry.h"
+#include "testing/failpoint.h"
 
 namespace phrasemine {
+
+namespace {
+
+/// Shared preamble of every charge point: free once the query is cancelled
+/// (flag-only check) or a device error already latched, and evaluate the
+/// "disk.read" failpoint (chaos tests inject device failures and latency
+/// here). Returns false when the charge should be skipped.
+bool ChargeAdmitted(const CancelToken* cancel, Status* error) {
+  if (!error->ok()) return false;
+  if (CancelRequested(cancel)) return false;
+  if (failpoint::Enabled()) {
+    if (Status s = PM_FAILPOINT("disk.read"); !s.ok()) {
+      *error = std::move(s);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 std::vector<TermId> DiskResidentLists::HotnessOrder(
     const WordScoreLists& lists, const InvertedIndex& inverted,
@@ -109,6 +130,7 @@ void DiskResidentLists::PlaceAndRegister() {
 
 void DiskResidentLists::ChargeListRead(TermId term, uint64_t pos) {
   if (resident_.contains(term)) return;  // pinned in RAM: no charge
+  if (!ChargeAdmitted(cancel_, &error_)) return;
   auto it = list_files_.find(term);
   PM_CHECK_MSG(it != list_files_.end(), "no disk range for term list");
   device_->Read(it->second, pos * kListEntryBytes, kListEntryBytes);
@@ -117,12 +139,14 @@ void DiskResidentLists::ChargeListRead(TermId term, uint64_t pos) {
 void DiskResidentLists::ChargeListScan(TermId term, uint64_t entries) {
   if (entries == 0) return;
   if (resident_.contains(term)) return;  // pinned in RAM: no charge
+  if (!ChargeAdmitted(cancel_, &error_)) return;
   auto it = list_files_.find(term);
   PM_CHECK_MSG(it != list_files_.end(), "no disk range for term list");
   device_->Read(it->second, 0, entries * kListEntryBytes);
 }
 
 void DiskResidentLists::ChargePhraseLookup(PhraseId id) {
+  if (!ChargeAdmitted(cancel_, &error_)) return;
   device_->Read(phrase_file_id_, phrase_file_.SlotOffset(id),
                 phrase_file_.slot_size());
 }

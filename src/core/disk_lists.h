@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/status.h"
 #include "index/inverted_index.h"
 #include "index/phrase_list_file.h"
 #include "index/word_lists.h"
@@ -129,6 +131,25 @@ class DiskResidentLists {
       const WordScoreLists& lists, const InvertedIndex& inverted,
       uint64_t budget_bytes, const TermPopularity* observed = nullptr);
 
+  /// Per-query arming of the charge points: installs the query's cancel
+  /// token (null is fine) and clears any error latched by the previous
+  /// query. The owning miner calls this at Mine() start, right after
+  /// device().Reset(). Once the token's flag is set, every charge becomes
+  /// a no-op -- a cancelled query stops accruing modeled I/O immediately,
+  /// at flag-read cost (the clock is only consulted by the miner's batch
+  /// checks, never here).
+  void BeginQuery(const CancelToken* cancel) {
+    cancel_ = cancel;
+    error_ = Status::OK();
+  }
+
+  /// First device failure observed since BeginQuery (injected via the
+  /// "disk.read" failpoint today; a real read error on a future backend
+  /// takes the same latch). The charge methods return void -- pinned-list
+  /// reads must stay free -- so errors latch here and the miner surfaces
+  /// the latch at its batch cadence as MineResult::status.
+  const Status& last_error() const { return error_; }
+
   /// Charges the I/O for reading entry `pos` of a term's list; free when
   /// the spill policy pinned the list.
   void ChargeListRead(TermId term, uint64_t pos);
@@ -179,6 +200,11 @@ class DiskResidentLists {
   uint64_t resident_bytes_ = 0;
   uint64_t spilled_bytes_ = 0;
   uint32_t phrase_file_id_ = 0;
+  /// Per-query state installed by BeginQuery (single-query-at-a-time per
+  /// tier, like device() itself -- concurrency comes from shards, each
+  /// owning a private tier).
+  const CancelToken* cancel_ = nullptr;
+  Status error_;
 };
 
 }  // namespace phrasemine

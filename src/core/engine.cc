@@ -541,6 +541,7 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
         std::scoped_lock disk_lock(sync_->disk_mu);
         DiskResidentLists& tier = EnsureDiskTierLocked();
         tier.device().Reset();  // Cold cache per query.
+        tier.BeginQuery(effective.cancel);
         std::unordered_set<TermId> charged;
         for (TermId t : query.terms) {
           if (!charged.insert(t).second) continue;
@@ -552,6 +553,9 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
         result.disk_io.blocks_read = stats.BlocksRead();
         result.disk_io.seeks = stats.Seeks();
         result.disk_io.bytes = stats.bytes_read;
+        if (result.status.ok() && !tier.last_error().ok()) {
+          result.status = tier.last_error();
+        }
       }
       break;
     }

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "index/list_entry.h"
 #include "index/soa_list.h"
@@ -17,6 +18,13 @@ namespace kernels {
 /// Maximum lists per kernel call (matches the miners' 32-term cap).
 inline constexpr std::size_t kMaxLists = 32;
 
+/// Cancellation polling stride of the AND kernel's leapfrog loop (the OR
+/// kernel polls at its natural skip-block boundaries instead): one deadline
+/// check per this many touched positions keeps the poll off the
+/// per-comparison hot path while bounding cancellation latency to one
+/// stride.
+inline constexpr uint64_t kCancelStride = 1024;
+
 /// Branch-light galloping k-way AND intersection over id-ordered SoA
 /// lists. Drives from the shortest list and leapfrogs the others via the
 /// block skip headers. For every phrase present in ALL lists, in strictly
@@ -26,9 +34,14 @@ inline constexpr std::size_t kMaxLists = 32;
 /// present_mask = the full r-bit mask. Returns the number of list
 /// positions touched (landed on), the kernel-path analogue of
 /// MineResult::entries_read.
+///
+/// `cancel` (optional) is polled once every kCancelStride touched
+/// positions; an expired token stops the join early (the emitted prefix is
+/// a valid partial intersection). Null cancel leaves the output and the
+/// instruction stream bitwise unchanged.
 template <typename Emit>
 uint64_t GallopingAndJoin(std::span<const SoABlockList* const> lists,
-                          Emit&& emit) {
+                          Emit&& emit, const CancelToken* cancel = nullptr) {
   const std::size_t r = lists.size();
   PM_CHECK_MSG(r <= kMaxLists, "too many lists for the AND kernel");
   if (r == 0) return 0;
@@ -51,6 +64,10 @@ uint64_t GallopingAndJoin(std::span<const SoABlockList* const> lists,
   if (r == 1) {  // Degenerate single-list AND: emit every entry.
     const SoABlockList& l = *lists[0];
     for (std::size_t p = 0; p < l.size(); ++p) {
+      if (cancel != nullptr && p != 0 && p % kCancelStride == 0 &&
+          cancel->Expired()) {
+        return p;
+      }
       probs[0] = l.probs()[p];
       emit(l.ids()[p], probs.data(), full_mask);
     }
@@ -61,6 +78,10 @@ uint64_t GallopingAndJoin(std::span<const SoABlockList* const> lists,
   std::size_t agree = 1;           // lists whose current id == target
   std::size_t turn = (drive + 1) % r;
   for (;;) {
+    if (cancel != nullptr && touched % kCancelStride == 0 &&
+        cancel->Expired()) {
+      break;
+    }
     const SoABlockList& l = *lists[turn];
     std::size_t& p = pos[turn];
     p = l.SkipTo(p, target);
@@ -100,15 +121,20 @@ uint64_t GallopingAndJoin(std::span<const SoABlockList* const> lists,
 /// advances one skip-header boundary at a time so the inner merge runs
 /// over resident blocks. Returns total entries consumed (= the sum of
 /// list lengths, matching the scalar merge's entries_read).
+///
+/// `cancel` (optional) is polled at every skip-block boundary -- the
+/// literal "block granularity" check; an expired token ends the merge with
+/// the blocks drained so far. Null cancel changes nothing.
 template <typename Emit>
 uint64_t BlockOrMerge(std::span<const SoABlockList* const> lists,
-                      Emit&& emit) {
+                      Emit&& emit, const CancelToken* cancel = nullptr) {
   const std::size_t r = lists.size();
   PM_CHECK_MSG(r <= kMaxLists, "too many lists for the OR kernel");
   std::array<std::size_t, kMaxLists> pos{};
   std::array<double, kMaxLists> probs;
   uint64_t consumed = 0;
   for (;;) {
+    if (cancel != nullptr && cancel->Expired()) break;
     // Boundary: the smallest current-block max id across live lists. All
     // entries <= boundary sit in already-located blocks.
     PhraseId boundary = 0;

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "core/interestingness.h"
 #include "core/query.h"
 #include "core/scoring.h"
@@ -13,6 +14,7 @@
 
 namespace phrasemine {
 
+class CancelToken;  // common/cancel.h
 class DeltaIndex;   // core/delta_index.h
 struct TraceSpan;   // obs/trace.h
 
@@ -131,6 +133,12 @@ struct MineResult {
   /// PhraseService strips it before caching a result (a cached trace
   /// would replay a stale execution story on every hit).
   std::shared_ptr<TraceSpan> trace;
+  /// OK for a completed mine. DeadlineExceeded when MineOptions::cancel
+  /// fired mid-run (phrases/accounting then describe the partial execution
+  /// up to the abort -- the trace carries a "cancelled" counter), IOError/
+  /// Corruption when the disk tier latched an injected or real device
+  /// failure. Non-OK results must not be cached or treated as a ranking.
+  Status status;
 };
 
 /// Per-query knobs shared by all algorithms.
@@ -179,6 +187,17 @@ struct MineOptions {
   /// single branch per phase, no allocations. Tracing never changes the
   /// ranked output (it is excluded from result-cache keys).
   bool trace = false;
+  /// Optional cooperative cancellation token (common/cancel.h), polled at
+  /// block granularity: NRA checks once per maintenance batch
+  /// (nra_batch_size entry reads), SMJ/kernels once per merge block,
+  /// sharded mines at every scatter/fill leg boundary, and the disk tier's
+  /// charge points via the cheap flag-only form. When it fires the mine
+  /// stops where it is and returns MineResult::status = DeadlineExceeded
+  /// with partial accounting. Null (the default) compiles to one branch
+  /// per block; the ranked output is bitwise unchanged. The count-based
+  /// miners (Exact/GM/Simitsis) do not poll it. Not part of cache keys;
+  /// the caller keeps the token alive for the duration of the mine.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Common interface of all five mining algorithms.

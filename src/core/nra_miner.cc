@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/delta_index.h"
@@ -49,6 +50,9 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
   MineResult result;
   if (disk_lists_ != nullptr) {
     disk_lists_->device().Reset();  // Cold cache per query.
+    // Install this query's cancel token on the charge points and clear any
+    // device error latched by a previous query.
+    disk_lists_->BeginQuery(options.cancel);
   }
   if (options.trace) {
     result.trace = std::make_shared<TraceSpan>();
@@ -163,6 +167,10 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
   // --- Round-robin consumption (lines 4-13) ---------------------------------
   const double traversal_start =
       trace != nullptr ? watch.ElapsedMillis() : 0.0;
+  if (CancelExpired(options.cancel)) {
+    result.status = Status::DeadlineExceeded("deadline expired before NRA traversal");
+    done = true;
+  }
   while (!done) {
     bool read_any = false;
     for (std::size_t i = 0; i < r && !done; ++i) {
@@ -198,10 +206,28 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
 
       if (++reads_since_maintenance >= batch) {
         reads_since_maintenance = 0;
-        maintenance();
+        // Cancellation and disk-error checks share the maintenance cadence:
+        // one deadline/latch poll per nra_batch_size entry reads bounds both
+        // the cancellation latency and the steady-state overhead.
+        if (CancelExpired(options.cancel)) {
+          result.status = Status::DeadlineExceeded(
+              "deadline expired during NRA traversal");
+          done = true;
+        } else if (disk_lists_ != nullptr && !disk_lists_->last_error().ok()) {
+          result.status = disk_lists_->last_error();
+          done = true;
+        } else {
+          maintenance();
+        }
       }
     }
     if (!read_any) break;
+  }
+  // A device error latched in the final sub-batch (after the last cadence
+  // check) must still surface.
+  if (result.status.ok() && disk_lists_ != nullptr &&
+      !disk_lists_->last_error().ok()) {
+    result.status = disk_lists_->last_error();
   }
   const double traversal_end =
       trace != nullptr ? watch.ElapsedMillis() : 0.0;
@@ -243,7 +269,8 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
         kv->first, upper, ScoreToInterestingness(upper, op)});
   }
 
-  if (disk_lists_ != nullptr && options.charge_phrase_lookups) {
+  if (disk_lists_ != nullptr && options.charge_phrase_lookups &&
+      result.status.ok()) {
     for (const MinedPhrase& p : result.phrases) {
       disk_lists_->ChargePhraseLookup(p.phrase);
     }
@@ -278,6 +305,13 @@ MineResult NraMiner::Mine(const Query& query, const MineOptions& options) {
                static_cast<double>(result.peak_candidates));
     AddCounter(traversal, "lists_traversed_fraction",
                result.lists_traversed_fraction);
+    if (!result.status.ok()) {
+      // The abort marker tests assert on: entries_at_cancel bounds how far
+      // past the deadline the traversal ran (< 2 maintenance batches).
+      AddCounter(traversal, "cancelled", 1.0);
+      AddCounter(traversal, "entries_at_cancel",
+                 static_cast<double>(result.entries_read));
+    }
     TraceSpan* extract = AddSpan(trace, "extract_topk");
     extract->wall_ms = result.compute_ms - traversal_end;
     AddCounter(extract, "results", static_cast<double>(result.phrases.size()));

@@ -3,6 +3,7 @@
 #include <array>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/delta_index.h"
@@ -28,6 +29,21 @@ void AttachSmjTrace(MineResult* result, const char* path) {
   AddCounter(merge, "distinct_candidates",
              static_cast<double>(result->peak_candidates));
   AddCounter(merge, "results", static_cast<double>(result->phrases.size()));
+  if (!result->status.ok()) {
+    AddCounter(merge, "cancelled", 1.0);
+    AddCounter(merge, "entries_at_cancel",
+               static_cast<double>(result->entries_read));
+  }
+}
+
+/// Shared abort stamping of both merge paths: once the token's latch is
+/// set (by a kernel poll, a scalar-loop poll, or a sibling shard leg) the
+/// collected prefix is not a ranking -- mark the result DeadlineExceeded.
+void StampCancelled(const CancelToken* cancel, MineResult* result) {
+  if (CancelRequested(cancel)) {
+    result->status =
+        Status::DeadlineExceeded("deadline expired during SMJ merge");
+  }
 }
 
 }  // namespace
@@ -84,28 +100,33 @@ MineResult SmjMiner::MineKernel(const Query& query,
 
   if (op == QueryOperator::kAnd) {
     result.entries_read = kernels::GallopingAndJoin(
-        span, [&](PhraseId id, const double* probs, uint32_t mask) {
+        span,
+        [&](PhraseId id, const double* probs, uint32_t mask) {
           ++distinct;
           const double* p = adjust(id, probs, mask);
           const double score = AndScore(std::span<const double>(p, r));
           if (score == kMinusInfinity) return;
           collector.Offer(id, score, ScoreToInterestingness(score, op));
-        });
+        },
+        options.cancel);
   } else {
     result.entries_read = kernels::BlockOrMerge(
-        span, [&](PhraseId id, const double* probs, uint32_t mask) {
+        span,
+        [&](PhraseId id, const double* probs, uint32_t mask) {
           ++distinct;
           const double* p = adjust(id, probs, mask);
           const double score =
               OrScore(std::span<const double>(p, r), options.or_order);
           if (score <= 0.0) return;
           collector.Offer(id, score, ScoreToInterestingness(score, op));
-        });
+        },
+        options.cancel);
   }
 
   result.peak_candidates = distinct;
   result.phrases = collector.Take();
   result.compute_ms = watch.ElapsedMillis();
+  StampCancelled(options.cancel, &result);
   if (options.trace) AttachSmjTrace(&result, "kernel");
   return result;
 }
@@ -132,6 +153,13 @@ MineResult SmjMiner::MineScalar(const Query& query,
   std::size_t distinct = 0;
 
   for (;;) {
+    // Same polling stride as the kernels: one deadline check per
+    // kCancelStride merged candidates.
+    if (options.cancel != nullptr &&
+        distinct % kernels::kCancelStride == kernels::kCancelStride - 1 &&
+        options.cancel->Expired()) {
+      break;
+    }
     // Find the smallest unread phrase id across lists (Alg. 2 line 4);
     // r is tiny (2-6), so a linear scan beats a heap.
     PhraseId min_id = kInvalidPhraseId;
@@ -176,6 +204,7 @@ MineResult SmjMiner::MineScalar(const Query& query,
   result.peak_candidates = distinct;
   result.phrases = collector.Take();
   result.compute_ms = watch.ElapsedMillis();
+  StampCancelled(options.cancel, &result);
   if (options.trace) AttachSmjTrace(&result, "scalar");
   return result;
 }

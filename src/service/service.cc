@@ -62,6 +62,13 @@ std::string ServiceStats::ToString() const {
                 static_cast<unsigned long long>(rebuilds),
                 update.pending_updates, 100.0 * update.delta_fraction);
   out += buf;
+  if (shed > 0 || deadline_exceeded > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  robustness: shed=%llu deadline_exceeded=%llu",
+                  static_cast<unsigned long long>(shed),
+                  static_cast<unsigned long long>(deadline_exceeded));
+    out += buf;
+  }
   if (placement_refreshes > 0) {
     std::snprintf(buf, sizeof(buf), " placement_refreshes=%llu",
                   static_cast<unsigned long long>(placement_refreshes));
@@ -162,6 +169,10 @@ void PhraseService::InitMetrics() {
   slow_queries_total_ = registry_.GetCounter("service_slow_queries_total");
   placement_refreshes_total_ =
       registry_.GetCounter("service_placement_refreshes_total");
+  shed_total_ = registry_.GetCounter("service_shed_total");
+  deadline_exceeded_total_ =
+      registry_.GetCounter("service_deadline_exceeded_total");
+  admission_depth_ = registry_.GetGauge("service_admission_queue_depth");
   for (std::size_t i = 0; i < algorithm_total_.size(); ++i) {
     algorithm_total_[i] = registry_.GetCounter(
         std::string("service_executions_total{algorithm=\"") +
@@ -198,8 +209,20 @@ void PhraseService::Shutdown() { pool_.Shutdown(); }
 std::future<ServiceReply> PhraseService::Submit(ServiceRequest request) {
   auto state = std::make_shared<std::promise<ServiceReply>>();
   std::future<ServiceReply> future = state->get_future();
-  // The task copies the request so a rejected submission can still run
-  // inline below.
+  // Materialize the deadline at submit time so queue wait counts against
+  // it -- a DeadlineExceeded reply then reflects user-perceived time, not
+  // just execution time.
+  if (request.cancel == nullptr && request.deadline_ms > 0.0) {
+    request.cancel = std::make_shared<CancelToken>(
+        CancelToken::AfterMillis(request.deadline_ms));
+  }
+  if (Status shed = AdmissionCheck(request); !shed.ok()) {
+    shed_total_->Increment();
+    ServiceReply reply;
+    reply.status = std::move(shed);
+    state->set_value(std::move(reply));
+    return future;
+  }
   const bool accepted = pool_.Submit([this, state, request] {
     try {
       state->set_value(Execute(request));
@@ -208,13 +231,18 @@ std::future<ServiceReply> PhraseService::Submit(ServiceRequest request) {
     }
   });
   if (!accepted) {
-    // Pool shut down: degrade to inline execution so the future is
-    // always fulfilled.
-    try {
-      state->set_value(Execute(request));
-    } catch (...) {
-      state->set_exception(std::current_exception());
-    }
+    // The pool's contract: false means the task will NEVER run, so the
+    // promise is ours to resolve -- with a typed error, not inline
+    // execution (a shut-down service stops doing work). shutting_down()
+    // is racy by design; the worst case is a rejection storm during
+    // shutdown reporting Unavailable, which is still a typed refusal.
+    shed_total_->Increment();
+    ServiceReply reply;
+    reply.status = pool_.shutting_down()
+                       ? Status::Unavailable("service is shut down")
+                       : Status::ResourceExhausted(
+                             "thread pool rejected the submission");
+    state->set_value(std::move(reply));
   }
   return future;
 }
@@ -230,7 +258,80 @@ std::vector<std::future<ServiceReply>> PhraseService::SubmitBatch(
 }
 
 ServiceReply PhraseService::MineSync(const ServiceRequest& request) {
+  // Same deadline materialization as Submit, minus admission control (the
+  // caller runs on their own thread; there is no queue to shed from).
+  if (request.cancel == nullptr && request.deadline_ms > 0.0) {
+    ServiceRequest timed = request;
+    timed.cancel = std::make_shared<CancelToken>(
+        CancelToken::AfterMillis(request.deadline_ms));
+    return Execute(timed);
+  }
   return Execute(request);
+}
+
+Status PhraseService::AdmissionCheck(const ServiceRequest& request) {
+  const AdmissionOptions& adm = options_.admission;
+  if (adm.max_queue_depth == 0) return Status::OK();
+  const std::size_t depth = pool_.queue_depth();
+  // Sampled at every gate decision; the gauge's Max() is the high-water
+  // depth the shed decisions actually saw.
+  admission_depth_->Set(static_cast<int64_t>(depth));
+  if (depth >= adm.max_queue_depth) {
+    return Status::ResourceExhausted(
+        "admission queue full (depth " + std::to_string(depth) +
+        " >= bound " + std::to_string(adm.max_queue_depth) + ")");
+  }
+  if (!adm.cost_gate || request.cancel == nullptr ||
+      !request.cancel->has_deadline()) {
+    return Status::OK();
+  }
+  const double remaining = request.cancel->remaining_ms();
+  if (remaining <= 0.0) {
+    return Status::ResourceExhausted("deadline already expired at admission");
+  }
+  const double ewma_ms =
+      static_cast<double>(ewma_latency_us_.load(std::memory_order_relaxed)) /
+      1000.0;
+  if (ewma_ms <= 0.0) return Status::OK();  // no latency signal yet: admit
+  double exec_ms = ewma_ms;
+  if (adm.cost_to_ms > 0.0 && sharded_ == nullptr &&
+      !request.algorithm.has_value()) {
+    // One extra (cheap, list-build-free) planning pass converts the cost
+    // model's entry estimate into milliseconds; the measured EWMA stays
+    // the floor so a mistuned cost_to_ms can only shed earlier, not admit
+    // queries the observed latency already rules out.
+    const Query canonical = CanonicalizeQuery(request.query);
+    const PlanDecision decision =
+        planner_.Plan(canonical, request.options, engine_->delta_snapshot());
+    for (const auto& [algorithm, cost] : decision.estimated_costs) {
+      if (algorithm == decision.algorithm) {
+        exec_ms = std::max(exec_ms, cost * adm.cost_to_ms);
+        break;
+      }
+    }
+  }
+  const double wait_ms = static_cast<double>(depth) * ewma_ms /
+                         static_cast<double>(pool_.num_threads());
+  if (wait_ms + exec_ms > remaining) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "hopeless under deadline: projected %.1fms wait + %.1fms "
+                  "execute > %.1fms remaining",
+                  wait_ms, exec_ms, remaining);
+    return Status::ResourceExhausted(buf);
+  }
+  return Status::OK();
+}
+
+Status PhraseService::ValidateRequest(const Query& canonical,
+                                      const MineOptions& options) {
+  if (canonical.terms.empty()) {
+    return Status::InvalidArgument("query has no terms");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  return Status::OK();
 }
 
 ServiceReply PhraseService::Execute(const ServiceRequest& request) {
@@ -246,6 +347,26 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
   }
   TraceSpan* troot = reply.trace.get();
   const Query canonical = CanonicalizeQuery(request.query);
+  if (Status invalid = ValidateRequest(canonical, request.options);
+      !invalid.ok()) {
+    reply.status = std::move(invalid);
+    reply.latency_ms = watch.ElapsedMillis();
+    if (troot != nullptr) troot->wall_ms = reply.latency_ms;
+    return reply;
+  }
+  // Thread the request's token into the mine options every layer below
+  // receives; the cache key serializer ignores the pointer, so deadline
+  // and no-deadline spellings of a query share cache entries.
+  MineOptions mine_options = request.options;
+  if (request.cancel != nullptr) mine_options.cancel = request.cancel.get();
+  if (CancelExpired(mine_options.cancel)) {
+    deadline_exceeded_total_->Increment();
+    reply.status =
+        Status::DeadlineExceeded("deadline expired before execution");
+    reply.latency_ms = watch.ElapsedMillis();
+    if (troot != nullptr) troot->wall_ms = reply.latency_ms;
+    return reply;
+  }
   CountTermQueries(canonical);
 
   // One update snapshot per request: the epoch keys the result cache, the
@@ -262,10 +383,10 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
       algorithm = *request.algorithm;
       reply.plan.algorithm = algorithm;
       reply.plan.op = canonical.op;
-      reply.plan.k = request.options.k;
+      reply.plan.k = mine_options.k;
       reply.plan.reason = "forced by caller";
     } else {
-      reply.plan = planner_.Plan(canonical, request.options, snap);
+      reply.plan = planner_.Plan(canonical, mine_options, snap);
       algorithm = reply.plan.algorithm;
     }
     plan_timer.Stop();
@@ -276,7 +397,7 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
   // cacheable; the engine's own overlay is immutable per epoch, so its
   // results cache fine under the epoch-stamped key.
   const bool cacheable =
-      options_.enable_result_cache && request.options.delta == nullptr;
+      options_.enable_result_cache && mine_options.delta == nullptr;
   std::string key;
   if (cacheable) {
     // kSmj output depends on the construction fraction of the id-ordered
@@ -288,7 +409,7 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
                          ? smj_fraction_
                          : engine_->smj_fraction();
     }
-    key = ResultCacheKey(canonical, algorithm, request.options, smj_fraction,
+    key = ResultCacheKey(canonical, algorithm, mine_options, smj_fraction,
                          snap.epoch);
     TraceSpan* cache_span = AddSpan(troot, "cache_lookup");
     SpanTimer cache_timer(cache_span);
@@ -308,7 +429,14 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
     }
   }
 
-  reply.result = Run(canonical, algorithm, request.options, snap);
+  reply.result = Run(canonical, algorithm, mine_options, snap);
+  // A non-OK mine (deadline fired mid-merge, disk tier latched an error)
+  // surfaces on the reply; the partial result is accounting, not a
+  // ranking, and must never be cached.
+  reply.status = reply.result.status;
+  if (reply.status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_exceeded_total_->Increment();
+  }
   // Re-root the mine's trace under the request span and strip it from the
   // result: the result may be cached below, and a cached trace would
   // replay a stale execution story on every hit.
@@ -321,11 +449,11 @@ ServiceReply PhraseService::Execute(const ServiceRequest& request) {
   // engine-routed mine raced onto a newer epoch. A caller-supplied overlay
   // is external state the engine knows nothing about -- its results keep
   // epoch 0, matching the engine's own contract.
-  if (request.options.delta == nullptr) {
+  if (mine_options.delta == nullptr) {
     reply.result.epoch = std::max(reply.result.epoch, snap.epoch);
   }
   reply.epoch = reply.result.epoch;
-  if (cacheable) {
+  if (cacheable && reply.status.ok()) {
     auto shared =
         std::make_shared<const CachedResult>(CachedResult{reply.result, {}});
     result_cache_.Put(key, shared, ResultCharge(key, *shared));
@@ -347,13 +475,31 @@ ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
   }
   TraceSpan* troot = reply.trace.get();
   const Query canonical = CanonicalizeQuery(request.query);
-  CountTermQueries(canonical);
+  if (Status invalid = ValidateRequest(canonical, request.options);
+      !invalid.ok()) {
+    reply.status = std::move(invalid);
+    reply.latency_ms = watch.ElapsedMillis();
+    if (troot != nullptr) troot->wall_ms = reply.latency_ms;
+    return reply;
+  }
   // Caller-supplied overlays are a single-engine concept; the sharded
   // engine applies its own per-shard overlays internally (and would
   // refuse an external one). Drop it and say so rather than aborting.
   MineOptions effective = request.options;
   const bool caller_delta = effective.delta != nullptr;
   effective.delta = nullptr;
+  // One shared token cancels every shard leg: the first leg observing the
+  // deadline latches it, the siblings see the flag.
+  if (request.cancel != nullptr) effective.cancel = request.cancel.get();
+  if (CancelExpired(effective.cancel)) {
+    deadline_exceeded_total_->Increment();
+    reply.status =
+        Status::DeadlineExceeded("deadline expired before execution");
+    reply.latency_ms = watch.ElapsedMillis();
+    if (troot != nullptr) troot->wall_ms = reply.latency_ms;
+    return reply;
+  }
+  CountTermQueries(canonical);
 
   // The composite epoch vector plays the role the scalar snapshot epoch
   // plays on the single-engine path: fetched before planning, it keys the
@@ -418,6 +564,12 @@ ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
   ShardedMineResult mined = sharded_->Mine(canonical, algorithm, effective);
   reply.result = std::move(mined.result);
   reply.phrase_texts = std::move(mined.texts);
+  // A cancelled scatter-gather surfaces its status here; the partial
+  // accounting it assembled is not a ranking and is never cached.
+  reply.status = reply.result.status;
+  if (reply.status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_exceeded_total_->Increment();
+  }
   reply.epoch = reply.result.epoch;
   // Fleet-level registry counters: threshold-exchange effectiveness plus
   // the per-shard disk-tier split (the aggregate disk counters are
@@ -439,7 +591,7 @@ ServiceReply PhraseService::ExecuteSharded(const ServiceRequest& request) {
     troot->children.push_back(std::move(reply.result.trace));
   }
   reply.result.trace.reset();
-  if (cacheable) {
+  if (cacheable && reply.status.ok()) {
     auto shared = std::make_shared<const CachedResult>(
         CachedResult{reply.result, reply.phrase_texts});
     result_cache_.Put(key, shared, ResultCharge(key, *shared));
@@ -690,6 +842,12 @@ void PhraseService::RecordQuery(Algorithm algorithm, bool forced,
   queries_total_->Increment();
   (forced ? forced_total_ : planned_total_)->Increment();
   if (executed) {
+    // EWMA of executed latency (alpha 1/8) for the admission cost gate;
+    // the load/store race can drop an update, never corrupt the value.
+    const uint64_t sample = LatencyMicros(latency_ms);
+    const uint64_t old = ewma_latency_us_.load(std::memory_order_relaxed);
+    ewma_latency_us_.store(old == 0 ? sample : (old * 7 + sample) / 8,
+                           std::memory_order_relaxed);
     const auto index = static_cast<std::size_t>(algorithm);
     if (index < algorithm_total_.size()) algorithm_total_[index]->Increment();
     if (disk_io.blocks_read > 0 || disk_io.bytes > 0) {
@@ -749,6 +907,8 @@ ServiceStats PhraseService::stats() const {
   stats.rebuilds = snap.counter("service_rebuilds_total");
   stats.placement_refreshes =
       snap.counter("service_placement_refreshes_total");
+  stats.shed = snap.counter("service_shed_total");
+  stats.deadline_exceeded = snap.counter("service_deadline_exceeded_total");
   for (std::size_t i = 0; i < stats.per_algorithm.size(); ++i) {
     stats.per_algorithm[i] = snap.counter(
         std::string("service_executions_total{algorithm=\"") +

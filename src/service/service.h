@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/status.h"
 #include "core/engine.h"
 #include "core/miner.h"
 #include "core/query.h"
@@ -25,6 +27,28 @@
 #include "shard/sharded_engine.h"
 
 namespace phrasemine {
+
+/// Admission-control / load-shedding policy for PhraseService::Submit.
+/// Disabled by default (max_queue_depth == 0): Submit keeps the legacy
+/// behavior of blocking on the pool's bounded queue for backpressure.
+struct AdmissionOptions {
+  /// Queue-depth bound: a Submit observing at least this many queued (not
+  /// yet running) tasks is shed immediately with ResourceExhausted instead
+  /// of blocking. 0 disables admission control (including the cost gate).
+  std::size_t max_queue_depth = 0;
+  /// Shed deadline-carrying requests that are already hopeless at submit
+  /// time: projected wait (queue_depth x EWMA of executed latency, divided
+  /// across the workers) plus the execution estimate exceeding the
+  /// remaining deadline means the query would only burn pool time to
+  /// return DeadlineExceeded anyway. Requests without a deadline are never
+  /// cost-gated, only depth-bounded.
+  bool cost_gate = true;
+  /// Converts the planner's abstract cost units (modeled entries touched)
+  /// into milliseconds for the cost gate's execution estimate; the gate
+  /// takes max(EWMA, planner_cost * cost_to_ms). 0 (default) relies on the
+  /// measured EWMA alone and skips the extra planning pass at admission.
+  double cost_to_ms = 0.0;
+};
 
 /// Sizing and policy knobs for PhraseService.
 struct PhraseServiceOptions {
@@ -68,6 +92,8 @@ struct PhraseServiceOptions {
   double slow_query_ms = 0.0;
   /// Entries the slow-query log retains (oldest evicted first).
   std::size_t slow_query_log_capacity = 64;
+  /// Load-shedding policy (see AdmissionOptions); off by default.
+  AdmissionOptions admission;
   /// Feedback-driven placement cadence: every this many served queries
   /// the service re-derives the disk tier's hotness order from the
   /// per-term query counters (service_term_queries_total{term=...}) and
@@ -84,10 +110,31 @@ struct ServiceRequest {
   MineOptions options;
   /// When set, bypasses the planner and runs exactly this algorithm.
   std::optional<Algorithm> algorithm;
+  /// Total time budget in milliseconds, measured from Submit (queue wait
+  /// counts against it). > 0 makes the service materialize a CancelToken
+  /// shared by every execution leg; an expired request unwinds with
+  /// ServiceReply::status == DeadlineExceeded and whatever partial
+  /// accounting the miners had produced. 0 (default): no deadline.
+  double deadline_ms = 0.0;
+  /// Caller-owned cancellation handle; set to observe or trigger
+  /// cancellation externally (Cancel() from any thread). When null and
+  /// deadline_ms > 0 the service creates one internally. The service keeps
+  /// a reference for the lifetime of the request, so the caller may drop
+  /// theirs at any time.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// What the service hands back per query.
 struct ServiceReply {
+  /// Typed outcome: OK for a served ranking; DeadlineExceeded when the
+  /// request's deadline fired before or during execution (result then
+  /// carries partial accounting, not a ranking); ResourceExhausted when
+  /// admission control shed the request or the pool rejected it;
+  /// Unavailable for submits after Shutdown(); InvalidArgument for
+  /// malformed requests (no terms, k == 0); IOError/Corruption when the
+  /// disk tier surfaced a device error. Mirrors result.status when the
+  /// failure happened inside a miner.
+  Status status;
   MineResult result;
   /// Sharded path only: the ranked phrases' texts, aligned with
   /// result.phrases. Shard-local PhraseIds are not comparable across
@@ -145,6 +192,10 @@ struct ServiceStats {
   uint64_t epoch = 0;
   uint64_t ingests = 0;
   uint64_t rebuilds = 0;
+  /// Robustness counters: requests shed by admission control (or rejected
+  /// by the pool) and requests that returned DeadlineExceeded.
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
   /// Feedback-placement refreshes installed (manual RefreshPlacement
   /// calls plus automatic cadence firings that had fresh counts).
   uint64_t placement_refreshes = 0;
@@ -179,10 +230,23 @@ struct ServiceStats {
 /// an ingest crosses the rebuild threshold and enable_auto_rebuild is on,
 /// a full rebuild runs on this pool in the background.
 ///
+/// Deadlines and shedding: a request carrying deadline_ms (or an explicit
+/// CancelToken) is polled cooperatively at block granularity throughout
+/// execution; when it fires, the reply resolves with status
+/// DeadlineExceeded and partial accounting instead of a ranking. With
+/// AdmissionOptions::max_queue_depth > 0, Submit sheds rather than blocks:
+/// a full admission queue -- or a deadline the cost gate projects as
+/// hopeless -- resolves the future immediately with ResourceExhausted, so
+/// overload degrades by dropping excess queries, not by growing latency
+/// unboundedly. See docs/robustness.md.
+///
 /// Thread-safety: all public members may be called from any thread.
 /// Shutdown (or destruction) drains queued work; Submit after shutdown
-/// degrades to inline execution on the caller's thread so futures are
-/// always fulfilled.
+/// resolves the future immediately with status Unavailable (it no longer
+/// degrades to inline execution -- a shut-down service stops doing work).
+/// Every future returned by Submit is always fulfilled, never dangles:
+/// the pool's submit verdict is atomic against shutdown (see ThreadPool's
+/// contract), and on `false` the service resolves the promise itself.
 class PhraseService {
  public:
   /// One cached service result: the merged MineResult plus (sharded path)
@@ -303,6 +367,16 @@ class PhraseService {
 
   ServiceReply Execute(const ServiceRequest& request);
   ServiceReply ExecuteSharded(const ServiceRequest& request);
+  /// Admission gate consulted by Submit when admission control is enabled
+  /// (max_queue_depth > 0): non-OK (ResourceExhausted) means shed -- the
+  /// caller resolves the future with it without ever queueing the task.
+  Status AdmissionCheck(const ServiceRequest& request);
+  /// Shared request validation: InvalidArgument for a term-less canonical
+  /// query or k == 0. Unknown terms are NOT an error -- they mine empty
+  /// lists and return an empty ranking with status OK, matching the
+  /// engine's own semantics.
+  static Status ValidateRequest(const Query& canonical,
+                                const MineOptions& options);
   /// `snap` is taken by value: Run refreshes it (and retries the bundle
   /// assembly) when a background rebuild changes the structure generation
   /// mid-request.
@@ -365,6 +439,15 @@ class PhraseService {
   Counter* rebuilds_total_ = nullptr;
   Counter* slow_queries_total_ = nullptr;
   Counter* placement_refreshes_total_ = nullptr;
+  /// Robustness metrics: service_shed_total counts requests resolved with
+  /// ResourceExhausted before execution (admission depth bound, cost gate,
+  /// pool rejection storms); service_deadline_exceeded_total counts
+  /// replies that resolved DeadlineExceeded; the admission-depth gauge
+  /// samples the pool queue depth each time the gate runs (its Max() is
+  /// the high-water mark the shed decisions actually saw).
+  Counter* shed_total_ = nullptr;
+  Counter* deadline_exceeded_total_ = nullptr;
+  Gauge* admission_depth_ = nullptr;
   std::array<Counter*, 6> algorithm_total_{};
   Counter* disk_blocks_total_ = nullptr;
   Counter* disk_seeks_total_ = nullptr;
@@ -388,6 +471,12 @@ class PhraseService {
   std::unordered_map<TermId, uint64_t> installed_counts_;
   /// Queries since the cadence last fired (placement_refresh_interval).
   std::atomic<uint64_t> queries_since_refresh_{0};
+
+  /// EWMA of executed-query latency in microseconds (alpha = 1/8,
+  /// relaxed-atomic; races lose an update, never corrupt). Feeds the
+  /// admission cost gate's wait/execute projection; 0 until the first
+  /// executed query completes (the gate then only depth-bounds).
+  std::atomic<uint64_t> ewma_latency_us_{0};
 
   /// Bounded slow-query log (options_.slow_query_ms threshold).
   mutable std::mutex slow_mu_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "testing/failpoint.h"
+
 namespace phrasemine {
 
 ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
@@ -36,6 +38,12 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
 }
 
 bool ThreadPool::Enqueue(std::function<void()> task, bool block) {
+  // Rejection-storm site: an armed error makes this submit fail exactly
+  // like a full-queue TrySubmit, exercising every caller's rejection path.
+  if (failpoint::Enabled() && !PM_FAILPOINT("pool.submit").ok()) {
+    rejected_->Increment();
+    return false;
+  }
   std::unique_lock lock(mu_);
   if (block) {
     not_full_.wait(lock, [this] {

@@ -55,6 +55,20 @@ struct ThreadPoolStats {
 /// workers drain everything already queued, then joins them. The
 /// destructor calls Shutdown(). Both are idempotent and safe to call
 /// concurrently with submitters.
+///
+/// Contract for submits racing Shutdown(): every Submit/TrySubmit call
+/// returns a definite verdict, decided atomically against the shutdown
+/// flag under the queue lock. `true` means the task WILL run (it was
+/// queued before the flag was observed, and workers drain the whole queue
+/// before exiting); `false` means the task will NEVER run (the caller
+/// still owns whatever completion signal it wrapped -- PhraseService, for
+/// example, then resolves the future itself with a typed error). There is
+/// no third state: a task can neither be dropped after `true` nor run
+/// after `false`, so a submitter that resolves its promise on `false` and
+/// lets the task resolve it on `true` can never hang a future. A blocking
+/// Submit parked on a full queue when Shutdown() fires wakes up and
+/// returns false (counted as rejected). thread_pool_test's
+/// SubmitShutdownRaceNeverHangs storms this contract.
 class ThreadPool {
  public:
   explicit ThreadPool(ThreadPoolOptions options = {});
@@ -73,6 +87,14 @@ class ThreadPool {
 
   /// Stops intake, drains the queue, joins the workers.
   void Shutdown();
+
+  /// True once Shutdown() has set the intake-stopping flag. Racy by
+  /// nature (a concurrent Shutdown may flip it right after the read);
+  /// callers use it to pick an error message, never for correctness.
+  bool shutting_down() const {
+    std::scoped_lock lock(mu_);
+    return shutdown_;
+  }
 
   std::size_t num_threads() const { return options_.num_threads; }
 

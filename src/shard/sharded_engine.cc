@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "common/io_util.h"
 #include "common/stopwatch.h"
@@ -21,6 +22,7 @@
 #include "obs/trace.h"
 #include "phrase/phrase_extractor.h"
 #include "storage/index_file.h"
+#include "testing/failpoint.h"
 
 namespace phrasemine {
 
@@ -101,6 +103,10 @@ struct ShardScatter {
   /// truncated at k' (i.e. more could exist below); 0 when it reported
   /// everything it found.
   double local_floor = 0.0;
+  /// Non-OK when the shard's local mine aborted (deadline fired inside the
+  /// shard miner, or its disk tier latched an error): the leg's candidates
+  /// are a partial view and the merge must abort with this status.
+  Status status;
 };
 
 /// Supports one shard computed for union candidates in the fill round.
@@ -305,6 +311,7 @@ bool TopKScatter(MiningEngine& engine, const Query& query,
   local.charge_phrase_lookups = false;
   const MineResult mined = engine.Mine(query, algorithm, local);
   *out = ShardScatter{};
+  out->status = mined.status;
   out->epoch = snap.epoch;
   out->guarantee = GuaranteeFor(algorithm, PendingDelta(snap) != nullptr,
                                 /*smj_full_lists=*/true);
@@ -803,6 +810,41 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     // --- Scatter -------------------------------------------------------------
     std::vector<ShardScatter> scatter(n);
     std::atomic<bool> stale{false};
+
+    // Abort path shared by every cancellation/error exit of this attempt:
+    // partial accounting from whatever legs ran, the composite epoch
+    // vector from the snapshots (legs that never started contribute their
+    // snapshot epoch and zero work), and the partial trace with the
+    // "cancelled" markers the timing assertions read.
+    auto aborted = [&](Status status) -> ShardedMineResult {
+      ShardedMineResult out;
+      out.result.status = std::move(status);
+      out.result.shard_epochs.reserve(n);
+      out.shard_disk_io.reserve(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        out.result.shard_epochs.push_back(snaps[s].epoch);
+        out.result.epoch += snaps[s].epoch;
+        out.result.entries_read += scatter[s].entries_read;
+        out.shard_disk_io.push_back(scatter[s].disk_io);
+        out.result.disk_io += scatter[s].disk_io;
+        out.result.disk_ms = std::max(out.result.disk_ms, scatter[s].disk_ms);
+      }
+      out.result.compute_ms = watch.ElapsedMillis();
+      if (trace != nullptr) {
+        trace->wall_ms = out.result.compute_ms;
+        AddCounter(trace, "cancelled", 1.0);
+        AddCounter(trace, "entries_at_cancel",
+                   static_cast<double>(out.result.entries_read));
+        out.result.trace = std::move(trace_root);
+      }
+      return out;
+    };
+
+    // Expired before any leg started (covers stale retries too): no work.
+    if (CancelExpired(options.cancel)) {
+      return aborted(
+          Status::DeadlineExceeded("deadline expired before sharded scatter"));
+    }
     // Shard children are created up front so the pool workers each own a
     // distinct, already-placed node -- no locking inside the lambda.
     TraceSpan* scatter_span = AddSpan(trace, "scatter");
@@ -813,6 +855,16 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     }
     ParallelOverShards([&](std::size_t s) {
       SpanTimer span_timer(scatter_shard_spans[s]);
+      // A sibling leg that latched the shared token already aborted the
+      // query; skip this leg's whole scatter (flag-only check -- the
+      // sibling paid the clock read).
+      if (CancelRequested(options.cancel)) return;
+      if (failpoint::Enabled()) {
+        // Slow-shard straggler site (latency-only; the dynamic name is
+        // built only while some failpoint is armed).
+        (void)failpoint::Evaluate(
+            ("shard.scatter." + std::to_string(s)).c_str());
+      }
       bool ok = true;
       switch (mode) {
         case MergeMode::kCountExhaustive:
@@ -853,6 +905,24 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
           AddCounter(ss, "disk_ms", scatter[s].disk_ms);
         }
       }
+    }
+
+    // A shard-local abort poisons the merge: its candidates are a partial
+    // view. Prefer the shard's own status (a latched disk error is more
+    // specific than the deadline that may also have fired by now).
+    {
+      Status abort_status;
+      for (const ShardScatter& sh : scatter) {
+        if (!sh.status.ok()) {
+          abort_status = sh.status;
+          break;
+        }
+      }
+      if (abort_status.ok() && CancelExpired(options.cancel)) {
+        abort_status = Status::DeadlineExceeded(
+            "deadline expired during sharded scatter");
+      }
+      if (!abort_status.ok()) return aborted(std::move(abort_status));
     }
 
     // --- Union (join by global PhraseId) -------------------------------------
@@ -1051,6 +1121,12 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
       }
       ParallelOverShards([&](std::size_t s) {
         SpanTimer span_timer(fill_shard_spans[s]);
+        if (CancelRequested(options.cancel)) {
+          // Sibling aborted: contribute zero supports (the merge loop
+          // below still indexes fill[s] before the abort check runs).
+          fill[s].assign(cands.size(), PartialSupport{});
+          return;
+        }
         std::vector<uint8_t> need(cands.size());
         for (std::size_t i = 0; i < cands.size(); ++i) {
           need[i] = IsTopKMode(mode)
@@ -1100,6 +1176,13 @@ ShardedMineResult ShardedEngine::Mine(const Query& query, Algorithm algorithm,
     if (fill_span != nullptr) {
       fill_span->wall_ms = watch.ElapsedMillis() - fill_start;
       AddCounter(fill_span, "fill_slots", static_cast<double>(fill_slots));
+    }
+    // Fill legs only skip on an already-latched token, so one more full
+    // check bounds the gather: supports merged from a partially-cancelled
+    // fill must never rank.
+    if (CancelExpired(options.cancel)) {
+      return aborted(
+          Status::DeadlineExceeded("deadline expired during sharded fill"));
     }
     const double gather_start = trace != nullptr ? watch.ElapsedMillis() : 0.0;
 

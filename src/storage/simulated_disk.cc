@@ -1,6 +1,7 @@
 #include "storage/simulated_disk.h"
 
 #include "common/check.h"
+#include "testing/failpoint.h"
 
 namespace phrasemine {
 
@@ -23,6 +24,10 @@ uint64_t SimulatedDisk::PagesForBytes(uint64_t size_bytes) const {
 
 void SimulatedDisk::Read(uint32_t file, uint64_t offset, uint64_t n) {
   if (n == 0) return;
+  // Latency-injection site (a stalling device); injected errors are
+  // surfaced by the tier-level "disk.read" site, not here -- the cost
+  // model has no error channel.
+  if (failpoint::Enabled()) (void)PM_FAILPOINT("disk.sim.read");
   stats_.bytes_read += n;
   const uint64_t first = offset / options_.page_size_bytes;
   const uint64_t last = (offset + n - 1) / options_.page_size_bytes;

@@ -1,0 +1,128 @@
+#include "testing/failpoint.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace phrasemine::failpoint {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Action> armed;
+  std::unordered_map<std::string, uint64_t> hits;
+};
+
+/// Leaked singleton: failpoints may be evaluated from detached pool workers
+/// during process teardown, so the registry must outlive static destructors.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Status MakeStatus(StatusCode code, const std::string& message) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case StatusCode::kInternal:
+      return Status::Internal(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+    case StatusCode::kOk:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> armed_count{0};
+
+Status Hit(const char* name) {
+  Registry& r = registry();
+  double delay_ms = 0.0;
+  Status injected = Status::OK();
+  {
+    std::scoped_lock lock(r.mu);
+    auto it = r.armed.find(name);
+    if (it == r.armed.end()) return Status::OK();
+    Action& action = it->second;
+    if (action.skip_first > 0) {
+      --action.skip_first;
+      return Status::OK();
+    }
+    ++r.hits[it->first];
+    delay_ms = action.delay_ms;
+    injected = MakeStatus(action.error_code, action.error_message);
+    if (action.max_hits > 0 && --action.max_hits == 0) {
+      r.armed.erase(it);
+      armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  // Sleep outside the lock so a latency site can't serialize unrelated sites.
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return injected;
+}
+
+}  // namespace internal
+
+void Arm(const std::string& name, Action action) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  if (action.max_hits == 0) return;  // an action that can never fire
+  const bool existed = r.armed.contains(name);
+  r.armed.insert_or_assign(name, std::move(action));
+  if (!existed) internal::armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  if (r.armed.erase(name) > 0) {
+    internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  internal::armed_count.fetch_sub(static_cast<int>(r.armed.size()),
+                                  std::memory_order_relaxed);
+  r.armed.clear();
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  auto it = r.hits.find(name);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+void ResetHitCounts() {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  r.hits.clear();
+}
+
+}  // namespace phrasemine::failpoint

@@ -1,0 +1,74 @@
+#ifndef PHRASEMINE_TESTING_FAILPOINT_H_
+#define PHRASEMINE_TESTING_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace phrasemine::failpoint {
+
+/// What an armed failpoint does when its site is evaluated. Errors and
+/// latency compose: a hit first sleeps `delay_ms`, then returns the error
+/// (if any). Hit budgeting makes storms finite: `skip_first` passes through
+/// that many evaluations untouched, then the action fires on up to
+/// `max_hits` evaluations before the site auto-disarms.
+struct Action {
+  /// kOk injects no error (latency-only site).
+  StatusCode error_code = StatusCode::kOk;
+  std::string error_message;
+  /// Added latency per fired hit, applied before the error.
+  double delay_ms = 0.0;
+  /// Fired hits before auto-disarm; -1 = until Disarm().
+  int64_t max_hits = -1;
+  /// Evaluations passed through unharmed before the first fired hit.
+  uint64_t skip_first = 0;
+};
+
+/// Arms (or re-arms) the named site. Sites are plain strings; arming a name
+/// with no matching PM_FAILPOINT site is allowed and simply never fires.
+void Arm(const std::string& name, Action action);
+
+/// Disarms one site (no-op when not armed).
+void Disarm(const std::string& name);
+
+/// Disarms every site. Counters survive; see ResetHitCounts().
+void DisarmAll();
+
+/// Fired hits of the named site since the last ResetHitCounts() (evaluations
+/// that slept and/or returned the injected error; skipped ones don't count).
+uint64_t HitCount(const std::string& name);
+
+/// Zeroes every hit counter (for per-phase assertions within one process).
+void ResetHitCounts();
+
+namespace internal {
+/// Number of currently armed sites; the fast path reads only this.
+extern std::atomic<int> armed_count;
+Status Hit(const char* name);
+}  // namespace internal
+
+/// True when any failpoint is armed anywhere in the process. One relaxed
+/// atomic load -- this is the only cost production code pays when the
+/// harness is idle, and sites that must build dynamic names (e.g. per-shard)
+/// gate the string construction on it.
+inline bool Enabled() {
+  return internal::armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Evaluates the named site: returns OK() without taking any lock when
+/// nothing is armed; otherwise consults the registry, sleeps/errors per the
+/// armed Action, and returns the injected Status.
+inline Status Evaluate(const char* name) {
+  if (!Enabled()) return Status::OK();
+  return internal::Hit(name);
+}
+
+}  // namespace phrasemine::failpoint
+
+/// Site macro: drop `if (Status s = PM_FAILPOINT("my.site"); !s.ok()) ...`
+/// at any point that should be fault-injectable. Zero-cost when disarmed.
+#define PM_FAILPOINT(name) ::phrasemine::failpoint::Evaluate(name)
+
+#endif  // PHRASEMINE_TESTING_FAILPOINT_H_

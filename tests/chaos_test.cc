@@ -1,0 +1,193 @@
+// Chaos harness: replays the checked-in workload trace against a
+// disk-backed service while failpoints inject device errors, device
+// latency, and pool rejection storms. The invariants under fire:
+//
+//   1. no crash, no hang -- every future resolves (CTest's per-test
+//      timeout is the hang backstop);
+//   2. typed Status only -- a reply either serves a ranking (OK) or
+//      refuses with DeadlineExceeded / ResourceExhausted / IOError /
+//      Unavailable, never an exception or a silent wrong answer;
+//   3. faults off, the replay is bitwise deterministic -- and after the
+//      storm the service serves the exact pre-storm signatures again.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "service/service.h"
+#include "shard/sharded_engine.h"
+#include "test_util.h"
+#include "testing/failpoint.h"
+#include "workload/replay.h"
+#include "workload/trace.h"
+
+namespace phrasemine {
+namespace {
+
+using testing::MakeTinyCorpus;
+using workload::ReplayOptions;
+using workload::ReplayTrace;
+using workload::TraceQuery;
+using workload::WorkloadTrace;
+
+WorkloadTrace LoadGoldenTrace() {
+  auto trace = WorkloadTrace::ReadFile(
+      std::string(PHRASEMINE_SOURCE_DIR) +
+      "/bench/workload/goldens/tiny_zipf.trace");
+  EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+  return std::move(trace).value();
+}
+
+/// Disk-backed tiny engine with everything spilled: every kNraDisk read
+/// charges the simulated device, so the disk failpoints have maximal
+/// surface.
+MiningEngine MakeChaosEngine() {
+  MiningEngineOptions options;
+  options.extractor.min_df = 2;
+  options.disk_backed = true;
+  options.disk_resident_budget = 0;
+  return MiningEngine::Build(MakeTinyCorpus(), options);
+}
+
+PhraseServiceOptions ChaosServiceOptions() {
+  PhraseServiceOptions options;
+  options.pool.num_threads = 2;
+  // The result cache off keeps every replayed query on the execution
+  // path (the determinism surface under test is the miners, not the
+  // cache) and makes the three replay passes comparable event by event.
+  options.enable_result_cache = false;
+  options.admission.max_queue_depth = 16;
+  return options;
+}
+
+bool IsTypedRefusal(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIOError:
+    case StatusCode::kCorruption:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(ChaosTest, StormYieldsTypedErrorsOnlyAndDeterminismSurvives) {
+  failpoint::DisarmAll();
+  MiningEngine engine = MakeChaosEngine();
+  PhraseService service(&engine, ChaosServiceOptions());
+  const WorkloadTrace trace = LoadGoldenTrace();
+  ASSERT_FALSE(trace.queries.empty());
+
+  ReplayOptions replay_options;
+  replay_options.algorithm = Algorithm::kNraDisk;  // keep the device hot
+
+  // Pre-storm baseline, twice: the replay itself is deterministic.
+  const auto baseline = ReplayTrace(service, trace, replay_options);
+  const auto baseline2 = ReplayTrace(service, trace, replay_options);
+  EXPECT_EQ(baseline.signatures, baseline2.signatures);
+  ASSERT_GT(baseline.queries - baseline.unresolved, 0u);
+
+  // The storm: injected device read errors (after a grace period, for a
+  // bounded number of hits), device latency on every read, and a brief
+  // pool rejection storm. Deadlines on every third query race the slowed
+  // device.
+  failpoint::Arm("disk.read", {.error_code = StatusCode::kIOError,
+                               .error_message = "injected device error",
+                               .max_hits = 20,
+                               .skip_first = 5});
+  failpoint::Arm("disk.sim.read", {.delay_ms = 0.05});
+  failpoint::Arm("pool.submit", {.error_code = StatusCode::kResourceExhausted,
+                                 .error_message = "injected submit storm",
+                                 .max_hits = 4,
+                                 .skip_first = 3});
+  std::size_t ok_replies = 0;
+  std::size_t refused_replies = 0;
+  std::vector<std::future<ServiceReply>> futures;
+  std::size_t submitted = 0;
+  for (const TraceQuery& event : trace.queries) {
+    std::string text;
+    for (const std::string& term : event.terms) {
+      if (!text.empty()) text += ' ';
+      text += term;
+    }
+    Result<Query> parsed = service.engine().ParseQuery(text, event.op);
+    if (!parsed.ok()) continue;
+    ServiceRequest request;
+    request.query = std::move(parsed).value();
+    request.options.k = event.k;
+    request.algorithm = Algorithm::kNraDisk;
+    if (submitted % 3 == 0) request.deadline_ms = 2.0;
+    ++submitted;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    const ServiceReply reply = future.get();  // must resolve, never hang
+    if (reply.status.ok()) {
+      ++ok_replies;
+    } else {
+      EXPECT_TRUE(IsTypedRefusal(reply.status)) << reply.status.ToString();
+      ++refused_replies;
+    }
+  }
+  EXPECT_EQ(ok_replies + refused_replies, futures.size());
+  // The injected device errors and the submit storm must have bitten at
+  // least once (20 error hits + 4 rejections against a trace of
+  // kNraDisk queries on a fully spilled tier).
+  EXPECT_GE(refused_replies, 1u);
+  EXPECT_GE(failpoint::HitCount("disk.read"), 1u);
+  failpoint::DisarmAll();
+  failpoint::ResetHitCounts();
+
+  // Post-storm: the service is live and serves the exact pre-storm
+  // bytes -- no fault leaked into any persistent structure.
+  const auto post = ReplayTrace(service, trace, replay_options);
+  EXPECT_EQ(post.signatures, baseline.signatures);
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.shed + stats.deadline_exceeded, refused_replies > 0 ? 1u
+                                                                      : 0u);
+}
+
+TEST(ChaosTest, ShardedStragglerDelaysButNeverCorrupts) {
+  failpoint::DisarmAll();
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.engine.extractor.min_df = 2;
+  ShardedEngine sharded =
+      ShardedEngine::Build(MakeTinyCorpus(), std::move(options));
+  PhraseService service(&sharded, ChaosServiceOptions());
+  const WorkloadTrace trace = LoadGoldenTrace();
+
+  ReplayOptions replay_options;  // planner-routed, in-memory fleet
+  const auto baseline = ReplayTrace(service, trace, replay_options);
+
+  // A straggling shard leg: every scatter to shard 1 sleeps. Slow is not
+  // wrong -- the merged output must stay bitwise identical.
+  failpoint::Arm("shard.scatter.1", {.delay_ms = 1.0});
+  const auto straggling = ReplayTrace(service, trace, replay_options);
+  failpoint::DisarmAll();
+  EXPECT_EQ(straggling.signatures, baseline.signatures);
+
+  // With a deadline racing the straggler, the refusal is typed; the
+  // straggler disarmed, the same query serves normally.
+  failpoint::Arm("shard.scatter.1", {.delay_ms = 20.0});
+  auto q = sharded.shard(0).ParseQuery("query optimization",
+                                       QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+  ServiceRequest request{q.value(), MineOptions{}, Algorithm::kSmj};
+  request.deadline_ms = 5.0;
+  const ServiceReply raced = service.MineSync(request);
+  failpoint::DisarmAll();
+  EXPECT_TRUE(raced.status.ok() ||
+              raced.status.code() == StatusCode::kDeadlineExceeded)
+      << raced.status.ToString();
+  const ServiceReply after = service.MineSync(
+      ServiceRequest{q.value(), MineOptions{}, Algorithm::kSmj});
+  EXPECT_TRUE(after.status.ok()) << after.status.ToString();
+}
+
+}  // namespace
+}  // namespace phrasemine

@@ -1,0 +1,233 @@
+// Deadline propagation and cooperative cancellation: CancelToken
+// semantics, miner-level aborts with partial accounting and trace
+// markers, bounded cancellation latency (the trace-asserted "< 2
+// block-check intervals" contract), determinism when the deadline never
+// fires, and the service's deadline surface end to end.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "core/engine.h"
+#include "obs/trace.h"
+#include "service/service.h"
+#include "shard/sharded_engine.h"
+#include "test_util.h"
+#include "testing/failpoint.h"
+
+namespace phrasemine {
+namespace {
+
+using testing::MakeSmallEngine;
+using testing::MakeSmallSyntheticCorpus;
+using testing::RankedSignature;
+
+/// Depth-first search for a counter anywhere in a span tree.
+bool FindCounter(const TraceSpan* span, const std::string& name,
+                 double* value) {
+  if (span == nullptr) return false;
+  for (const auto& [n, v] : span->counters) {
+    if (n == name) {
+      *value = v;
+      return true;
+    }
+  }
+  for (const auto& child : span->children) {
+    if (FindCounter(child.get(), name, value)) return true;
+  }
+  return false;
+}
+
+/// A two-term OR query over the engine's highest-df terms: long lists, so
+/// an un-cancelled mine does real traversal work.
+Query HeavyQuery(const MiningEngine& engine) {
+  std::vector<TermId> terms;
+  for (TermId t = 0; t < engine.inverted().num_terms(); ++t) {
+    if (engine.inverted().df(t) > 0) terms.push_back(t);
+  }
+  std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
+    return engine.inverted().df(a) > engine.inverted().df(b);
+  });
+  Query query;
+  query.op = QueryOperator::kOr;
+  query.terms = {terms.at(0), terms.at(1)};
+  std::sort(query.terms.begin(), query.terms.end());
+  return query;
+}
+
+TEST(CancelTokenTest, Semantics) {
+  CancelToken none;  // never expires on its own
+  EXPECT_FALSE(none.has_deadline());
+  EXPECT_FALSE(none.Expired());
+  EXPECT_FALSE(none.cancelled());
+  EXPECT_GT(none.remaining_ms(), 1e12);
+  none.Cancel();
+  EXPECT_TRUE(none.cancelled());
+  EXPECT_TRUE(none.Expired());
+  EXPECT_EQ(none.remaining_ms(), 0.0);
+
+  CancelToken past = CancelToken::AfterMillis(-1.0);
+  EXPECT_TRUE(past.has_deadline());
+  EXPECT_LT(past.remaining_ms(), 0.0);
+  // The flag is not set until a full check latches it...
+  EXPECT_FALSE(past.cancelled());
+  // ...and Expired() is that check: it observes the past deadline and
+  // publishes the verdict to flag-only readers (sibling shard legs).
+  EXPECT_TRUE(past.Expired());
+  EXPECT_TRUE(past.cancelled());
+
+  CancelToken future = CancelToken::AfterMillis(60'000.0);
+  EXPECT_FALSE(future.Expired());
+  EXPECT_GT(future.remaining_ms(), 1'000.0);
+
+  EXPECT_FALSE(CancelRequested(nullptr));
+  EXPECT_FALSE(CancelExpired(nullptr));
+}
+
+TEST(DeadlineTest, ExpiredTokenAbortsNraWithTraceMarkers) {
+  MiningEngine engine = MakeSmallEngine();
+  const Query query = HeavyQuery(engine);
+  const CancelToken expired = CancelToken::AfterMillis(-1.0);
+  MineOptions options;
+  options.trace = true;
+  options.cancel = &expired;
+  const MineResult aborted = engine.Mine(query, Algorithm::kNra, options);
+  EXPECT_EQ(aborted.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(aborted.entries_read, 0u);  // expired before the traversal
+  ASSERT_NE(aborted.trace, nullptr);
+  double cancelled = 0.0;
+  EXPECT_TRUE(FindCounter(aborted.trace.get(), "cancelled", &cancelled));
+  EXPECT_EQ(cancelled, 1.0);
+  double at_cancel = -1.0;
+  EXPECT_TRUE(
+      FindCounter(aborted.trace.get(), "entries_at_cancel", &at_cancel));
+  EXPECT_EQ(at_cancel, 0.0);
+
+  // The same engine serves the same query normally afterwards.
+  const MineResult ok = engine.Mine(query, Algorithm::kNra, MineOptions{});
+  EXPECT_TRUE(ok.status.ok());
+  EXPECT_FALSE(ok.phrases.empty());
+}
+
+TEST(DeadlineTest, ExpiredTokenAbortsSmjBothPaths) {
+  MiningEngine engine = MakeSmallEngine();
+  const Query query = HeavyQuery(engine);
+  const CancelToken expired = CancelToken::AfterMillis(-1.0);
+  for (const bool kernels : {true, false}) {
+    MineOptions options;
+    options.use_kernels = kernels;
+    options.trace = true;
+    options.cancel = &expired;
+    const MineResult aborted = engine.Mine(query, Algorithm::kSmj, options);
+    EXPECT_EQ(aborted.status.code(), StatusCode::kDeadlineExceeded)
+        << (kernels ? "kernel" : "scalar");
+    double cancelled = 0.0;
+    EXPECT_TRUE(FindCounter(aborted.trace.get(), "cancelled", &cancelled));
+  }
+}
+
+TEST(DeadlineTest, UnfiredDeadlineIsBitwiseInvisible) {
+  // A token that never fires must not change one byte of ranked output on
+  // any list-based path -- the polls are branches, not behavior.
+  MiningEngine engine = MakeSmallEngine();
+  const Query query = HeavyQuery(engine);
+  const CancelToken generous = CancelToken::AfterMillis(600'000.0);
+  for (const Algorithm algorithm : {Algorithm::kNra, Algorithm::kSmj}) {
+    for (const bool kernels : {true, false}) {
+      MineOptions plain;
+      plain.use_kernels = kernels;
+      MineOptions timed = plain;
+      timed.cancel = &generous;
+      const MineResult a = engine.Mine(query, algorithm, plain);
+      const MineResult b = engine.Mine(query, algorithm, timed);
+      EXPECT_TRUE(b.status.ok());
+      EXPECT_EQ(RankedSignature(a), RankedSignature(b))
+          << AlgorithmName(algorithm) << (kernels ? "/kernel" : "/scalar");
+    }
+  }
+}
+
+TEST(DeadlineTest, RunningShardedMineCancelsWithinTwoBatches) {
+  // The acceptance bound: an expiring deadline stops a *running* sharded
+  // mine within two block-check intervals per shard leg, asserted via the
+  // trace's entries_at_cancel counter. A latency failpoint on the
+  // simulated device makes every spilled read slow (budget 0: everything
+  // spills), so a short deadline reliably fires inside the first NRA
+  // batch and the batch-cadence check must catch it at the next boundary.
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  options.disk_backed = true;
+  options.disk_budget_per_shard = 0;
+  options.engine.extractor.min_df = 3;
+  ShardedEngine sharded =
+      ShardedEngine::Build(MakeSmallSyntheticCorpus(700), std::move(options));
+  const Query query = HeavyQuery(sharded.shard(0));
+
+  constexpr std::size_t kBatch = 64;
+  failpoint::Arm("disk.sim.read", {.delay_ms = 0.5});
+  const CancelToken deadline = CancelToken::AfterMillis(1.0);
+  MineOptions mine_options;
+  mine_options.trace = true;
+  mine_options.nra_batch_size = kBatch;
+  mine_options.cancel = &deadline;
+  const ShardedMineResult aborted =
+      sharded.Mine(query, Algorithm::kNraDisk, mine_options);
+  failpoint::DisarmAll();
+
+  EXPECT_EQ(aborted.result.status.code(), StatusCode::kDeadlineExceeded);
+  ASSERT_NE(aborted.result.trace, nullptr);
+  double cancelled = 0.0;
+  EXPECT_TRUE(
+      FindCounter(aborted.result.trace.get(), "cancelled", &cancelled));
+  EXPECT_EQ(cancelled, 1.0);
+  double at_cancel = -1.0;
+  ASSERT_TRUE(FindCounter(aborted.result.trace.get(), "entries_at_cancel",
+                          &at_cancel));
+  // Each shard leg stops within two batch boundaries of the deadline
+  // firing; the counter aggregates the legs.
+  EXPECT_LE(at_cancel,
+            static_cast<double>(2 * kBatch * sharded.num_shards()));
+
+  // Faults off: the same fleet serves the same query to completion.
+  const ShardedMineResult ok =
+      sharded.Mine(query, Algorithm::kNraDisk, MineOptions{});
+  EXPECT_TRUE(ok.result.status.ok());
+  EXPECT_FALSE(ok.result.phrases.empty());
+}
+
+TEST(DeadlineTest, ServiceDeadlineExpiresMidExecution) {
+  // End to end through the front door: a deadline that fires during a
+  // slow disk-backed mine surfaces as ServiceReply::status ==
+  // DeadlineExceeded, bumps the metric, and never caches the partial.
+  MiningEngineOptions engine_options;
+  engine_options.extractor.min_df = 3;
+  engine_options.disk_backed = true;
+  engine_options.disk_resident_budget = 0;
+  MiningEngine engine =
+      MiningEngine::Build(MakeSmallSyntheticCorpus(700), engine_options);
+  PhraseService service(&engine, {});
+  const Query query = HeavyQuery(engine);
+
+  failpoint::Arm("disk.sim.read", {.delay_ms = 0.5});
+  ServiceRequest request{query, MineOptions{}, Algorithm::kNraDisk};
+  request.deadline_ms = 5.0;
+  const ServiceReply slow = service.MineSync(request);
+  failpoint::DisarmAll();
+  EXPECT_EQ(slow.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);
+
+  // The partial was not cached: the same request without a deadline now
+  // executes (no cache hit) and completes.
+  const ServiceReply replay = service.MineSync(
+      ServiceRequest{query, MineOptions{}, Algorithm::kNraDisk});
+  EXPECT_TRUE(replay.status.ok()) << replay.status.ToString();
+  EXPECT_FALSE(replay.result_cache_hit);
+  EXPECT_FALSE(replay.result.phrases.empty());
+}
+
+}  // namespace
+}  // namespace phrasemine

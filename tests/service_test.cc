@@ -14,6 +14,7 @@
 #include "service/cache.h"
 #include "service/service.h"
 #include "test_util.h"
+#include "testing/failpoint.h"
 
 namespace phrasemine {
 namespace {
@@ -225,7 +226,7 @@ TEST(ServiceTest, SubmitBatchPreservesOrder) {
       futures[1].get().result, "batch[1]");
 }
 
-TEST(ServiceTest, SubmitAfterShutdownExecutesInline) {
+TEST(ServiceTest, SubmitAfterShutdownResolvesUnavailable) {
   MiningEngine engine = testing::MakeTinyEngine();
   PhraseService service(&engine, {});
   service.Shutdown();
@@ -234,10 +235,100 @@ TEST(ServiceTest, SubmitAfterShutdownExecutesInline) {
   ASSERT_TRUE(q.ok());
   auto future =
       service.Submit(ServiceRequest{q.value(), MineOptions{}, Algorithm::kGm});
-  ServiceReply reply = future.get();  // Fulfilled despite the dead pool.
-  MiningEngine reference = testing::MakeTinyEngine();
-  ExpectSameResults(reference.Mine(CanonicalizeQuery(q.value()), Algorithm::kGm),
-                    reply.result, "inline after shutdown");
+  // Fulfilled despite the dead pool -- with a typed refusal, never a hang
+  // and never inline execution on a shut-down service.
+  ServiceReply reply = future.get();
+  EXPECT_EQ(reply.status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(reply.result.phrases.empty());
+}
+
+TEST(ServiceTest, InvalidRequestsResolveWithTypedStatus) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  PhraseService service(&engine, {});
+  auto q = engine.ParseQuery("db", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+
+  // k == 0 is a malformed request at the service boundary (the engine
+  // itself tolerates it; the front door refuses it).
+  ServiceReply r = service.MineSync(
+      ServiceRequest{q.value(), MineOptions{.k = 0}, Algorithm::kGm});
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(r.result.phrases.empty());
+
+  // A term-less query.
+  Query empty;
+  empty.op = QueryOperator::kAnd;
+  r = service.MineSync(ServiceRequest{empty, MineOptions{}, Algorithm::kGm});
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+
+  // Unknown terms are NOT an error: empty lists mine an empty ranking
+  // with status OK, matching the engine's semantics.
+  Query unknown;
+  unknown.op = QueryOperator::kAnd;
+  unknown.terms = {static_cast<TermId>(1u << 20)};
+  r = service.MineSync(ServiceRequest{unknown, MineOptions{}, Algorithm::kGm});
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.result.phrases.empty());
+
+  // The typed error paths short-circuit before planning/execution, so the
+  // executed-query counters stay clean.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+}
+
+TEST(ServiceTest, AdmissionShedsHopelessDeadline) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  PhraseServiceOptions options;
+  options.admission.max_queue_depth = 8;  // enables the gate
+  PhraseService service(&engine, options);
+  auto q = engine.ParseQuery("db", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+
+  // A deadline already in the past is the degenerate "hopeless" query:
+  // the cost gate sheds it at admission without ever queueing work.
+  ServiceRequest request{q.value(), MineOptions{}, Algorithm::kGm};
+  request.cancel =
+      std::make_shared<CancelToken>(CancelToken::AfterMillis(-1.0));
+  ServiceReply reply = service.Submit(std::move(request)).get();
+  EXPECT_EQ(reply.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(reply.result.phrases.empty());
+  EXPECT_EQ(service.stats().shed, 1u);
+  // The same request without admission control enabled instead runs to
+  // the pre-execution deadline check and reports DeadlineExceeded.
+  PhraseService unguarded(&engine, {});
+  ServiceRequest late{q.value(), MineOptions{}, Algorithm::kGm};
+  late.cancel = std::make_shared<CancelToken>(CancelToken::AfterMillis(-1.0));
+  reply = unguarded.Submit(std::move(late)).get();
+  EXPECT_EQ(reply.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(unguarded.stats().deadline_exceeded, 1u);
+}
+
+TEST(ServiceTest, RejectionStormResolvesTyped) {
+  MiningEngine engine = testing::MakeTinyEngine();
+  PhraseService service(&engine, {});
+  auto q = engine.ParseQuery("db", QueryOperator::kAnd);
+  ASSERT_TRUE(q.ok());
+
+  // A pool-level rejection storm (failpoint in Enqueue): the future still
+  // resolves, with ResourceExhausted -- never a hang, never an exception.
+  failpoint::Arm("pool.submit",
+                 {.error_code = StatusCode::kResourceExhausted,
+                  .error_message = "injected submit storm",
+                  .max_hits = 1});
+  ServiceReply reply =
+      service
+          .Submit(ServiceRequest{q.value(), MineOptions{}, Algorithm::kGm})
+          .get();
+  failpoint::DisarmAll();
+  EXPECT_EQ(reply.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().shed, 1u);
+
+  // The storm has passed: the service serves normally again.
+  reply = service
+              .Submit(ServiceRequest{q.value(), MineOptions{}, Algorithm::kGm})
+              .get();
+  EXPECT_TRUE(reply.status.ok()) << reply.status.ToString();
 }
 
 TEST(ServiceTest, ConcurrentEngineMineIsSafe) {

@@ -15,6 +15,7 @@
 #include "gtest/gtest.h"
 #include "service/service.h"
 #include "test_util.h"
+#include "testing/failpoint.h"
 
 namespace phrasemine {
 namespace {
@@ -308,6 +309,60 @@ TEST(ServiceUpdateTest, ConcurrentIngestAndSubmitWithAutoRebuild) {
   service_options.enable_auto_rebuild = true;
   RunStorm(engine, service_options, /*num_ingests=*/20,
            /*expect_rebuilds=*/true);
+}
+
+TEST(ServiceUpdateTest, IngestRacingDeadlineExpiredMineStaysCoherent) {
+  // An ingest racing a mine whose deadline expires mid-flight: both must
+  // complete with their own typed outcomes (the ingest is never aborted
+  // by the query's deadline -- cancellation is per-request), the epoch
+  // advances, and the service serves normally afterwards.
+  MiningEngine::Options engine_options;
+  engine_options.extractor.min_df = 3;
+  engine_options.disk_backed = true;  // budget 0: mines are slow enough
+  engine_options.disk_resident_budget = 0;
+  MiningEngine engine = MiningEngine::Build(
+      testing::MakeSmallSyntheticCorpus(400), engine_options);
+
+  PhraseServiceOptions service_options;
+  service_options.pool.num_threads = 2;
+  service_options.enable_auto_rebuild = false;
+  PhraseService service(&engine, service_options);
+  const std::vector<TermId> terms = HarvestTerms(engine, 2);
+  ASSERT_GE(terms.size(), 2u);
+  const std::vector<UpdateDoc> docs = HarvestUpdateDocs(engine, 4);
+
+  failpoint::Arm("disk.sim.read", {.delay_ms = 0.5});
+  ServiceRequest doomed;
+  doomed.query.terms = {terms[0], terms[1]};
+  doomed.query.op = QueryOperator::kOr;
+  doomed.options.k = 8;
+  doomed.algorithm = Algorithm::kNraDisk;
+  doomed.deadline_ms = 5.0;
+  std::future<ServiceReply> mine = service.Submit(std::move(doomed));
+
+  UpdateBatch batch;
+  batch.inserts.push_back(docs[0]);
+  const UpdateStats ingested = service.IngestBatch(batch);
+  EXPECT_EQ(ingested.epoch, 1u);
+
+  const ServiceReply reply = mine.get();
+  failpoint::DisarmAll();
+  // The mine either beat its deadline (OK) or refused with the typed
+  // code -- on this slowed device the latter, but the invariant under
+  // test is "typed either way, ingest unaffected".
+  EXPECT_TRUE(reply.status.ok() ||
+              reply.status.code() == StatusCode::kDeadlineExceeded)
+      << reply.status.ToString();
+
+  // Post-race: the epoch advanced and a fresh deadline-free query serves
+  // the ingested state.
+  ServiceRequest after;
+  after.query.terms = {terms[0]};
+  after.query.op = QueryOperator::kAnd;
+  after.options.k = 8;
+  const ServiceReply ok = service.MineSync(after);
+  EXPECT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_GE(ok.epoch, 1u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "service/thread_pool.h"
@@ -69,6 +70,35 @@ TEST(ThreadPoolTest, ShutdownIsIdempotent) {
   pool.Shutdown();
   pool.Shutdown();  // Must not hang or crash.
   EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitShutdownRaceNeverHangs) {
+  // Storms the documented submit/shutdown contract: every Submit verdict
+  // is definite -- all `true` tasks run (Shutdown drains the queue), no
+  // `false` task ever runs -- so ran == accepted exactly, and a submitter
+  // parked on a full queue always wakes with `false` (the join below
+  // would hang forever if it did not).
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool({.num_threads = 2, .queue_capacity = 2});
+    std::atomic<int> ran{0};
+    std::atomic<int> accepted{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&pool, &ran, &accepted, &stop] {
+        while (!stop.load()) {
+          if (pool.Submit([&ran] { ran.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    pool.Shutdown();  // Races live blocking Submits.
+    stop.store(true);
+    for (std::thread& t : submitters) t.join();
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+  }
 }
 
 TEST(ThreadPoolTest, ClampsDegenerateOptions) {
