@@ -37,11 +37,18 @@ export PM_DISK_PASSES=1
 export PM_WORKLOAD_DOCS=250
 export PM_WORKLOAD_POOL=6
 export PM_WORKLOAD_EVENTS=60
+# Subscription throughput: at smoke scale the re-mine budget (exit 2) and
+# the published-vs-fresh differential (exit 3) both still gate; only the
+# throughput numbers are meaningless here.
+export PM_SUB_DOCS=300
+export PM_SUB_BATCHES=20
+export PM_SUB_SUBS=4
 
 benches=(
   kernel_microbench
   disk_tier_scaling
   workload_replay
+  subscription_throughput
   fig05_06_quality
   fig07_08_smj_vs_gm
   fig09_10_nra_breakdown

@@ -18,6 +18,9 @@ The headline metric is auto-detected from the file shape:
     fraction 0 (the fully disk-resident per-shard-device row).
   * BENCH_workload.json -> sequential-replay q/s of the feedback-placement
     phase on the recorded trace.
+  * BENCH_subscribe.json -> end-to-end ingest batches/s with the standing-
+    query fan-out active (incremental delta path, re-mine fallback priced
+    in).
 
 Latency gate: tail latency is part of the serving contract, so some
 percentile columns are gated alongside throughput (lower is better; fail
@@ -50,6 +53,10 @@ LATENCY_FLOOR_MS = 0.05
 
 def headline(data):
     """Returns (metric_name, value) for a parsed bench JSON."""
+    if "subscription" in data:
+        sub = data["subscription"]
+        return ("incremental standing-query batches/s with %d subscriptions"
+                % sub.get("subscriptions", 0), sub["batches_per_sec"])
     if "placement" in data and "replay" in data:
         return ("feedback-placement replay q/s on the workload trace",
                 data["replay"]["qps"])

@@ -10,18 +10,24 @@
 namespace phrasemine {
 
 void DeltaIndex::AddDocument(std::span<const TermId> tokens,
-                             std::span<const TermId> facets) {
-  Apply(tokens, facets, +1);
+                             std::span<const TermId> facets,
+                             std::vector<PhraseId>* touched) {
+  Apply(tokens, facets, +1, touched);
 }
 
 void DeltaIndex::RemoveDocument(std::span<const TermId> tokens,
-                                std::span<const TermId> facets) {
-  Apply(tokens, facets, -1);
+                                std::span<const TermId> facets,
+                                std::vector<PhraseId>* touched) {
+  Apply(tokens, facets, -1, touched);
 }
 
 void DeltaIndex::Apply(std::span<const TermId> tokens,
-                       std::span<const TermId> facets, int64_t sign) {
+                       std::span<const TermId> facets, int64_t sign,
+                       std::vector<PhraseId>* touched) {
   const std::vector<PhraseId> phrases = CollectDocPhrases(tokens, *dict_);
+  if (touched != nullptr) {
+    touched->insert(touched->end(), phrases.begin(), phrases.end());
+  }
   std::unordered_set<TermId> terms(tokens.begin(), tokens.end());
   terms.insert(facets.begin(), facets.end());
 

@@ -42,12 +42,17 @@ class DeltaIndex {
   explicit DeltaIndex(const PhraseDictionary& dict) : dict_(&dict) {}
 
   /// Registers an inserted document given its token and facet term ids.
+  /// When `touched` is non-null the phrase ids whose deltas this document
+  /// moved are appended to it (unsorted, may repeat across calls) -- the
+  /// subscription layer's per-batch "what could have changed" set.
   void AddDocument(std::span<const TermId> tokens,
-                   std::span<const TermId> facets = {});
+                   std::span<const TermId> facets = {},
+                   std::vector<PhraseId>* touched = nullptr);
 
   /// Registers a deletion of a document with this content.
   void RemoveDocument(std::span<const TermId> tokens,
-                      std::span<const TermId> facets = {});
+                      std::span<const TermId> facets = {},
+                      std::vector<PhraseId>* touched = nullptr);
 
   /// Net change of |docs(p)| from the accumulated updates.
   int64_t DfDelta(PhraseId p) const;
@@ -99,7 +104,7 @@ class DeltaIndex {
 
  private:
   void Apply(std::span<const TermId> tokens, std::span<const TermId> facets,
-             int64_t sign);
+             int64_t sign, std::vector<PhraseId>* touched);
 
   const PhraseDictionary* dict_;  // write-side only; see class comment
   std::unordered_map<PhraseId, int64_t> df_delta_;

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -584,7 +585,18 @@ MineResult MiningEngine::Mine(const Query& query, Algorithm algorithm,
 
 // --- Live updates ------------------------------------------------------------
 
-UpdateStats MiningEngine::ApplyUpdate(const UpdateBatch& batch) {
+uint64_t MiningEngine::NextStructureVersion() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MiningEngine::SetUpdateListener(UpdateListener listener) {
+  std::scoped_lock update_lock(sync_->update_mu);
+  update_listener_ = std::move(listener);
+}
+
+UpdateStats MiningEngine::ApplyUpdate(const UpdateBatch& batch,
+                                      UpdateEvent* event) {
   std::scoped_lock update_lock(sync_->update_mu);
   // Copy-on-write: mines keep reading the published overlay while this
   // batch is absorbed into a private successor. All writers of delta_
@@ -595,6 +607,11 @@ UpdateStats MiningEngine::ApplyUpdate(const UpdateBatch& batch) {
   // ingest-heavy workloads ever make this the bottleneck.
   auto next = delta_ != nullptr ? std::make_unique<DeltaIndex>(*delta_)
                                 : std::make_unique<DeltaIndex>(dict_);
+
+  // Touched-phrase collection is only paid when someone consumes it.
+  const bool want_event = event != nullptr || update_listener_ != nullptr;
+  std::vector<PhraseId> touched;
+  std::vector<PhraseId>* touched_out = want_event ? &touched : nullptr;
 
   UpdateStats stats;
   for (const UpdateDoc& doc : batch.inserts) {
@@ -612,7 +629,7 @@ UpdateStats MiningEngine::ApplyUpdate(const UpdateBatch& batch) {
         d.facets.push_back(corpus_.vocab().Intern(f));
       }
     }
-    next->AddDocument(d.tokens, d.facets);
+    next->AddDocument(d.tokens, d.facets, touched_out);
     pending_inserts_.push_back(std::move(d));
     insert_deleted_.push_back(0);
     ++stats.batch_inserts;
@@ -620,7 +637,7 @@ UpdateStats MiningEngine::ApplyUpdate(const UpdateBatch& batch) {
   for (DocId id : batch.deletes) {
     const Document* doc = LiveDoc(id);
     if (doc == nullptr) continue;
-    next->RemoveDocument(doc->tokens, doc->facets);
+    next->RemoveDocument(doc->tokens, doc->facets, touched_out);
     if (id < corpus_.size()) {
       if (base_deleted_.size() < corpus_.size()) {
         base_deleted_.resize(corpus_.size(), 0);
@@ -647,6 +664,20 @@ UpdateStats MiningEngine::ApplyUpdate(const UpdateBatch& batch) {
     delta_ = std::move(next);
     stats.epoch = ++epoch_;
     last_update_stats_ = stats;
+  }
+  if (want_event) {
+    // generation_/structure_version_/delta_ writers all hold update_mu
+    // (which we hold), so reading them here without snapshot_mu is safe.
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    UpdateEvent ev;
+    ev.epoch = stats.epoch;
+    ev.generation = generation_;
+    ev.structure_version = structure_version_;
+    ev.delta = delta_;
+    ev.touched = std::move(touched);
+    if (update_listener_ != nullptr) update_listener_(ev);
+    if (event != nullptr) *event = std::move(ev);
   }
   return stats;
 }
@@ -750,17 +781,30 @@ void MiningEngine::Rebuild() {
   insert_deleted_.clear();
   base_deleted_.clear();
   num_deleted_ = 0;
+  uint64_t rebuilt_epoch;
   {
     std::scoped_lock snapshot_lock(sync_->snapshot_mu);
     delta_.reset();
     ++epoch_;
     ++generation_;
+    // Adopt the fresh build's process-unique structure id: PhraseIds were
+    // reassigned, so version-keyed caches must miss from now on.
+    structure_version_ = fresh.structure_version_;
     last_update_stats_ = UpdateStats{};
     last_update_stats_.epoch = epoch_;
     last_update_stats_.live_docs = corpus_.size();
+    rebuilt_epoch = epoch_;
   }
   lists_lock.unlock();
   vocab_lock.unlock();
+  if (update_listener_ != nullptr) {
+    UpdateEvent ev;
+    ev.epoch = rebuilt_epoch;
+    ev.generation = generation_;
+    ev.structure_version = structure_version_;
+    ev.rebuilt = true;
+    update_listener_(ev);
+  }
   // Re-persist the rebuilt engine (update_mu is still held, so no new
   // batch can interleave between the swap and the file write).
   if (!options_.persist_path.empty()) {
@@ -776,6 +820,11 @@ uint64_t MiningEngine::epoch() const {
 uint64_t MiningEngine::list_generation() const {
   std::scoped_lock lock(sync_->snapshot_mu);
   return generation_;
+}
+
+uint64_t MiningEngine::structure_version() const {
+  std::scoped_lock lock(sync_->snapshot_mu);
+  return structure_version_;
 }
 
 EpochDelta MiningEngine::delta_snapshot() const {

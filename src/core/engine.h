@@ -1,6 +1,7 @@
 #ifndef PHRASEMINE_CORE_ENGINE_H_
 #define PHRASEMINE_CORE_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -105,6 +106,37 @@ struct EpochDelta {
   uint64_t generation = 0;
   std::shared_ptr<const DeltaIndex> delta;
 };
+
+/// Post-batch notification for standing-query consumers: everything the
+/// subscription layer needs to rescore incrementally without re-reading
+/// engine state (which could already have moved on). Delivered to the
+/// installed update listener inside ApplyUpdate/Rebuild, after the new
+/// epoch is published and still under the update mutex -- events arrive
+/// in epoch order, exactly once. Listeners must be cheap and must not
+/// call back into the engine (they run on the ingest thread; enqueue and
+/// return).
+struct UpdateEvent {
+  /// Epoch after the batch (or rebuild) was absorbed.
+  uint64_t epoch = 0;
+  /// Structure generation at that epoch (bumped only by Rebuild).
+  uint64_t generation = 0;
+  /// Process-unique structure id; see MiningEngine::structure_version().
+  uint64_t structure_version = 0;
+  /// Overlay snapshot as of `epoch` (null right after a rebuild).
+  std::shared_ptr<const DeltaIndex> delta;
+  /// Phrase ids whose df or co-occurrence deltas this batch moved, sorted
+  /// and deduplicated -- the complete "what can have changed" set for
+  /// incremental top-k maintenance. Empty when `rebuilt` (PhraseIds were
+  /// reassigned; nothing incremental survives).
+  std::vector<PhraseId> touched;
+  /// True when this event reports a completed Rebuild rather than an
+  /// absorbed batch: every index was rebuilt and PhraseIds reassigned, so
+  /// consumers must drop all derived state and start from a fresh mine.
+  bool rebuilt = false;
+};
+
+/// Callback type for UpdateEvent delivery; see SetUpdateListener.
+using UpdateListener = std::function<void(const UpdateEvent&)>;
 
 /// Build-time knobs for MiningEngine.
 struct MiningEngineOptions {
@@ -284,8 +316,18 @@ class MiningEngine {
   /// Absorbs one batch of document inserts/deletes into the delta overlay
   /// and advances the epoch. Thread-safe against concurrent Mine() calls;
   /// concurrent ApplyUpdate/Rebuild calls serialize. On return the new
-  /// epoch is visible to every subsequently started mine.
-  UpdateStats ApplyUpdate(const UpdateBatch& batch);
+  /// epoch is visible to every subsequently started mine. When `event` is
+  /// non-null it is filled with the batch's UpdateEvent (ShardedEngine
+  /// collects per-shard events this way and merges them under the global
+  /// PhraseId space instead of installing per-shard listeners).
+  UpdateStats ApplyUpdate(const UpdateBatch& batch,
+                          UpdateEvent* event = nullptr);
+
+  /// Installs (or, with null, clears) the post-batch update listener; see
+  /// UpdateEvent for the delivery contract. Serializes against in-flight
+  /// ApplyUpdate/Rebuild calls: once SetUpdateListener(nullptr) returns,
+  /// no further callback will run.
+  void SetUpdateListener(UpdateListener listener);
 
   /// Raises the epoch to at least `min_epoch` without changing any state
   /// (no-op when already past it). ShardedEngine uses this after a
@@ -324,6 +366,15 @@ class MiningEngine {
   /// derived structures (word lists) by generation invalidate exactly when
   /// the base indexes change.
   uint64_t list_generation() const;
+
+  /// Process-unique id of the current structure set: assigned at
+  /// construction (every Build/LoadFromFile) and reassigned by every
+  /// Rebuild. Unlike list_generation() -- which restarts at 0 for every
+  /// new engine instance -- this value never repeats within a process, so
+  /// caches that may outlive an engine replacement (the subscription
+  /// layer's base-list cache across a ShardedEngine dictionary refresh,
+  /// which swaps in whole new shard engines) can key on it safely.
+  uint64_t structure_version() const;
 
   /// Immutable snapshot of the update state for lock-free delta-corrected
   /// mining; see EpochDelta.
@@ -465,6 +516,10 @@ class MiningEngine {
 
   MiningEngine() = default;
 
+  /// Hands out the next process-unique structure version (monotone
+  /// counter starting at 1; 0 never occurs).
+  static uint64_t NextStructureVersion();
+
   /// Invalidates structures derived from word_lists_ after it changes.
   /// Caller must hold lists_mu exclusively.
   void InvalidateDerivedLists();
@@ -530,6 +585,11 @@ class MiningEngine {
   // --- Update state (see Sync for the guarding mutexes) ----------------------
   uint64_t epoch_ = 0;                           // snapshot_mu
   uint64_t generation_ = 0;                      // snapshot_mu + lists_mu(excl)
+  /// Process-unique structure id; reassigned by Rebuild (the fresh
+  /// engine's id is adopted in the swap). Written under update_mu +
+  /// snapshot_mu, read under either.
+  uint64_t structure_version_ = NextStructureVersion();
+  UpdateListener update_listener_;               // update_mu
   std::shared_ptr<const DeltaIndex> delta_;      // snapshot_mu
   UpdateStats last_update_stats_;                // snapshot_mu
   std::vector<Document> pending_inserts_;        // update_mu

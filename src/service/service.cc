@@ -758,6 +758,49 @@ UpdateStats PhraseService::IngestBatch(const UpdateBatch& batch) {
   return stats;
 }
 
+Result<uint64_t> PhraseService::Subscribe(const SubscriptionRequest& request) {
+  std::scoped_lock lock(subscriptions_mu_);
+  if (subscriptions_ == nullptr) {
+    SubscriptionManagerOptions opts = options_.subscriptions;
+    opts.metrics = &registry_;  // subscribe_* metrics live with service_*
+    subscriptions_ =
+        sharded_ != nullptr
+            ? std::make_unique<SubscriptionManager>(sharded_, opts)
+            : std::make_unique<SubscriptionManager>(engine_, opts);
+    subscriptions_ptr_.store(subscriptions_.get(), std::memory_order_release);
+  }
+  return subscriptions_->Subscribe(request);
+}
+
+Status PhraseService::Unsubscribe(uint64_t subscription) {
+  SubscriptionManager* manager = subscriptions();
+  if (manager == nullptr) {
+    return Status::NotFound("unknown subscription " +
+                            std::to_string(subscription));
+  }
+  return manager->Unsubscribe(subscription);
+}
+
+Result<std::vector<SubscriptionUpdate>> PhraseService::PollSubscription(
+    uint64_t subscription, std::size_t max_updates, double wait_ms) {
+  SubscriptionManager* manager = subscriptions();
+  if (manager == nullptr) {
+    return Status::NotFound("unknown subscription " +
+                            std::to_string(subscription));
+  }
+  return manager->Poll(subscription, max_updates, wait_ms);
+}
+
+Result<SubscriptionState> PhraseService::SubscriptionSnapshot(
+    uint64_t subscription) const {
+  SubscriptionManager* manager = subscriptions();
+  if (manager == nullptr) {
+    return Status::NotFound("unknown subscription " +
+                            std::to_string(subscription));
+  }
+  return manager->Snapshot(subscription);
+}
+
 void PhraseService::MaybeScheduleRebuild(std::vector<uint8_t> shard_flags) {
   if (rebuild_inflight_.exchange(true)) return;
   auto rebuild = [this, flags = std::move(shard_flags)] {

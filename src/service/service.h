@@ -25,6 +25,7 @@
 #include "service/planner.h"
 #include "service/thread_pool.h"
 #include "shard/sharded_engine.h"
+#include "subscribe/subscription_manager.h"
 
 namespace phrasemine {
 
@@ -102,6 +103,12 @@ struct PhraseServiceOptions {
   /// still be called explicitly. Only useful on disk-backed engines;
   /// harmless (placement is simply never consulted) otherwise.
   std::size_t placement_refresh_interval = 0;
+  /// Standing-query knobs (queue bounds, shadow headroom, fan-out
+  /// deadline; see docs/subscriptions.md). The SubscriptionManager is
+  /// created lazily on the first Subscribe, so services that never
+  /// subscribe keep a listener-free, zero-cost ingest path. The `metrics`
+  /// field is overridden with this service's registry.
+  SubscriptionManagerOptions subscriptions;
 };
 
 /// One unit of work for the service.
@@ -310,6 +317,34 @@ class PhraseService {
   /// explicit form of the placement_refresh_interval cadence.
   bool RefreshPlacement();
 
+  // --- Standing queries ------------------------------------------------------
+
+  /// Registers a standing top-k query over the update stream (see
+  /// SubscriptionManager::Subscribe for semantics and failure modes). The
+  /// manager is created lazily here, targeting the sharded fleet when one
+  /// serves this instance, with its metrics in this service's registry.
+  Result<uint64_t> Subscribe(const SubscriptionRequest& request);
+
+  /// Deregisters a subscription; NotFound for unknown ids (including any
+  /// id before the first Subscribe ever created the manager).
+  Status Unsubscribe(uint64_t subscription);
+
+  /// Drains up to max_updates pending notifications for one subscription,
+  /// blocking up to wait_ms for the first (see SubscriptionManager::Poll).
+  Result<std::vector<SubscriptionUpdate>> PollSubscription(
+      uint64_t subscription, std::size_t max_updates = 16,
+      double wait_ms = 0.0);
+
+  /// The subscription's current published top-k, independent of the
+  /// notification queue (see SubscriptionManager::Snapshot).
+  Result<SubscriptionState> SubscriptionSnapshot(uint64_t subscription) const;
+
+  /// The lazily created subscription manager, or nullptr before the first
+  /// Subscribe. Tests use it for Flush() and LastBatchTrace().
+  SubscriptionManager* subscriptions() const {
+    return subscriptions_ptr_.load(std::memory_order_acquire);
+  }
+
   /// Stops intake and drains in-flight work; idempotent.
   void Shutdown();
 
@@ -485,6 +520,14 @@ class PhraseService {
   /// One background rebuild at a time; set when scheduled, cleared by the
   /// pool task when the rebuild finishes.
   std::atomic<bool> rebuild_inflight_{false};
+
+  /// Standing-query manager, created under subscriptions_mu_ by the first
+  /// Subscribe and read lock-free through the atomic pointer elsewhere.
+  /// Declared after owned_sharded_ so destruction detaches its engine
+  /// listener and joins its worker while the engines are still alive.
+  mutable std::mutex subscriptions_mu_;
+  std::unique_ptr<SubscriptionManager> subscriptions_;
+  std::atomic<SubscriptionManager*> subscriptions_ptr_{nullptr};
 
   ThreadPool pool_;  // Last member: workers must die before the caches.
 };

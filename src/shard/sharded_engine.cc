@@ -26,6 +26,22 @@
 
 namespace phrasemine {
 
+uint32_t AdjustedShardDf(uint32_t base_df, PhraseId p,
+                         const DeltaIndex* delta) {
+  int64_t df = static_cast<int64_t>(base_df);
+  if (delta != nullptr) df += delta->DfDelta(p);
+  return static_cast<uint32_t>(std::max<int64_t>(df, 0));
+}
+
+uint32_t AdjustedShardCodf(double base_prob, uint32_t base_df, TermId term,
+                           PhraseId p, const DeltaIndex* delta,
+                           uint32_t df_adj) {
+  int64_t codf = std::llround(base_prob * static_cast<double>(base_df));
+  if (delta != nullptr) codf += delta->CoDelta(term, p);
+  return static_cast<uint32_t>(
+      std::clamp<int64_t>(codf, 0, static_cast<int64_t>(df_adj)));
+}
+
 namespace {
 
 /// How a sharded mine scatters and gathers. Exact and SMJ enumerate every
@@ -135,26 +151,6 @@ const DeltaIndex* PendingDelta(const EpochDelta& snap) {
              : nullptr;
 }
 
-/// The delta-corrected document frequency of a phrase.
-uint32_t AdjustedDf(uint32_t base_df, PhraseId p, const DeltaIndex* delta) {
-  int64_t df = static_cast<int64_t>(base_df);
-  if (delta != nullptr) df += delta->DfDelta(p);
-  return static_cast<uint32_t>(std::max<int64_t>(df, 0));
-}
-
-/// Recovers the integer co-occurrence count behind a stored list
-/// probability (prob = count / base_df, so the product rounds back
-/// exactly -- the same recovery DeltaIndex::AdjustedProb uses) and
-/// applies the co-occurrence delta.
-uint32_t AdjustedCodf(double base_prob, uint32_t base_df, TermId term,
-                      PhraseId p, const DeltaIndex* delta, uint32_t df_adj) {
-  int64_t codf =
-      std::llround(base_prob * static_cast<double>(base_df));
-  if (delta != nullptr) codf += delta->CoDelta(term, p);
-  return static_cast<uint32_t>(
-      ClampCount(codf, static_cast<int64_t>(df_adj)));
-}
-
 // Every scatter/fill helper below validates the shard's structure
 // generation against the caller's snapshot under the shared structure
 // lock and reports false on mismatch: the caller then retries the whole
@@ -230,9 +226,9 @@ bool ListScatter(MiningEngine& engine, const Query& query,
     auto fold = [&](std::size_t term_index, PhraseId phrase, double prob) {
       const TermId t = query.terms[term_index];
       const uint32_t base_df = engine.dict().df(phrase);
-      const uint32_t df_adj = AdjustedDf(base_df, phrase, delta);
+      const uint32_t df_adj = AdjustedShardDf(base_df, phrase, delta);
       const uint32_t codf =
-          AdjustedCodf(prob, base_df, t, phrase, delta, df_adj);
+          AdjustedShardCodf(prob, base_df, t, phrase, delta, df_adj);
       ++out->entries_read;
       if (codf == 0) return;
       auto [it, inserted] = slot.try_emplace(phrase, out->candidates.size());
@@ -391,7 +387,7 @@ bool ListFill(MiningEngine& engine, const Query& query,
       if (!need[i]) continue;
       const PhraseId p = cands[i].phrase;
       if (p >= engine.dict().size()) continue;
-      (*out)[i].df = AdjustedDf(engine.dict().df(p), p, delta);
+      (*out)[i].df = AdjustedShardDf(engine.dict().df(p), p, delta);
       if (need_codf) (*out)[i].codf.assign(r, 0);
     }
     if (!need_codf) return true;
@@ -404,7 +400,7 @@ bool ListFill(MiningEngine& engine, const Query& query,
     if (use_idl) {
       // Kernel path: one galloping pass per term over the id-ordered SoA
       // list gathers every needed candidate's stored probability (0.0
-      // when absent). AdjustedCodf on a 0.0 base recovers exactly the
+      // when absent). AdjustedShardCodf on a 0.0 base recovers exactly the
       // delta-only count the scan path computes for absent candidates,
       // so the two paths produce identical supports.
       std::vector<std::pair<PhraseId, std::size_t>> probes;
@@ -427,7 +423,7 @@ bool ListFill(MiningEngine& engine, const Query& query,
           const std::size_t i = probes[m].second;
           const PhraseId p = probes[m].first;
           const uint32_t base_df = engine.dict().df(p);
-          (*out)[i].codf[j] = AdjustedCodf(gathered[m], base_df, t, p, delta,
+          (*out)[i].codf[j] = AdjustedShardCodf(gathered[m], base_df, t, p, delta,
                                            (*out)[i].df);
         }
       }
@@ -453,7 +449,7 @@ bool ListFill(MiningEngine& engine, const Query& query,
         const std::size_t i = it->second;
         in_base[i] = 1;
         const uint32_t base_df = engine.dict().df(entry.phrase);
-        (*out)[i].codf[j] = AdjustedCodf(entry.prob, base_df, t,
+        (*out)[i].codf[j] = AdjustedShardCodf(entry.prob, base_df, t,
                                          entry.phrase, delta, (*out)[i].df);
       }
       if (delta == nullptr) continue;
@@ -1322,12 +1318,29 @@ ShardedUpdateStats ShardedEngine::ApplyUpdate(const UpdateBatch& batch) {
   ShardedUpdateStats out;
   out.epochs.resize(n);
   out.rebuild_recommended.resize(n);
+  const bool want_event = update_listener_ != nullptr;
+  ShardedUpdateEvent ev;
+  if (want_event) ev.shards.resize(n);
   for (std::size_t s = 0; s < n; ++s) {
     if (!per_shard[s].inserts.empty() || !per_shard[s].deletes.empty()) {
-      const UpdateStats stats = shards_[s]->ApplyUpdate(per_shard[s]);
+      UpdateEvent shard_ev;
+      const UpdateStats stats = shards_[s]->ApplyUpdate(
+          per_shard[s], want_event ? &shard_ev : nullptr);
       out.total.batch_inserts += stats.batch_inserts;
       out.total.batch_deletes += stats.batch_deletes;
       rebuild_recommended_[s] = stats.rebuild_recommended ? 1 : 0;
+      if (want_event) {
+        ev.shards[s] = {shard_ev.epoch, shard_ev.generation,
+                        shard_ev.structure_version, std::move(shard_ev.delta)};
+        // PhraseIds are global across shards, so the per-shard touched
+        // sets union directly into the fleet-level set.
+        ev.touched.insert(ev.touched.end(), shard_ev.touched.begin(),
+                          shard_ev.touched.end());
+      }
+    } else if (want_event) {
+      const EpochDelta snap = shards_[s]->delta_snapshot();
+      ev.shards[s] = {snap.epoch, snap.generation,
+                      shards_[s]->structure_version(), snap.delta};
     }
     out.epochs[s] = shards_[s]->epoch();
     out.total.epoch += out.epochs[s];
@@ -1343,7 +1356,34 @@ ShardedUpdateStats ShardedEngine::ApplyUpdate(const UpdateBatch& batch) {
   for (uint8_t flag : rebuild_recommended_) {
     if (flag) out.total.rebuild_recommended = true;
   }
+  if (want_event) {
+    std::sort(ev.touched.begin(), ev.touched.end());
+    ev.touched.erase(std::unique(ev.touched.begin(), ev.touched.end()),
+                     ev.touched.end());
+    ev.epoch = out.total.epoch;
+    update_listener_(ev);
+  }
   return out;
+}
+
+void ShardedEngine::SetUpdateListener(ShardedUpdateListener listener) {
+  std::scoped_lock lock(*update_mu_);
+  update_listener_ = std::move(listener);
+}
+
+void ShardedEngine::NotifyRebuiltLocked() {
+  if (update_listener_ == nullptr) return;
+  ShardedUpdateEvent ev;
+  ev.rebuilt = true;
+  std::shared_lock fleet_lock(*shards_mu_);
+  ev.shards.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const EpochDelta snap = shards_[s]->delta_snapshot();
+    ev.shards[s] = {snap.epoch, snap.generation,
+                    shards_[s]->structure_version(), snap.delta};
+    ev.epoch += snap.epoch;
+  }
+  update_listener_(ev);
 }
 
 void ShardedEngine::Rebuild() {
@@ -1355,6 +1395,7 @@ void ShardedEngine::Rebuild() {
 void ShardedEngine::RebuildShard(std::size_t shard) {
   std::scoped_lock lock(*update_mu_);
   RebuildShardLocked(shard);
+  NotifyRebuiltLocked();
 }
 
 void ShardedEngine::RebuildShardLocked(std::size_t shard) {
@@ -1445,6 +1486,7 @@ void ShardedEngine::RefreshDictionary() {
       persist_status_ = SaveManifestLocked(options_.persist_path);
     }
   }
+  NotifyRebuiltLocked();
 }
 
 void ShardedEngine::SetDiskBudgetPerShard(uint64_t budget_bytes) {

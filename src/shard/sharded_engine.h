@@ -87,6 +87,55 @@ struct ShardedEngineOptions {
   std::function<std::size_t(DocId, std::size_t)> partitioner;
 };
 
+/// Delta-corrected document frequency of a phrase on one shard: the
+/// shard's base df plus the overlay's df delta, floored at zero. Shared
+/// by the scatter-gather fill rounds and the subscription layer's
+/// sharded rescorer so the exactness-critical integer arithmetic has
+/// exactly one implementation.
+uint32_t AdjustedShardDf(uint32_t base_df, PhraseId p,
+                         const DeltaIndex* delta);
+
+/// Recovers the integer co-occurrence count behind a stored list
+/// probability (prob = count / base_df, so the product rounds back
+/// exactly -- the same recovery DeltaIndex::AdjustedProb uses), applies
+/// the shard overlay's co-occurrence delta and clamps to [0, df_adj].
+uint32_t AdjustedShardCodf(double base_prob, uint32_t base_df, TermId term,
+                           PhraseId p, const DeltaIndex* delta,
+                           uint32_t df_adj);
+
+/// One shard's contribution to a ShardedUpdateEvent: the shard's epoch,
+/// structure identifiers and overlay snapshot as of the batch.
+struct ShardUpdateEvent {
+  uint64_t epoch = 0;
+  uint64_t generation = 0;
+  uint64_t structure_version = 0;
+  /// The shard's overlay at that epoch (null right after its rebuild).
+  std::shared_ptr<const DeltaIndex> delta;
+};
+
+/// Post-batch notification mirrored from MiningEngine::UpdateEvent for a
+/// fleet: per-shard snapshots plus the batch's touched phrases merged
+/// under the global PhraseId space (identical across shards by
+/// construction). Delivered under the fleet's update mutex, in composite
+/// epoch order, exactly once per ApplyUpdate / rebuild tier. Listeners
+/// must be cheap and must not call back into the engine.
+struct ShardedUpdateEvent {
+  /// Composite epoch (sum of shard epochs) after the batch.
+  uint64_t epoch = 0;
+  /// One entry per shard, in shard order -- including shards this batch
+  /// never routed a document to (their snapshot is simply unchanged).
+  std::vector<ShardUpdateEvent> shards;
+  /// Union of the batch's touched global PhraseIds, sorted/deduplicated.
+  std::vector<PhraseId> touched;
+  /// True for RebuildShard/Rebuild/RefreshDictionary completion events:
+  /// structures (and, on a refresh, PhraseIds) were replaced, so
+  /// consumers must drop derived state and re-mine.
+  bool rebuilt = false;
+};
+
+/// Callback type for ShardedUpdateEvent delivery; see SetUpdateListener.
+using ShardedUpdateListener = std::function<void(const ShardedUpdateEvent&)>;
+
 /// Aggregate of one ShardedEngine::ApplyUpdate call: the summed
 /// UpdateStats plus the per-shard epoch vector and per-shard rebuild
 /// recommendations (so callers can rebuild only the shards that crossed
@@ -268,6 +317,12 @@ class ShardedEngine {
   /// are ignored. Serializes with the rebuild entry points.
   ShardedUpdateStats ApplyUpdate(const UpdateBatch& batch);
 
+  /// Installs (or, with null, clears) the fleet-level post-batch update
+  /// listener; see ShardedUpdateEvent for the delivery contract.
+  /// Serializes against in-flight ApplyUpdate and the rebuild tiers: once
+  /// SetUpdateListener(nullptr) returns, no further callback will run.
+  void SetUpdateListener(ShardedUpdateListener listener);
+
   /// Rebuilds every shard, one at a time; ingest may interleave between
   /// shards and queries keep running throughout. The global phrase set
   /// stays frozen (see RefreshDictionary).
@@ -307,6 +362,16 @@ class ShardedEngine {
   /// GatherPlannerInputs, epochs) are the refresh-safe surface.
   const MiningEngine& shard(std::size_t i) const { return *shards_[i]; }
   MiningEngine& shard(std::size_t i) { return *shards_[i]; }
+
+  /// Runs fn(shard engine) under the shared fleet lock, so a concurrent
+  /// RefreshDictionary cannot swap the engines away mid-read -- the
+  /// refresh-safe alternative to shard() for concurrent readers (the
+  /// subscription rescorer reads per-shard base lists through this).
+  template <typename Fn>
+  auto WithShard(std::size_t i, Fn&& fn) const {
+    std::shared_lock fleet_lock(*shards_mu_);
+    return fn(*shards_[i]);
+  }
 
   /// The frozen global phrase set shared by all shards (per-shard df
   /// lives in each shard's own dictionary clone).
@@ -360,6 +425,10 @@ class ShardedEngine {
   /// RebuildShard body; caller holds update_mu_.
   void RebuildShardLocked(std::size_t shard);
 
+  /// Fires a rebuilt-flagged ShardedUpdateEvent with the fleet's current
+  /// per-shard snapshots; caller holds update_mu_.
+  void NotifyRebuiltLocked();
+
   /// Writes the fleet manifest file (global dictionary + document
   /// mapping); caller holds update_mu_ or has exclusive access.
   Status SaveManifestLocked(const std::string& prefix) const;
@@ -389,6 +458,8 @@ class ShardedEngine {
   std::vector<std::vector<DocId>> shard_globals_;
   /// Latched per-shard rebuild recommendations from the last ApplyUpdate.
   std::vector<uint8_t> rebuild_recommended_;
+  /// Fleet-level update listener; written and fired under update_mu_.
+  ShardedUpdateListener update_listener_;
 };
 
 }  // namespace phrasemine

@@ -10,6 +10,7 @@
 //   3. faults off, the replay is bitwise deterministic -- and after the
 //      storm the service serves the exact pre-storm signatures again.
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "core/engine.h"
 #include "service/service.h"
 #include "shard/sharded_engine.h"
+#include "subscribe/subscription_manager.h"
 #include "test_util.h"
 #include "testing/failpoint.h"
 #include "workload/replay.h"
@@ -187,6 +189,115 @@ TEST(ChaosTest, ShardedStragglerDelaysButNeverCorrupts) {
   const ServiceReply after = service.MineSync(
       ServiceRequest{q.value(), MineOptions{}, Algorithm::kSmj});
   EXPECT_TRUE(after.status.ok()) << after.status.ToString();
+}
+
+TEST(ChaosTest, SlowAndFailingSubscriberNeverBlocksOrCorruptsIngest) {
+  failpoint::DisarmAll();
+  failpoint::ResetHitCounts();
+  MiningEngineOptions engine_options;
+  engine_options.extractor.min_df = 2;
+  MiningEngine engine = MiningEngine::Build(MakeTinyCorpus(), engine_options);
+  PhraseServiceOptions service_options = ChaosServiceOptions();
+  // Rebuild-under-subscription is covered by the differential replay
+  // tests; keeping it out of this storm makes the final epoch exact and
+  // the snapshot-vs-fresh-mine comparison race-free.
+  service_options.enable_auto_rebuild = false;
+  PhraseService service(&engine, service_options);
+
+  // Every notification stalls 100 ms on the manager's worker and then
+  // fails; armed before Subscribe so even the bootstrap publishes run
+  // into it. Six hits bound the total injected stall at 600 ms.
+  failpoint::Arm("subscribe.notify",
+                 {.error_code = StatusCode::kUnavailable,
+                  .error_message = "injected subscriber fault",
+                  .delay_ms = 100.0,
+                  .max_hits = 6});
+
+  SubscriptionRequest first;
+  first.terms = {"query"};
+  first.k = 5;
+  SubscriptionRequest second;
+  second.terms = {"optimization"};
+  second.k = 4;
+  auto first_id = service.Subscribe(first);
+  auto second_id = service.Subscribe(second);
+  ASSERT_TRUE(first_id.ok());
+  ASSERT_TRUE(second_id.ok());
+
+  // The ingest storm races the stalled subscriber. The listener hook only
+  // enqueues an event, so ingest latency must not see the injected
+  // 600 ms: if the notify stall (or the notify failure's unwind) held any
+  // ingest-path lock, this loop would serialize behind it.
+  constexpr std::size_t kBatches = 12;
+  const auto ingest_start = std::chrono::steady_clock::now();
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    UpdateBatch batch;
+    UpdateDoc doc;
+    doc.tokens = {"query", "optimization", "chaos", "storm"};
+    batch.inserts.push_back(std::move(doc));
+    service.IngestBatch(batch);
+  }
+  const double ingest_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - ingest_start)
+          .count();
+  EXPECT_LT(ingest_ms, 300.0)
+      << "ingest serialized behind the stalled subscriber";
+
+  // The serving path is equally unaffected while the subscriber storm is
+  // still draining.
+  auto parsed = service.engine().ParseQuery("query", QueryOperator::kAnd);
+  ASSERT_TRUE(parsed.ok());
+  ServiceRequest request;
+  request.query = parsed.value();
+  request.options.k = 5;
+  const ServiceReply reply = service.MineSync(request);
+  EXPECT_TRUE(reply.status.ok()) << reply.status.ToString();
+
+  // Drain the worker (it sleeps through the remaining injected stalls),
+  // then prove no corruption: published state is exact, at the final
+  // epoch, and bitwise equal to a fresh re-mine.
+  service.subscriptions()->Flush();
+  EXPECT_GE(failpoint::HitCount("subscribe.notify"), 2u);
+  failpoint::DisarmAll();
+  failpoint::ResetHitCounts();
+  UpdateBatch clean;
+  UpdateDoc clean_doc;
+  clean_doc.tokens = {"query", "optimization", "recovery"};
+  clean.inserts.push_back(std::move(clean_doc));
+  service.IngestBatch(clean);
+  service.subscriptions()->Flush();
+
+  const MetricsSnapshot metrics = service.metrics_snapshot();
+  EXPECT_GE(metrics.counter("subscribe_dropped_total"), 2u)
+      << "failed notifications must be dropped, not retried into a wedge";
+
+  const struct {
+    uint64_t id;
+    std::string term;
+    std::size_t k;
+  } subs[] = {{first_id.value(), "query", first.k},
+              {second_id.value(), "optimization", second.k}};
+  for (const auto& sub : subs) {
+    auto snapshot = service.SubscriptionSnapshot(sub.id);
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_TRUE(snapshot.value().exact);
+    EXPECT_EQ(snapshot.value().epoch, kBatches + 1);
+    Query query =
+        engine.ParseQuery(sub.term, QueryOperator::kAnd).value();
+    MineOptions mine_options;
+    mine_options.k = sub.k;
+    MineResult fresh = engine.Mine(query, Algorithm::kSmj, mine_options);
+    EXPECT_EQ(snapshot.value().epoch, fresh.epoch);
+    ASSERT_EQ(snapshot.value().topk.size(), fresh.phrases.size());
+    for (std::size_t i = 0; i < fresh.phrases.size(); ++i) {
+      EXPECT_EQ(snapshot.value().topk[i].phrase, fresh.phrases[i].phrase);
+      EXPECT_EQ(snapshot.value().topk[i].score, fresh.phrases[i].score);
+    }
+    // Poll still resolves after the storm (possibly empty: the dropped
+    // notifications are gone by design, not queued).
+    EXPECT_TRUE(service.PollSubscription(sub.id, 8, 0.0).ok());
+  }
 }
 
 }  // namespace

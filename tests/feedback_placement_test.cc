@@ -258,6 +258,61 @@ TEST(FeedbackPlacementTest, ServiceRefreshUsesWindowedCounts) {
   EXPECT_EQ(service.stats().placement_refreshes, 2u);
 }
 
+TEST(FeedbackPlacementTest, WindowedCountsSurviveRebuild) {
+  // Regression pin for the windowed-placement semantics: a full engine
+  // Rebuild reassigns PhraseIds but carries the vocabulary over, so the
+  // service's per-term query counters -- keyed by TermId -- must keep
+  // their totals, the refresh window must keep accumulating across the
+  // rebuild, and a post-rebuild RefreshPlacement must still install a
+  // placement without changing results.
+  MiningEngine engine = MakeSmallEngine();
+  BuildAllLists(engine);
+  engine.SetDiskResidentBudget(engine.word_lists().InMemoryBytes() / 2);
+
+  PhraseServiceOptions options;
+  options.enable_result_cache = false;
+  PhraseService service(&engine, options);
+
+  ServiceRequest request;
+  request.query = HeavyQuery(engine);
+  request.algorithm = Algorithm::kNraDisk;
+  const ServiceReply before = service.MineSync(request);
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_TRUE(service.RefreshPlacement());
+
+  // One more served query lands in the *new* window, then churn + a full
+  // rebuild happen under it.
+  (void)service.MineSync(request);
+  UpdateBatch batch;
+  UpdateDoc doc;
+  doc.tokens = {"windowed", "placement", "rebuild"};
+  batch.inserts.push_back(std::move(doc));
+  service.IngestBatch(batch);
+  batch.deletes = {0};
+  batch.inserts.clear();
+  service.IngestBatch(batch);
+  engine.Rebuild();
+  BuildAllLists(engine);
+
+  // Counter totals survive: TermIds are stable across Rebuild.
+  const MetricsSnapshot snap = service.metrics_snapshot();
+  for (TermId t : request.query.terms) {
+    const std::string name =
+        "service_term_queries_total{term=\"" + std::to_string(t) + "\"}";
+    EXPECT_EQ(snap.counter(name), 2u) << name;
+  }
+
+  // The pre-rebuild window entry is still pending: the refresh installs
+  // it onto the rebuilt engine's lists, and placement stays cost-only.
+  const ServiceReply rebuilt = service.MineSync(request);
+  ASSERT_TRUE(rebuilt.status.ok());
+  EXPECT_TRUE(service.RefreshPlacement());
+  EXPECT_EQ(service.stats().placement_refreshes, 2u);
+  const ServiceReply placed = service.MineSync(request);
+  ASSERT_TRUE(placed.status.ok());
+  EXPECT_EQ(RankedSignature(rebuilt.result), RankedSignature(placed.result));
+}
+
 TEST(FeedbackPlacementTest, ServiceCadenceFiresAutomatically) {
   MiningEngine engine = MakeSmallEngine();
   BuildAllLists(engine);
